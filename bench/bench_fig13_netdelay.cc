@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 13: control-network scalability — the relationship among
+ * network stages, network delay (pipeline cycles) and critical-
+ * path delay across frequency targets, from the 28 nm timing
+ * model (substituting the paper's Synopsys DC synthesis sweeps).
+ */
+
+#include "bench_common.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printFig13()
+{
+    bench::banner(
+        "Fig 13: network stages vs delay vs critical path",
+        "latency grows mildly with stages and frequency; "
+        "\"low increase in network latency is acceptable\"");
+    std::printf("%s\n", toString(delaySweep()).c_str());
+}
+
+void
+BM_TimingQuery(benchmark::State &state)
+{
+    int pes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        NetworkTiming t = timeControlNetwork(pes, 1.0);
+        benchmark::DoNotOptimize(t.latencyCycles);
+    }
+}
+BENCHMARK(BM_TimingQuery)->Arg(16)->Arg(256);
+
+void
+BM_FullSweep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto sweep = delaySweep();
+        benchmark::DoNotOptimize(sweep.size());
+    }
+}
+BENCHMARK(BM_FullSweep);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printFig13)

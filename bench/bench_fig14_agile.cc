@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 14: speedup contributed by Agile PE Assignment — the
+ * innermost-first, waste-minimizing scheduler plus FIFO-decoupled
+ * loop rounds (Sec. 4.3) — over Marionette PE + control network.
+ */
+
+#include "bench_common.h"
+
+#include "compiler/assignment.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printFig14()
+{
+    bench::banner(
+        "Fig 14: + Agile PE Assignment",
+        "2.03x geomean improvement, up to 5.99x; limited by loop "
+        "structure and inter-loop data dependences (LDPC)");
+    auto &z = bench::zoo();
+    auto intensive = intensiveProfiles();
+    std::vector<const ArchModel *> models{
+        z.marionetteNet.get(), z.marionette.get()};
+    CycleTable table = runSuite(models, intensive);
+    std::printf("%s",
+                renderSpeedupTable(table, z.marionetteNet->name(),
+                                   {z.marionette->name()},
+                                   intensive)
+                    .c_str());
+
+    // The scheduling decisions behind the speedup (Fig. 8).
+    std::printf("\nAgile schedule of GEMM on 16 PEs:\n");
+    Cdfg g = gemmWorkload().buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    std::printf("%s\n", agileSchedule(g, li, 16).toString(g).c_str());
+}
+
+void
+BM_AgileSchedule(benchmark::State &state)
+{
+    Cdfg g = allWorkloads()[static_cast<std::size_t>(
+                                state.range(0))]
+                 ->buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    for (auto _ : state) {
+        AssignmentPlan plan = agileSchedule(g, li, 16);
+        benchmark::DoNotOptimize(plan.totalWaste);
+    }
+}
+BENCHMARK(BM_AgileSchedule)->DenseRange(0, 9);
+
+void
+BM_AgileModelFullSuite(benchmark::State &state)
+{
+    auto &z = bench::zoo();
+    auto intensive = intensiveProfiles();
+    for (auto _ : state) {
+        double total = 0;
+        for (const WorkloadProfile &p : intensive)
+            total += z.marionette->run(p).cycles;
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_AgileModelFullSuite);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printFig14)

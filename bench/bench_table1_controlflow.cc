@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1: control flow forms across modern applications.
+ * Regenerates the classification (branch form, loop form) for the
+ * benchmark suite from static CDFG analysis, then times the
+ * analysis pipeline.
+ */
+
+#include "bench_common.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printTable1()
+{
+    bench::banner(
+        "Table 1: control flow forms across applications",
+        "nested/innermost branches; imperfect nested / serial "
+        "loops per Table 1");
+    std::printf("%-12s %-18s %-28s %s\n", "Workload",
+                "Intensive Branch", "Intensive Loop", "Sizes");
+    for (const Workload *w : allWorkloads()) {
+        Cdfg g = w->buildCdfg();
+        LoopInfo li = LoopInfo::analyze(g);
+        ControlFlowProfile p = analyzeControlFlow(g, li);
+        std::string loop(loopFormName(p.loopForm));
+        if (p.alsoSerialLoops)
+            loop += " + Serial Loops";
+        std::printf("%-12s %-18s %-28s %s\n", w->name().c_str(),
+                    std::string(branchFormName(p.branchForm))
+                        .c_str(),
+                    loop.c_str(), w->sizeDesc().c_str());
+    }
+    std::printf("\n");
+}
+
+void
+BM_CdfgBuild(benchmark::State &state)
+{
+    const Workload *w = allWorkloads()[static_cast<std::size_t>(
+        state.range(0))];
+    for (auto _ : state) {
+        Cdfg g = w->buildCdfg();
+        benchmark::DoNotOptimize(g.totalOps());
+    }
+    state.SetLabel(w->name());
+}
+BENCHMARK(BM_CdfgBuild)->DenseRange(0, 12);
+
+void
+BM_ControlFlowAnalysis(benchmark::State &state)
+{
+    Cdfg g = allWorkloads()[static_cast<std::size_t>(
+                                state.range(0))]
+                 ->buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    for (auto _ : state) {
+        ControlFlowProfile p = analyzeControlFlow(g, li);
+        benchmark::DoNotOptimize(p.totalOps);
+    }
+}
+BENCHMARK(BM_ControlFlowAnalysis)->DenseRange(0, 12);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printTable1)

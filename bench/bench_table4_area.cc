@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 4: area and power breakdown of the 28 nm prototype.
+ * Prints the component table from the calibrated model and times
+ * the model across configurations.
+ */
+
+#include "bench_common.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+printTable4()
+{
+    bench::banner("Table 4: area and power breakdown (28 nm)",
+                  "0.151 mm^2 / 152.09 mW total; control network "
+                  "0.0022 mm^2 / 13.89 mW");
+    MachineConfig config;
+    std::printf("%s\n",
+                marionetteAreaBreakdown(config).toString().c_str());
+
+    std::printf("scaling check (8x8 array):\n");
+    MachineConfig big;
+    big.rows = 8;
+    big.cols = 8;
+    big.nonlinearPes = 16;
+    AreaBreakdown bd = marionetteAreaBreakdown(big);
+    std::printf("  total %.4f mm^2 / %.2f mW\n\n", bd.totalAreaMm2,
+                bd.totalPowerMw);
+}
+
+void
+BM_AreaBreakdown(benchmark::State &state)
+{
+    MachineConfig config;
+    config.rows = static_cast<int>(state.range(0));
+    config.cols = static_cast<int>(state.range(0));
+    config.nonlinearPes = config.numPes() / 4;
+    for (auto _ : state) {
+        AreaBreakdown bd = marionetteAreaBreakdown(config);
+        benchmark::DoNotOptimize(bd.totalAreaMm2);
+    }
+}
+BENCHMARK(BM_AreaBreakdown)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace
+} // namespace marionette
+
+MARIONETTE_BENCH_MAIN(marionette::printTable4)

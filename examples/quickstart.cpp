@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Quickstart: the paper's Fig. 1 flow in fifty lines.
+ *
+ * Builds a single-block DFG (out[i] = 3 * a[i] + b[i]), lets the
+ * compiler map it spatially — a loop-generator PE streaming the
+ * induction variable into a producer/consumer pipeline at II = 1 —
+ * runs it on the cycle-accurate Marionette machine, and verifies
+ * the scratchpad against a host-side golden loop.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/marionette.h"
+
+using namespace marionette;
+
+int
+main()
+{
+    constexpr int n = 256;
+    constexpr Word base_a = 0, base_b = 512, base_out = 1024;
+
+    // ---- 1. Describe the kernel as a DFG. ----
+    Dfg dfg;
+    int iv = dfg.addInput("i"); // input 0 = induction variable.
+    NodeId addr_a = dfg.addNode(Opcode::Add, Operand::input(iv),
+                                Operand::imm(base_a));
+    NodeId a = dfg.addNode(Opcode::Load, Operand::node(addr_a));
+    NodeId addr_b = dfg.addNode(Opcode::Add, Operand::input(iv),
+                                Operand::imm(base_b));
+    NodeId b = dfg.addNode(Opcode::Load, Operand::node(addr_b));
+    NodeId scaled = dfg.addNode(Opcode::Mul, Operand::node(a),
+                                Operand::imm(3));
+    NodeId sum = dfg.addNode(Opcode::Add, Operand::node(scaled),
+                             Operand::node(b));
+    NodeId addr_o = dfg.addNode(Opcode::Add, Operand::input(iv),
+                                Operand::imm(base_out));
+    dfg.addNode(Opcode::Store, Operand::node(addr_o),
+                Operand::node(sum));
+    dfg.addOutput("out", sum);
+
+    // ---- 2. Compile: loop generator + spatial pipeline. ----
+    MachineConfig config; // 4x4 array, paper defaults.
+    LoopSpec loop{0, n, 1, /*ii=*/1};
+    Program program = mapLoopedDfg("quickstart", config, dfg, loop);
+    std::printf("%s\n", program.disassemble().c_str());
+
+    // The binary configuration stream round-trips (Sec. 4.4).
+    auto words = encodeProgram(program);
+    std::printf("binary configuration: %zu words\n\n",
+                words.size());
+
+    // ---- 3. Load data, run, verify. ----
+    MarionetteMachine machine(config);
+    machine.load(decodeProgram(words));
+
+    Rng rng(42);
+    std::vector<Word> va(n), vb(n);
+    for (int i = 0; i < n; ++i) {
+        va[static_cast<std::size_t>(i)] =
+            static_cast<Word>(rng.nextRange(-100, 100));
+        vb[static_cast<std::size_t>(i)] =
+            static_cast<Word>(rng.nextRange(-100, 100));
+    }
+    machine.scratchpad().load(base_a, va);
+    machine.scratchpad().load(base_b, vb);
+
+    RunResult result = machine.run();
+    std::printf("ran %llu cycles (%s), %llu FU fires, "
+                "%.1f%% PE utilization\n",
+                static_cast<unsigned long long>(result.cycles),
+                result.finished ? "quiesced" : "cycle limit",
+                static_cast<unsigned long long>(result.totalFires),
+                100.0 * result.peUtilization);
+
+    int errors = 0;
+    for (int i = 0; i < n; ++i) {
+        Word want = 3 * va[static_cast<std::size_t>(i)] +
+                    vb[static_cast<std::size_t>(i)];
+        Word got = machine.scratchpad().read(base_out + i);
+        if (want != got) {
+            if (++errors <= 4)
+                std::printf("  MISMATCH out[%d]: want %d got %d\n",
+                            i, want, got);
+        }
+    }
+    std::printf("%s: %d/%d outputs correct\n",
+                errors == 0 ? "PASS" : "FAIL", n - errors, n);
+    return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,409 @@
+#include "arch/machine.h"
+
+#include "isa/encoding.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+MarionetteMachine::MarionetteMachine(const MachineConfig &config)
+    : config_(config),
+      mesh_(config.rows, config.cols, config.meshHopLatency),
+      ctrlNet_(config.numPes(), config.controlFifoCount + 2),
+      stats_("machine")
+{
+    config_.validate();
+    scratchpad_ = std::make_unique<Scratchpad>(
+        config_.scratchpadBytes, config_.scratchpadBanks,
+        /*ports_per_bank=*/2);
+    for (int i = 0; i < config_.numPes(); ++i) {
+        // The last nonlinearPes PEs carry the nonlinear FU
+        // (Table 4: 12 ordinary + 4 nonlinear on the prototype).
+        bool nonlinear =
+            i >= config_.numPes() - config_.nonlinearPes;
+        pes_.push_back(std::make_unique<Pe>(
+            static_cast<PeId>(i), config_, nonlinear));
+    }
+    for (int i = 0; i < config_.controlFifoCount; ++i)
+        fifos_.push_back(std::make_unique<ControlFifo>(
+            config_.controlFifoDepth,
+            "cfifo" + std::to_string(i)));
+    meshInflight_.assign(
+        static_cast<std::size_t>(config_.numPes()),
+        std::vector<int>(Pe::numChannels, 0));
+    fifoInflight_.assign(
+        static_cast<std::size_t>(config_.controlFifoCount), 0);
+}
+
+void
+MarionetteMachine::load(const Program &program)
+{
+    for (const PeProgram &p : program.pes) {
+        if (p.pe < 0 || p.pe >= config_.numPes())
+            MARIONETTE_FATAL("program '%s' targets PE %d outside "
+                             "the %dx%d array",
+                             program.name.c_str(), p.pe,
+                             config_.rows, config_.cols);
+    }
+    // The controller's instruction scratchpad (Table 4: 2 KiB)
+    // must hold the whole binary configuration.
+    std::size_t config_bytes =
+        encodeProgram(program).size() * sizeof(std::uint32_t);
+    if (config_bytes >
+        static_cast<std::size_t>(config_.instrMemBytes))
+        MARIONETTE_FATAL("kernel '%s' needs %zu configuration "
+                         "bytes, the instruction scratchpad holds "
+                         "%d", program.name.c_str(), config_bytes,
+                         config_.instrMemBytes);
+
+    program_ = program;
+    loaded_ = true;
+    now_ = 0;
+    pendingCtrl_.clear();
+    pendingPush_.clear();
+    for (auto &row : meshInflight_)
+        std::fill(row.begin(), row.end(), 0);
+    std::fill(fifoInflight_.begin(), fifoInflight_.end(), 0);
+    outputs_.assign(
+        static_cast<std::size_t>(std::max(1, program.numOutputs)),
+        {});
+    for (auto &pe : pes_)
+        pe->reset();
+    for (auto &fifo : fifos_)
+        fifo->clear();
+    for (const PeProgram &p : program.pes)
+        pes_[static_cast<std::size_t>(p.pe)]->loadProgram(p);
+
+    if (config_.features.controlNetwork) {
+        if (!configureControlNetwork(program))
+            MARIONETTE_FATAL("kernel '%s' exceeds control network "
+                             "capacity", program.name.c_str());
+    }
+}
+
+bool
+MarionetteMachine::configureControlNetwork(const Program &program)
+{
+    // Static configuration: one multicast route per PE that sends
+    // control, covering the union of its instructions' destinations
+    // (the compiler's "fixed connection", Sec. 4.1).
+    std::vector<ControlRoute> routes;
+    for (const PeProgram &p : program.pes) {
+        std::set<int> dests;
+        for (const Instruction &in : p.instrs)
+            for (PeId d : in.ctrlDests)
+                dests.insert(static_cast<int>(d));
+        if (dests.empty())
+            continue;
+        ControlRoute route;
+        route.srcPort = static_cast<int>(p.pe);
+        route.destPorts.assign(dests.begin(), dests.end());
+        routes.push_back(std::move(route));
+    }
+    if (routes.empty())
+        return true;
+
+    // Destination sets may overlap between sources (two branches
+    // configuring the same PE at different times).  The physical
+    // network dedicates an output port per listener, so overlapping
+    // sets are legal in hardware; our single-port-per-listener
+    // model falls back to per-source sequential configurations,
+    // which is equivalent because a PE's control input arbitrates
+    // per cycle anyway.  Feasibility is what we check here.
+    std::set<int> seen;
+    bool overlapping = false;
+    for (const ControlRoute &r : routes)
+        for (int d : r.destPorts)
+            if (!seen.insert(d).second)
+                overlapping = true;
+    if (overlapping) {
+        // Validate each source individually against the fabric.
+        for (const ControlRoute &r : routes) {
+            if (!ctrlNet_.configure({r}))
+                return false;
+        }
+        // Leave the last single-route configuration installed; the
+        // transfer path below only uses the network datapath when a
+        // joint configuration exists.
+        return true;
+    }
+    return ctrlNet_.configure(routes);
+}
+
+void
+MarionetteMachine::bootPes()
+{
+    // Controller boot: distribute entry configurations.  Each
+    // configured PE observes its entry address at cycle 0 (the
+    // controller drives the control network's controller port).
+    for (const PeProgram &p : program_.pes) {
+        if (p.entry != invalidInstr)
+            pes_[static_cast<std::size_t>(p.pe)]->acceptControl(
+                0, p.entry);
+    }
+}
+
+void
+MarionetteMachine::scheduleCtrl(Cycle now, const CtrlSend &send,
+                                PeId src)
+{
+    // Peer-to-peer control: 1 cycle through the dedicated network.
+    // Without the dedicated network the address rides the data mesh
+    // (Fig. 4d: 6 cycles corner to corner) — the ablation of
+    // Fig. 12.
+    for (PeId dst : send.dests) {
+        Cycles lat;
+        if (config_.features.controlNetwork) {
+            lat = ctrlNet_.latency();
+        } else {
+            lat = std::max<Cycles>(mesh_.latency(src, dst),
+                                   config_.controlNetLatency);
+        }
+        pendingCtrl_.push_back(
+            PendingCtrl{now + lat, dst, send.addr});
+        stats_.stat("ctrl_words").inc();
+    }
+}
+
+RunResult
+MarionetteMachine::run(Cycle max_cycles)
+{
+    MARIONETTE_ASSERT(loaded_, "run() before load()");
+    bootPes();
+
+    const Cycle grace = config_.dataNetLatency +
+                        config_.executeLatency +
+                        config_.configLatency + 8;
+    Cycle idle_streak = 0;
+    RunResult result;
+
+    for (now_ = 0; now_ < max_cycles; ++now_) {
+        bool progressed = false;
+        scratchpad_->beginCycle();
+
+        // Deliver data packets that arrive this cycle.
+        for (int p = 0; p < config_.numPes(); ++p) {
+            auto arrived = mesh_.deliver(now_, p);
+            for (const MeshPacket &pkt : arrived) {
+                pes_[static_cast<std::size_t>(p)]->acceptData(
+                    pkt.channel, pkt.value);
+                --meshInflight_[static_cast<std::size_t>(p)]
+                               [static_cast<std::size_t>(
+                                   pkt.channel)];
+                progressed = true;
+            }
+        }
+
+        // Deliver control words that arrive this cycle.
+        for (auto it = pendingCtrl_.begin();
+             it != pendingCtrl_.end();) {
+            if (it->arrival <= now_) {
+                pes_[static_cast<std::size_t>(it->dst)]
+                    ->acceptControl(now_, it->addr);
+                progressed = true;
+                it = pendingCtrl_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Apply FIFO pushes that arrive this cycle.
+        for (auto it = pendingPush_.begin();
+             it != pendingPush_.end();) {
+            if (it->arrival <= now_) {
+                ControlFifo &fifo =
+                    *fifos_[static_cast<std::size_t>(it->fifo)];
+                if (!fifo.push(it->value))
+                    MARIONETTE_FATAL("control FIFO %d overflow "
+                                     "(credit protocol bug)",
+                                     it->fifo);
+                --fifoInflight_[static_cast<std::size_t>(
+                    it->fifo)];
+                progressed = true;
+                it = pendingPush_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Tick every PE.
+        for (auto &pe : pes_) {
+            PeTickResult r = pe->tick(now_, *this);
+            progressed |= r.progressed;
+            for (const DataSend &s : r.dataSends) {
+                MARIONETTE_ASSERT(s.dstPe >= 0 &&
+                                      s.dstPe < config_.numPes(),
+                                  "data send to bad PE %d", s.dstPe);
+                mesh_.send(now_, pe->id(), s.dstPe, s.value,
+                           s.channel);
+                progressed = true;
+            }
+            for (const auto &[fifo_id, value] : r.outputs) {
+                MARIONETTE_ASSERT(
+                    fifo_id >= 0 &&
+                        fifo_id <
+                            static_cast<int>(outputs_.size()),
+                    "output to bad FIFO %d", fifo_id);
+                outputs_[static_cast<std::size_t>(fifo_id)]
+                    .push_back(value);
+                progressed = true;
+            }
+            for (const CtrlSend &s : r.ctrlSends) {
+                scheduleCtrl(now_, s, pe->id());
+                progressed = true;
+            }
+            for (const FifoPush &push : r.fifoPushes) {
+                MARIONETTE_ASSERT(
+                    push.fifo >= 0 &&
+                        push.fifo < config_.controlFifoCount,
+                    "push to bad FIFO %d", push.fifo);
+                pendingPush_.push_back(PendingPush{
+                    now_ + ctrlNet_.latency(), push.fifo,
+                    push.value});
+                progressed = true;
+            }
+        }
+
+        if (progressed) {
+            idle_streak = 0;
+        } else if (++idle_streak >= grace) {
+            result.finished = true;
+            break;
+        }
+    }
+
+    // Report the last productive cycle, excluding the idle grace
+    // window used for quiescence detection.
+    result.cycles =
+        result.finished ? now_ + 1 - idle_streak : max_cycles;
+    result.outputs = outputs_;
+    for (const auto &pe : pes_)
+        result.totalFires += pe->fires();
+    if (result.cycles > 0) {
+        result.peUtilization =
+            static_cast<double>(result.totalFires) /
+            (static_cast<double>(config_.numPes()) *
+             static_cast<double>(result.cycles));
+    }
+    stats_.stat("cycles").set(result.cycles);
+    stats_.stat("total_fires").set(result.totalFires);
+    return result;
+}
+
+std::string
+MarionetteMachine::renderAllStats() const
+{
+    std::vector<const StatGroup *> groups;
+    groups.push_back(&stats_);
+    for (const auto &pe : pes_)
+        groups.push_back(&pe->stats());
+    groups.push_back(&mesh_.stats());
+    groups.push_back(&ctrlNet_.stats());
+    groups.push_back(&scratchpad_->stats());
+    for (const auto &fifo : fifos_)
+        groups.push_back(&fifo->stats());
+    return renderStats(groups);
+}
+
+void
+MarionetteMachine::injectData(PeId pe, int channel, Word value)
+{
+    MARIONETTE_ASSERT(loaded_, "injectData before load()");
+    MARIONETTE_ASSERT(pe >= 0 && pe < config_.numPes(),
+                      "injectData to bad PE %d", pe);
+    pes_[static_cast<std::size_t>(pe)]->acceptData(channel, value);
+}
+
+ControlFifo &
+MarionetteMachine::controlFifo(int i)
+{
+    MARIONETTE_ASSERT(i >= 0 && i < config_.controlFifoCount,
+                      "bad FIFO index %d", i);
+    return *fifos_[static_cast<std::size_t>(i)];
+}
+
+const StatGroup &
+MarionetteMachine::peStats(PeId pe) const
+{
+    MARIONETTE_ASSERT(pe >= 0 && pe < config_.numPes(),
+                      "bad PE id %d", pe);
+    return pes_[static_cast<std::size_t>(pe)]->stats();
+}
+
+bool
+MarionetteMachine::dataCredit(PeId dst, int channel)
+{
+    if (dst < 0 || dst >= config_.numPes())
+        return false;
+    int space = pes_[static_cast<std::size_t>(dst)]->channelSpace(
+        channel);
+    int claimed = meshInflight_[static_cast<std::size_t>(dst)]
+                               [static_cast<std::size_t>(channel)];
+    return space - claimed > 0;
+}
+
+void
+MarionetteMachine::claimDataCredit(PeId dst, int channel)
+{
+    MARIONETTE_ASSERT(dst >= 0 && dst < config_.numPes(),
+                      "claim for bad PE %d", dst);
+    ++meshInflight_[static_cast<std::size_t>(dst)]
+                   [static_cast<std::size_t>(channel)];
+}
+
+bool
+MarionetteMachine::memPortAvailable(Word addr)
+{
+    return scratchpad_->tryAccess(addr);
+}
+
+Word
+MarionetteMachine::memRead(Word addr)
+{
+    return scratchpad_->read(addr);
+}
+
+void
+MarionetteMachine::memWrite(Word addr, Word value)
+{
+    scratchpad_->write(addr, value);
+}
+
+bool
+MarionetteMachine::fifoHasData(int fifo)
+{
+    MARIONETTE_ASSERT(fifo >= 0 && fifo < config_.controlFifoCount,
+                      "bad FIFO %d", fifo);
+    return !fifos_[static_cast<std::size_t>(fifo)]->empty();
+}
+
+Word
+MarionetteMachine::fifoPop(int fifo)
+{
+    return fifos_[static_cast<std::size_t>(fifo)]->pop();
+}
+
+bool
+MarionetteMachine::fifoHasSpace(int fifo)
+{
+    MARIONETTE_ASSERT(fifo >= 0 && fifo < config_.controlFifoCount,
+                      "bad FIFO %d", fifo);
+    const ControlFifo &f = *fifos_[static_cast<std::size_t>(fifo)];
+    return f.occupancy() +
+               fifoInflight_[static_cast<std::size_t>(fifo)] <
+           f.depth();
+}
+
+void
+MarionetteMachine::claimFifoSlot(int fifo)
+{
+    MARIONETTE_ASSERT(fifo >= 0 && fifo < config_.controlFifoCount,
+                      "bad FIFO %d", fifo);
+    ++fifoInflight_[static_cast<std::size_t>(fifo)];
+}
+
+} // namespace marionette

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The complete Marionette machine (paper Fig. 4d).
+ *
+ * Data flow plane: PE data-flow parts, the data mesh, and the banked
+ * data scratchpad.  Control flow plane: PE control-flow parts, the
+ * CS-Benes control network, the Control FIFOs and the Controller.
+ *
+ * The machine is the cycle-accurate functional simulator of Sec. 5:
+ * it loads the compiler's binary configuration, boots the PEs
+ * through the controller, advances cycle by cycle, and reports both
+ * functional results (output FIFOs, scratchpad contents) and
+ * performance statistics.
+ */
+
+#ifndef MARIONETTE_ARCH_MACHINE_H
+#define MARIONETTE_ARCH_MACHINE_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "mem/control_fifo.h"
+#include "mem/scratchpad.h"
+#include "net/control_network.h"
+#include "net/mesh.h"
+#include "pe/pe.h"
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace marionette
+{
+
+/** Outcome of one kernel execution. */
+struct RunResult
+{
+    /** Total cycles until quiescence (or the cycle limit). */
+    Cycle cycles = 0;
+    /** True when the machine quiesced before the limit. */
+    bool finished = false;
+    /** Per-output-FIFO collected words. */
+    std::vector<std::vector<Word>> outputs;
+    /** Total FU firings across the array. */
+    std::uint64_t totalFires = 0;
+    /** Average PE utilization: fires / (PEs * cycles). */
+    double peUtilization = 0.0;
+};
+
+/** The Marionette spatial-architecture instance. */
+class MarionetteMachine : public FabricIface
+{
+  public:
+    explicit MarionetteMachine(const MachineConfig &config);
+
+    const MachineConfig &config() const { return config_; }
+
+    /** Load a compiled kernel; resets all runtime state. */
+    void load(const Program &program);
+
+    /**
+     * Run until the fabric quiesces or @p max_cycles elapse.
+     * Quiescence = no PE progress, no words in flight on either
+     * network, and no pending FIFO work, sustained for a grace
+     * window longer than any in-fabric latency.
+     */
+    RunResult run(Cycle max_cycles = 2'000'000);
+
+    /** Data scratchpad (workload setup / verification). */
+    Scratchpad &scratchpad() { return *scratchpad_; }
+    const Scratchpad &scratchpad() const { return *scratchpad_; }
+
+    /**
+     * Deposit a boot-time constant into a PE input channel (e.g.
+     * the seed of an accumulation recurrence).  Call after load(),
+     * before run().
+     */
+    void injectData(PeId pe, int channel, Word value);
+
+    /** Control FIFO access (tests). */
+    ControlFifo &controlFifo(int i);
+
+    /** Per-PE statistics. */
+    const StatGroup &peStats(PeId pe) const;
+
+    /** Machine-level statistics. */
+    const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Render every statistic in the machine — per-PE groups, the
+     * networks, the scratchpad, the control FIFOs and the machine
+     * itself — as sorted "prefix.name value" lines (the simulator
+     * report a performance study greps).
+     */
+    std::string renderAllStats() const;
+
+    /** The control network instance (area/ablation queries). */
+    const ControlNetwork &controlNetwork() const { return ctrlNet_; }
+
+    // ---- FabricIface (called by PEs during tick) ----
+    bool dataCredit(PeId dst, int channel) override;
+    void claimDataCredit(PeId dst, int channel) override;
+    bool memPortAvailable(Word addr) override;
+    Word memRead(Word addr) override;
+    void memWrite(Word addr, Word value) override;
+    bool fifoHasData(int fifo) override;
+    Word fifoPop(int fifo) override;
+    bool fifoHasSpace(int fifo) override;
+    void claimFifoSlot(int fifo) override;
+
+  private:
+    struct PendingCtrl
+    {
+        Cycle arrival = 0;
+        PeId dst = invalidPe;
+        InstrAddr addr = invalidInstr;
+    };
+
+    struct PendingPush
+    {
+        Cycle arrival = 0;
+        int fifo = -1;
+        Word value = 0;
+    };
+
+    void bootPes();
+    bool configureControlNetwork(const Program &program);
+    void scheduleCtrl(Cycle now, const CtrlSend &send, PeId src);
+
+    MachineConfig config_;
+    std::vector<std::unique_ptr<Pe>> pes_;
+    DataMesh mesh_;
+    ControlNetwork ctrlNet_;
+    std::unique_ptr<Scratchpad> scratchpad_;
+    std::vector<std::unique_ptr<ControlFifo>> fifos_;
+
+    Program program_;
+    bool loaded_ = false;
+
+    Cycle now_ = 0;
+    std::vector<PendingCtrl> pendingCtrl_;
+    std::vector<PendingPush> pendingPush_;
+    /** Claimed-but-undelivered words per (pe, channel): reserved at
+     *  issue, released when the word lands in the channel. */
+    std::vector<std::vector<int>> meshInflight_;
+    /** Claimed-but-unapplied control FIFO slots. */
+    std::vector<int> fifoInflight_;
+    std::vector<std::vector<Word>> outputs_;
+
+    StatGroup stats_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_ARCH_MACHINE_H

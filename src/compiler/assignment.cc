@@ -1,0 +1,211 @@
+#include "compiler/assignment.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+const BlockAssignment &
+AssignmentPlan::of(BlockId b) const
+{
+    auto it = blocks.find(b);
+    MARIONETTE_ASSERT(it != blocks.end(),
+                      "no assignment for block %d", b);
+    return it->second;
+}
+
+std::string
+AssignmentPlan::toString(const Cdfg &cdfg) const
+{
+    std::ostringstream out;
+    out << "plan over " << numPes << " PEs (waste " << totalWaste
+        << "):\n";
+    for (const auto &[id, a] : blocks) {
+        out << "  '" << cdfg.block(id).name << "' pes=" << a.pes
+            << " II=" << a.ii
+            << (a.timeExtended ? " time-extended" : "")
+            << (a.sharesWithInner ? " shared" : "") << " waste="
+            << a.peWaste << '\n';
+    }
+    return out.str();
+}
+
+std::vector<ReshapeOption>
+reshapeOptions(int ops, int max_pes)
+{
+    std::vector<ReshapeOption> out;
+    if (ops <= 0 || max_pes <= 0)
+        return out;
+    // Fold the spatial mapping by every feasible II: with II = k the
+    // block needs ceil(ops / k) PEs; waste is the Fig. 8 metric with
+    // Unroll = 1 (PE x Unroll = ops).
+    for (int ii = 1; ii <= ops; ++ii) {
+        int pes = (ops + ii - 1) / ii;
+        if (pes > max_pes)
+            continue;
+        ReshapeOption opt;
+        opt.pes = pes;
+        opt.ii = ii;
+        opt.waste = pes * ii - ops;
+        // Skip dominated options (same pes, higher ii).
+        if (!out.empty() && out.back().pes == pes)
+            continue;
+        out.push_back(opt);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Loop nesting depth of a block (0 = outside all loops). */
+int
+depthOf(const Cdfg &cdfg, BlockId b)
+{
+    return cdfg.block(b).loopDepth;
+}
+
+/** Choose the minimum-waste reshape that fits @p budget PEs. */
+ReshapeOption
+bestReshape(int ops, int budget)
+{
+    auto options = reshapeOptions(ops, budget);
+    MARIONETTE_ASSERT(!options.empty(),
+                      "no feasible reshape for %d ops on %d PEs",
+                      ops, budget);
+    ReshapeOption best = options.front();
+    for (const ReshapeOption &o : options) {
+        if (o.waste < best.waste ||
+            (o.waste == best.waste && o.ii < best.ii))
+            best = o;
+    }
+    return best;
+}
+
+} // namespace
+
+AssignmentPlan
+agileSchedule(const Cdfg &cdfg, const LoopInfo &loops, int num_pes)
+{
+    MARIONETTE_ASSERT(num_pes > 0, "array has no PEs");
+    AssignmentPlan plan;
+    plan.numPes = num_pes;
+
+    // Process loop levels innermost to outermost (Fig. 8 "for
+    // loop_level = innermost to outermost"); blocks outside loops
+    // come last (level 0).
+    int max_depth = loops.maxDepth();
+    int budget = num_pes;
+    std::set<BlockId> assigned;
+
+    for (int level = max_depth; level >= 0; --level) {
+        // Blocks whose innermost loop sits at this level.
+        std::vector<BlockId> level_blocks;
+        for (const BasicBlock &bb : cdfg.blocks())
+            if (depthOf(cdfg, bb.id) == level)
+                level_blocks.push_back(bb.id);
+        if (level_blocks.empty())
+            continue;
+
+        for (BlockId b : level_blocks) {
+            int ops = std::max(1, cdfg.block(b).dfg.numNodes());
+            BlockAssignment a;
+            a.block = b;
+            if (level == max_depth && ops <= budget) {
+                // Innermost level: spatial mapping, dense pipeline
+                // (Mapping 1 of the Fig. 8 example: II = 1).
+                a.pes = ops;
+                a.ii = 1;
+                budget -= ops;
+            } else if (budget > 0) {
+                // Reshape (time-extend) onto the unassigned PEs.
+                // Innermost pipelines take the lowest II that
+                // fits; outer levels minimize PE waste (Fig. 8).
+                ReshapeOption opt;
+                if (level == max_depth) {
+                    auto opts = reshapeOptions(ops, budget);
+                    MARIONETTE_ASSERT(!opts.empty(),
+                                      "no reshape for %d ops",
+                                      ops);
+                    opt = opts.front();
+                } else {
+                    opt = bestReshape(ops, budget);
+                }
+                a.pes = opt.pes;
+                a.ii = opt.ii;
+                a.peWaste = opt.waste;
+                a.timeExtended = opt.ii > 1;
+                a.sharesWithInner = level < max_depth;
+                budget -= opt.pes;
+            } else {
+                // No PEs left: the block joins the innermost
+                // pipeline's PEs in the time domain — the Agile
+                // feature's dynamic sharing (Sec. 4.3).  Its II is
+                // the serialized schedule across shared PEs.
+                int share = std::max(1, num_pes / 2);
+                ReshapeOption opt = bestReshape(ops, share);
+                a.pes = opt.pes;
+                a.ii = opt.ii;
+                a.peWaste = 0; // shared PEs are not wasted.
+                a.timeExtended = true;
+                a.sharesWithInner = true;
+            }
+            plan.blocks[b] = a;
+            plan.totalWaste += a.peWaste;
+            assigned.insert(b);
+        }
+    }
+    return plan;
+}
+
+AssignmentPlan
+staticSchedule(const Cdfg &cdfg, const LoopInfo &loops, int num_pes)
+{
+    (void)loops;
+    MARIONETTE_ASSERT(num_pes > 0, "array has no PEs");
+    AssignmentPlan plan;
+    plan.numPes = num_pes;
+
+    int total_ops = std::max(1, cdfg.totalOps());
+
+    // One simultaneous partition: every block owns a share of the
+    // array proportional to its operator count for the whole kernel.
+    int remaining = num_pes;
+    std::vector<BlockId> order;
+    for (const BasicBlock &bb : cdfg.blocks())
+        order.push_back(bb.id);
+    // Large blocks first so rounding never starves them.
+    std::sort(order.begin(), order.end(),
+              [&](BlockId x, BlockId y) {
+                  return cdfg.block(x).dfg.numNodes() >
+                         cdfg.block(y).dfg.numNodes();
+              });
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        BlockId b = order[i];
+        int ops = std::max(1, cdfg.block(b).dfg.numNodes());
+        int blocks_left = static_cast<int>(order.size() - i);
+        int fair = std::max(
+            1, (num_pes * ops + total_ops - 1) / total_ops);
+        int pes = std::min(
+            {fair, ops, std::max(1, remaining - (blocks_left - 1))});
+        if (remaining <= 0)
+            pes = 1; // oversubscribed: time-multiplexed anyway.
+        BlockAssignment a;
+        a.block = b;
+        a.pes = pes;
+        a.ii = (ops + pes - 1) / pes;
+        a.timeExtended = a.ii > 1;
+        a.peWaste = pes * a.ii - ops;
+        plan.blocks[b] = a;
+        plan.totalWaste += a.peWaste;
+        remaining -= pes;
+    }
+    return plan;
+}
+
+} // namespace marionette

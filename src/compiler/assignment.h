@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PE assignment planning: the Marionette scheduling algorithm
+ * (Agile PE Assignment, paper Fig. 8) and the static baseline
+ * partition it is compared against.
+ *
+ * The planner decides, for every basic block, how many PEs its
+ * pipeline occupies and at which initiation interval (II) it runs.
+ * *Time-extending* (reshaping) a mapping folds a spatial mapping
+ * into the temporal domain: fewer PEs, higher II.  The Marionette
+ * algorithm maps loop levels innermost-first, then reshapes
+ * remaining blocks onto leftover PEs choosing the variant that
+ * minimizes PE waste:
+ *
+ *     PE_waste = PE_remapping x II - PE x Unroll        (Fig. 8)
+ *
+ * The static baseline gives every block a dedicated spatial
+ * partition for the whole kernel — outer-loop blocks pin PEs that
+ * idle while inner loops run, which is precisely the Imperfect Loop
+ * pathology of Sec. 3.
+ */
+
+#ifndef MARIONETTE_COMPILER_ASSIGNMENT_H
+#define MARIONETTE_COMPILER_ASSIGNMENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+#include "ir/loop_info.h"
+
+namespace marionette
+{
+
+/** Planned pipeline shape of one basic block. */
+struct BlockAssignment
+{
+    BlockId block = invalidBlock;
+    /** PEs the block's pipeline occupies. */
+    int pes = 0;
+    /** Initiation interval of the pipeline. */
+    int ii = 1;
+    /** True when the mapping was folded into the time domain. */
+    bool timeExtended = false;
+    /** True when the block shares PEs with an inner-loop pipeline
+     *  (Agile only): its work overlaps the resident inner pipeline
+     *  instead of pinning idle PEs. */
+    bool sharesWithInner = false;
+    /** PE waste of the chosen reshape (Fig. 8 metric). */
+    int peWaste = 0;
+};
+
+/** A full plan for one CDFG on one array. */
+struct AssignmentPlan
+{
+    std::map<BlockId, BlockAssignment> blocks;
+    int numPes = 0;
+    /** Sum of per-block waste. */
+    int totalWaste = 0;
+
+    const BlockAssignment &of(BlockId b) const;
+    std::string toString(const Cdfg &cdfg) const;
+};
+
+/**
+ * The Marionette scheduling algorithm (Fig. 8): innermost loop
+ * levels first at II = 1 when they fit, outer blocks time-extended
+ * onto leftover PEs with minimal PE waste, sharing with resident
+ * inner pipelines.
+ */
+AssignmentPlan agileSchedule(const Cdfg &cdfg, const LoopInfo &loops,
+                             int num_pes);
+
+/**
+ * Static baseline: one simultaneous spatial partition of the whole
+ * array proportional to block size; every block holds its PEs for
+ * the kernel's lifetime.
+ */
+AssignmentPlan staticSchedule(const Cdfg &cdfg,
+                              const LoopInfo &loops, int num_pes);
+
+/**
+ * Reshape helper: the (pes, ii) choices for folding @p ops
+ * operators onto at most @p max_pes PEs, each with its PE waste.
+ * Exposed for unit tests of the Fig. 8 cost function.
+ */
+struct ReshapeOption
+{
+    int pes = 0;
+    int ii = 0;
+    int waste = 0;
+};
+std::vector<ReshapeOption> reshapeOptions(int ops, int max_pes);
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_ASSIGNMENT_H

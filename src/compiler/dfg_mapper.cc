@@ -1,0 +1,165 @@
+#include "compiler/dfg_mapper.h"
+
+#include <vector>
+
+#include "compiler/program_builder.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+Program
+mapLoopedDfg(const std::string &name, const MachineConfig &config,
+             const Dfg &dfg, const LoopSpec &loop,
+             const std::map<std::string, Word> &input_bindings)
+{
+    dfg.validate();
+
+    // Fold constants; count real operators.
+    std::map<NodeId, Word> const_values;
+    std::vector<NodeId> real_nodes;
+    for (const DfgNode &n : dfg.nodes()) {
+        if (n.op == Opcode::Const)
+            const_values[n.id] = n.a.ref;
+        else
+            real_nodes.push_back(n.id);
+    }
+
+    if (static_cast<int>(real_nodes.size()) + 1 > config.numPes())
+        MARIONETTE_FATAL("kernel '%s' needs %zu PEs, the array has "
+                         "%d (use ProgramBuilder for time-extended "
+                         "mappings)", name.c_str(),
+                         real_nodes.size() + 1, config.numPes());
+
+    // PE 0 is the loop generator; ordinary operators go to PEs
+    // 1..n in node order (placement by the data-mesh mapper would
+    // reorder for locality; node order keeps the example
+    // deterministic).  Nonlinear-fitting operators must land on
+    // the capable PEs at the top of the array (Table 4's special
+    // PEs occupy the last nonlinearPes slots).
+    std::map<NodeId, PeId> pe_of;
+    {
+        PeId next_ordinary = 1;
+        PeId next_nonlinear =
+            static_cast<PeId>(config.numPes() -
+                              config.nonlinearPes);
+        PeId first_nonlinear = next_nonlinear;
+        for (NodeId n : real_nodes) {
+            if (isNonlinearOp(dfg.node(n).op)) {
+                if (config.nonlinearPes == 0 ||
+                    next_nonlinear >= config.numPes())
+                    MARIONETTE_FATAL(
+                        "kernel '%s' needs more nonlinear-fitting "
+                        "PEs than the %d configured",
+                        name.c_str(), config.nonlinearPes);
+                pe_of[n] = next_nonlinear++;
+            } else {
+                if (next_ordinary == first_nonlinear)
+                    MARIONETTE_FATAL(
+                        "kernel '%s': ordinary operators spill "
+                        "into the nonlinear PE region",
+                        name.c_str());
+                pe_of[n] = next_ordinary++;
+            }
+        }
+    }
+
+    // Resolve immediate bindings for non-induction inputs.
+    std::vector<Word> input_imm(dfg.inputs().size(), 0);
+    std::vector<bool> input_bound(dfg.inputs().size(), false);
+    for (std::size_t i = 1; i < dfg.inputs().size(); ++i) {
+        auto it = input_bindings.find(dfg.inputs()[i].name);
+        if (it == input_bindings.end())
+            MARIONETTE_FATAL("kernel '%s': input '%s' has no "
+                             "binding", name.c_str(),
+                             dfg.inputs()[i].name.c_str());
+        input_imm[i] = it->second;
+        input_bound[i] = true;
+    }
+
+    ProgramBuilder builder(name, config);
+    builder.setNumOutputs(
+        std::max<int>(1, static_cast<int>(dfg.outputs().size())));
+
+    // Loop generator.
+    Instruction &gen = builder.place(0, 0);
+    gen.mode = SenderMode::LoopOp;
+    gen.op = Opcode::Loop;
+    gen.loopStart = loop.start;
+    gen.loopBound = loop.bound;
+    gen.loopStep = loop.step;
+    gen.pipelineII = loop.ii;
+    builder.setEntry(0, 0);
+
+    // Operand wiring: channel index = operand slot.
+    auto wire = [&](PeId pe, int slot,
+                    const Operand &src) -> OperandSel {
+        switch (src.kind) {
+          case OperandKind::None:
+            return OperandSel::none();
+          case OperandKind::Immediate:
+            return OperandSel::immediate(src.ref);
+          case OperandKind::Input:
+            if (src.ref == 0) {
+                // Induction variable: generator streams it here.
+                gen.dests.push_back(DestSel::toPe(pe, slot));
+                return OperandSel::channel(slot);
+            }
+            MARIONETTE_ASSERT(
+                input_bound[static_cast<std::size_t>(src.ref)],
+                "unbound input %d", src.ref);
+            return OperandSel::immediate(
+                input_imm[static_cast<std::size_t>(src.ref)]);
+          case OperandKind::Node: {
+            auto cv = const_values.find(src.ref);
+            if (cv != const_values.end())
+                return OperandSel::immediate(cv->second);
+            // Producer node sends into this slot's channel.
+            return OperandSel::channel(slot);
+          }
+        }
+        return OperandSel::none();
+    };
+
+    for (NodeId nid : real_nodes) {
+        const DfgNode &n = dfg.node(nid);
+        PeId pe = pe_of[nid];
+        Instruction &in = builder.place(pe, 0);
+        in.mode = SenderMode::Dfg;
+        in.op = n.op;
+        in.a = wire(pe, 0, n.a);
+        in.b = wire(pe, 1, n.b);
+        in.c = wire(pe, 2, n.c);
+        builder.setEntry(pe, 0);
+    }
+
+    // Producer destinations: consumers' channels plus output FIFOs.
+    for (NodeId nid : real_nodes) {
+        const DfgNode &n = dfg.node(nid);
+        PeId pe = pe_of[nid];
+        auto addDest = [&](const Operand &src, NodeId consumer,
+                           int slot) {
+            if (src.kind == OperandKind::Node && src.ref == nid) {
+                builder.place(pe_of[consumer], 0); // ensure exists
+                builder.place(pe, 0).dests.push_back(
+                    DestSel::toPe(pe_of[consumer], slot));
+            }
+        };
+        (void)n;
+        for (NodeId cid : real_nodes) {
+            const DfgNode &c = dfg.node(cid);
+            addDest(c.a, cid, 0);
+            addDest(c.b, cid, 1);
+            addDest(c.c, cid, 2);
+        }
+        for (std::size_t o = 0; o < dfg.outputs().size(); ++o) {
+            if (dfg.outputs()[o].producer == nid)
+                builder.place(pe, 0).dests.push_back(
+                    DestSel::toOutput(static_cast<int>(o)));
+        }
+    }
+
+    return builder.finish();
+}
+
+} // namespace marionette

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Automatic spatial mapping of a looped single-block DFG.
+ *
+ * Covers the canonical producer/consumer pipeline of paper Fig. 1:
+ * a loop generator PE streams the induction variable into a
+ * spatially-mapped DFG, one operator per PE, II = 1.  Constants are
+ * folded into consumer immediates; DFG outputs drain into machine
+ * output FIFOs.  The general multi-block flow uses ProgramBuilder
+ * directly (see the branch-divergence and imperfect-loop examples).
+ */
+
+#ifndef MARIONETTE_COMPILER_DFG_MAPPER_H
+#define MARIONETTE_COMPILER_DFG_MAPPER_H
+
+#include <map>
+#include <string>
+
+#include "ir/dfg.h"
+#include "isa/instruction.h"
+#include "sim/config.h"
+
+namespace marionette
+{
+
+/** Parameters of the driving counted loop. */
+struct LoopSpec
+{
+    Word start = 0;
+    Word bound = 0;
+    Word step = 1;
+    int ii = 1;
+};
+
+/**
+ * Map @p dfg onto the array of @p config.
+ *
+ * @param name     kernel name.
+ * @param config   target machine.
+ * @param dfg      single-block DFG; input port 0 receives the
+ *                 induction variable, every other input port must be
+ *                 bound in @p input_bindings.
+ * @param loop     driving loop parameters.
+ * @param input_bindings immediate values for input ports by name.
+ * @return a validated Program (loop generator on PE 0, one operator
+ *         per subsequent PE, DFG outputs on output FIFOs in
+ *         declaration order).
+ */
+Program mapLoopedDfg(const std::string &name,
+                     const MachineConfig &config, const Dfg &dfg,
+                     const LoopSpec &loop,
+                     const std::map<std::string, Word>
+                         &input_bindings = {});
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_DFG_MAPPER_H

@@ -1,0 +1,209 @@
+#include "compiler/nest_mapper.h"
+
+#include <vector>
+
+#include "compiler/program_builder.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/**
+ * Shared sub-mapper: place one DFG's non-const nodes onto PEs
+ * starting at @p first_pe, wiring operands by slot channel and
+ * feeding input port 0 from @p driver (a loop generator).
+ *
+ * Returns the PE of each node.
+ */
+std::map<NodeId, PeId>
+placeDfg(ProgramBuilder &builder, const Dfg &dfg, PeId first_pe,
+         Instruction &driver,
+         const std::map<std::string, Word> &bindings,
+         const MachineConfig &config, const std::string &name)
+{
+    dfg.validate();
+
+    std::map<NodeId, Word> const_values;
+    std::vector<NodeId> real_nodes;
+    for (const DfgNode &n : dfg.nodes()) {
+        if (n.op == Opcode::Const)
+            const_values[n.id] = n.a.ref;
+        else
+            real_nodes.push_back(n.id);
+    }
+
+    std::map<NodeId, PeId> pe_of;
+    PeId next = first_pe;
+    for (NodeId n : real_nodes) {
+        if (next >= config.numPes())
+            MARIONETTE_FATAL("nest '%s' does not fit the %d-PE "
+                             "array", name.c_str(),
+                             config.numPes());
+        if (isNonlinearOp(dfg.node(n).op) &&
+            next < config.numPes() - config.nonlinearPes)
+            MARIONETTE_FATAL("nest '%s': nonlinear op cannot be "
+                             "auto-placed; use ProgramBuilder",
+                             name.c_str());
+        pe_of[n] = next++;
+    }
+
+    // Immediate bindings for named inputs beyond port 0.
+    std::vector<Word> input_imm(dfg.inputs().size(), 0);
+    for (std::size_t i = 1; i < dfg.inputs().size(); ++i) {
+        auto it = bindings.find(dfg.inputs()[i].name);
+        if (it == bindings.end())
+            MARIONETTE_FATAL("nest '%s': input '%s' unbound",
+                             name.c_str(),
+                             dfg.inputs()[i].name.c_str());
+        input_imm[i] = it->second;
+    }
+
+    auto wire = [&](PeId pe, int slot,
+                    const Operand &src) -> OperandSel {
+        switch (src.kind) {
+          case OperandKind::None:
+            return OperandSel::none();
+          case OperandKind::Immediate:
+            return OperandSel::immediate(src.ref);
+          case OperandKind::Input:
+            if (src.ref == 0) {
+                driver.dests.push_back(DestSel::toPe(pe, slot));
+                return OperandSel::channel(slot);
+            }
+            return OperandSel::immediate(
+                input_imm[static_cast<std::size_t>(src.ref)]);
+          case OperandKind::Node: {
+            auto cv = const_values.find(src.ref);
+            if (cv != const_values.end())
+                return OperandSel::immediate(cv->second);
+            return OperandSel::channel(slot);
+          }
+        }
+        return OperandSel::none();
+    };
+
+    for (NodeId nid : real_nodes) {
+        const DfgNode &n = dfg.node(nid);
+        PeId pe = pe_of[nid];
+        Instruction &in = builder.place(pe, 0);
+        in.mode = SenderMode::Dfg;
+        in.op = n.op;
+        in.a = wire(pe, 0, n.a);
+        in.b = wire(pe, 1, n.b);
+        in.c = wire(pe, 2, n.c);
+        builder.setEntry(pe, 0);
+    }
+
+    // Producer -> consumer destinations.
+    for (NodeId nid : real_nodes) {
+        PeId pe = pe_of[nid];
+        for (NodeId cid : real_nodes) {
+            const DfgNode &c = dfg.node(cid);
+            auto feed = [&](const Operand &src, int slot) {
+                if (src.kind == OperandKind::Node &&
+                    src.ref == nid)
+                    builder.place(pe, 0).dests.push_back(
+                        DestSel::toPe(pe_of[cid], slot));
+            };
+            feed(c.a, 0);
+            feed(c.b, 1);
+            feed(c.c, 2);
+        }
+    }
+    return pe_of;
+}
+
+} // namespace
+
+MappedNest
+mapImperfectNest(const std::string &name,
+                 const MachineConfig &config, const LoopSpec &outer,
+                 const Dfg &bounds_dfg, const Dfg &body_dfg,
+                 const std::map<std::string, Word> &body_bindings)
+{
+    int start_out = bounds_dfg.findOutput("start");
+    int bound_out = bounds_dfg.findOutput("bound");
+    if (start_out < 0 || bound_out < 0)
+        MARIONETTE_FATAL("nest '%s': bounds DFG must declare "
+                         "'start' and 'bound' outputs",
+                         name.c_str());
+
+    ProgramBuilder builder(name, config);
+    builder.setNumOutputs(1);
+
+    // PE 0: the outer loop generator.
+    Instruction &outer_gen = builder.place(0, 0);
+    outer_gen.mode = SenderMode::LoopOp;
+    outer_gen.op = Opcode::Loop;
+    outer_gen.loopStart = outer.start;
+    outer_gen.loopBound = outer.bound;
+    outer_gen.loopStep = outer.step;
+    outer_gen.pipelineII = outer.ii;
+    builder.setEntry(0, 0);
+
+    // Outer-body (bounds) DFG right after the generator.
+    auto bounds_pes = placeDfg(builder, bounds_dfg, 1, outer_gen,
+                               {}, config, name);
+
+    // Route the start/bound producers into Control FIFOs 0/1.
+    NodeId start_node =
+        bounds_dfg.outputs()[static_cast<std::size_t>(start_out)]
+            .producer;
+    NodeId bound_node =
+        bounds_dfg.outputs()[static_cast<std::size_t>(bound_out)]
+            .producer;
+    builder.place(bounds_pes.at(start_node), 0).pushFifo = 0;
+    builder.place(bounds_pes.at(bound_node), 0).pushFifo = 1;
+
+    // Inner loop generator fed by the FIFOs.
+    PeId inner_pe = static_cast<PeId>(
+        1 + bounds_pes.size());
+    Instruction &inner_gen = builder.place(inner_pe, 0);
+    inner_gen.mode = SenderMode::LoopOp;
+    inner_gen.op = Opcode::Loop;
+    inner_gen.startFifo = 0;
+    inner_gen.boundFifo = 1;
+    inner_gen.pipelineII = 1;
+    builder.setEntry(inner_pe, 0);
+
+    // Inner body DFG.
+    auto body_pes =
+        placeDfg(builder, body_dfg, inner_pe + 1, inner_gen,
+                 body_bindings, config, name);
+
+    MappedNest result;
+    result.innerLoopPe = inner_pe;
+
+    // Optional accumulator over the "partial" output.
+    int partial = body_dfg.findOutput("partial");
+    if (partial >= 0) {
+        NodeId producer =
+            body_dfg.outputs()[static_cast<std::size_t>(partial)]
+                .producer;
+        PeId acc_pe =
+            static_cast<PeId>(inner_pe + 1 +
+                              static_cast<PeId>(body_pes.size()));
+        if (acc_pe >= config.numPes())
+            MARIONETTE_FATAL("nest '%s' does not fit (no PE left "
+                             "for the accumulator)", name.c_str());
+        builder.place(body_pes.at(producer), 0)
+            .dests.push_back(DestSel::toPe(acc_pe, 0));
+        Instruction &acc = builder.place(acc_pe, 0);
+        acc.mode = SenderMode::Dfg;
+        acc.op = Opcode::Add;
+        acc.a = OperandSel::channel(0);
+        acc.b = OperandSel::channel(1);
+        acc.dests = {DestSel::toPe(acc_pe, 1),
+                     DestSel::toOutput(0)};
+        builder.setEntry(acc_pe, 0);
+        result.accumulatorPe = acc_pe;
+    }
+
+    result.program = builder.finish();
+    return result;
+}
+
+} // namespace marionette

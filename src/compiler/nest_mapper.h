@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Automatic mapping of imperfect two-level loop nests (paper
+ * Fig. 3b / Sec. 4.3) onto the Marionette machine.
+ *
+ * The canonical SPMV-shaped pattern:
+ *
+ *     for (i = outer.start; i < outer.bound; i += outer.step) {
+ *         (start, bound) = boundsDfg(i);     // outer-body work
+ *         for (j = start; j < bound; ++j)
+ *             bodyDfg(j);                    // inner pipeline
+ *     }
+ *
+ * The mapper realizes the Agile PE Assignment plumbing directly:
+ * the outer loop generator streams `i` into the bounds DFG, whose
+ * `start`/`bound` outputs are pushed into Control FIFOs 0/1; the
+ * inner loop generator pops a (start, bound) pair per round and
+ * keeps the inner pipeline resident — the outer block never forces
+ * a reconfiguration.
+ *
+ * If the body DFG declares an output named "partial", an
+ * accumulator PE (self-loop channel) sums the partials into output
+ * FIFO 0; the caller must seed it via
+ * MarionetteMachine::injectData(result.accumulatorPe, 1, 0).
+ */
+
+#ifndef MARIONETTE_COMPILER_NEST_MAPPER_H
+#define MARIONETTE_COMPILER_NEST_MAPPER_H
+
+#include <map>
+#include <string>
+
+#include "compiler/dfg_mapper.h"
+#include "ir/dfg.h"
+#include "isa/instruction.h"
+#include "sim/config.h"
+
+namespace marionette
+{
+
+/** Result of mapping an imperfect nest. */
+struct MappedNest
+{
+    Program program;
+    /** PE of the accumulator, or invalidPe when none. */
+    PeId accumulatorPe = invalidPe;
+    /** PE of the inner loop generator (stats queries). */
+    PeId innerLoopPe = invalidPe;
+};
+
+/**
+ * Map the nest onto @p config's array.
+ *
+ * @param name     kernel name.
+ * @param config   target machine.
+ * @param outer    outer counted-loop parameters.
+ * @param bounds_dfg input port 0 = i; must declare outputs named
+ *                 "start" and "bound".
+ * @param body_dfg input port 0 = j; other inputs bound via
+ *                 @p body_bindings; an output named "partial"
+ *                 requests the accumulator.
+ * @param body_bindings immediate values for named body inputs.
+ */
+MappedNest mapImperfectNest(
+    const std::string &name, const MachineConfig &config,
+    const LoopSpec &outer, const Dfg &bounds_dfg,
+    const Dfg &body_dfg,
+    const std::map<std::string, Word> &body_bindings = {});
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_NEST_MAPPER_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Predication transform (paper Sec. 3.2, "Branch Divergence:
+ * Predication").
+ *
+ * Von Neumann PEs cannot reconfigure each other, so the prevalent
+ * way to run a branch is to *pre-configure both targets in space*
+ * and select the surviving value with a Select at the join.  The
+ * transform merges a Branch block with its two target blocks into
+ * one straight-line block; the not-taken lane's operators still
+ * occupy PEs every iteration — the utilization loss Fig. 3(c)
+ * illustrates and Fig. 11 quantifies.
+ */
+
+#ifndef MARIONETTE_COMPILER_PREDICATION_H
+#define MARIONETTE_COMPILER_PREDICATION_H
+
+#include <map>
+#include <vector>
+
+#include "ir/cdfg.h"
+
+namespace marionette
+{
+
+/** Result of predicating one CDFG. */
+struct PredicationResult
+{
+    /** The rewritten graph (branches flattened into selects). */
+    Cdfg cdfg;
+    /** Per-merged-block operator counts including both lanes. */
+    std::map<BlockId, int> mergedOps;
+    /** Total operators added (selects) plus duplicated lanes. */
+    int extraOps = 0;
+    /** Map from original block id to the merged block id. */
+    std::map<BlockId, BlockId> remap;
+};
+
+/**
+ * Flatten every Branch block with two single-successor targets that
+ * rejoin, producing the predicated CDFG a von Neumann mapping would
+ * execute.  Loop structure is preserved.
+ */
+PredicationResult predicate(const Cdfg &cdfg);
+
+/**
+ * Lightweight variant used by the performance models: per-block
+ * *effective* operator counts under predication, where each block
+ * that is a branch target is charged to its branch's parent region
+ * so both lanes occupy PEs simultaneously.
+ */
+std::map<BlockId, int> predicatedOpCounts(const Cdfg &cdfg);
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_PREDICATION_H

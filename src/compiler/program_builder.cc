@@ -1,0 +1,182 @@
+#include "compiler/program_builder.h"
+
+#include <algorithm>
+
+#include "pe/pe.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+ProgramBuilder::ProgramBuilder(std::string name,
+                               const MachineConfig &config)
+    : name_(std::move(name)), config_(config)
+{
+}
+
+Instruction &
+ProgramBuilder::place(PeId pe, InstrAddr addr)
+{
+    MARIONETTE_ASSERT(!finished_, "builder reused after finish()");
+    if (pe < 0 || pe >= config_.numPes())
+        MARIONETTE_FATAL("instruction placed on PE %d outside the "
+                         "%dx%d array", pe, config_.rows,
+                         config_.cols);
+    if (addr < 0 || addr >= config_.instrBufferEntries)
+        MARIONETTE_FATAL("instruction address %d exceeds the %d-"
+                         "entry buffer", addr,
+                         config_.instrBufferEntries);
+    return instrs_[pe][addr];
+}
+
+void
+ProgramBuilder::setEntry(PeId pe, InstrAddr addr)
+{
+    entries_[pe] = addr;
+}
+
+void
+ProgramBuilder::validate() const
+{
+    int num_pes = config_.numPes();
+    auto has_instr = [this](PeId pe, InstrAddr addr) {
+        auto it = instrs_.find(pe);
+        if (it == instrs_.end())
+            return false;
+        return it->second.count(addr) > 0;
+    };
+
+    for (const auto &[pe, buffer] : instrs_) {
+        for (const auto &[addr, in] : buffer) {
+            auto checkOperand = [&](const OperandSel &sel) {
+                switch (sel.kind) {
+                  case OperandSel::Kind::Channel:
+                    if (sel.index < 0 ||
+                        sel.index >= Pe::numChannels)
+                        MARIONETTE_FATAL(
+                            "pe%d@%d reads bad channel %d", pe,
+                            addr, sel.index);
+                    break;
+                  case OperandSel::Kind::Reg:
+                    if (sel.index < 0 ||
+                        sel.index >= config_.localRegs)
+                        MARIONETTE_FATAL(
+                            "pe%d@%d reads bad register %d", pe,
+                            addr, sel.index);
+                    break;
+                  default:
+                    break;
+                }
+            };
+            checkOperand(in.a);
+            checkOperand(in.b);
+            checkOperand(in.c);
+
+            for (const DestSel &d : in.dests) {
+                if (d.kind == DestSel::Kind::PeChannel) {
+                    if (d.pe < 0 || d.pe >= num_pes)
+                        MARIONETTE_FATAL(
+                            "pe%d@%d sends to bad PE %d", pe, addr,
+                            d.pe);
+                    if (d.channel < 0 ||
+                        d.channel >= Pe::numChannels)
+                        MARIONETTE_FATAL(
+                            "pe%d@%d sends to bad channel %d", pe,
+                            addr, d.channel);
+                }
+                if (d.kind == DestSel::Kind::LocalReg &&
+                    (d.channel < 0 ||
+                     d.channel >= config_.localRegs))
+                    MARIONETTE_FATAL(
+                        "pe%d@%d writes bad register %d", pe, addr,
+                        d.channel);
+            }
+
+            for (PeId cd : in.ctrlDests) {
+                if (cd < 0 || cd >= num_pes)
+                    MARIONETTE_FATAL(
+                        "pe%d@%d configures bad PE %d", pe, addr,
+                        cd);
+            }
+
+            // Every emitted address must exist at the target PE.
+            auto checkTarget = [&](InstrAddr target) {
+                if (target == invalidInstr)
+                    return;
+                for (PeId cd : in.ctrlDests) {
+                    if (!has_instr(cd, target))
+                        MARIONETTE_FATAL(
+                            "pe%d@%d emits address %d that pe%d "
+                            "does not implement", pe, addr, target,
+                            cd);
+                }
+            };
+            switch (in.mode) {
+              case SenderMode::Dfg:
+                checkTarget(in.emitAddr);
+                break;
+              case SenderMode::BranchOp:
+                checkTarget(in.takenAddr);
+                checkTarget(in.notTakenAddr);
+                break;
+              case SenderMode::LoopOp:
+                checkTarget(in.loopExitAddr);
+                if (in.pipelineII < 1)
+                    MARIONETTE_FATAL("pe%d@%d loop II must be >= 1",
+                                     pe, addr);
+                break;
+              case SenderMode::Idle:
+                break;
+            }
+
+            auto checkFifo = [&](int fifo) {
+                if (fifo >= config_.controlFifoCount)
+                    MARIONETTE_FATAL(
+                        "pe%d@%d uses FIFO %d of %d", pe, addr,
+                        fifo, config_.controlFifoCount);
+            };
+            checkFifo(in.startFifo);
+            checkFifo(in.boundFifo);
+            checkFifo(in.pushFifo);
+        }
+    }
+
+    for (const auto &[pe, addr] : entries_) {
+        if (!has_instr(pe, addr))
+            MARIONETTE_FATAL("entry pe%d@%d has no instruction", pe,
+                             addr);
+    }
+}
+
+Program
+ProgramBuilder::finish()
+{
+    MARIONETTE_ASSERT(!finished_, "builder reused after finish()");
+    finished_ = true;
+    validate();
+
+    Program program;
+    program.name = name_;
+    program.numOutputs = numOutputs_;
+    int max_addr = 0;
+    for (const auto &[pe, buffer] : instrs_)
+        for (const auto &[addr, in] : buffer)
+            max_addr = std::max(max_addr, static_cast<int>(addr));
+    program.numAddrs = max_addr + 1;
+
+    for (const auto &[pe, buffer] : instrs_) {
+        PeProgram p;
+        p.pe = pe;
+        p.instrs.assign(
+            static_cast<std::size_t>(program.numAddrs),
+            Instruction{});
+        for (const auto &[addr, in] : buffer)
+            p.instrs[static_cast<std::size_t>(addr)] = in;
+        auto e = entries_.find(pe);
+        p.entry = e == entries_.end() ? invalidInstr : e->second;
+        program.pes.push_back(std::move(p));
+    }
+    return program;
+}
+
+} // namespace marionette

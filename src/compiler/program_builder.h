@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Assembly-level construction and validation of Marionette programs.
+ *
+ * The builder is the backend the config generator (and the example
+ * kernels) use to emit per-PE instruction buffers, mirroring the
+ * paper's configuration-generation step (Sec. 4.4).  It owns the
+ * consistency checks a bitstream generator must make: operand
+ * channels in range, destinations on the array, control targets
+ * pointing at loaded instruction addresses, nonlinear ops only on
+ * capable PEs, and single-driver rules per channel per address.
+ */
+
+#ifndef MARIONETTE_COMPILER_PROGRAM_BUILDER_H
+#define MARIONETTE_COMPILER_PROGRAM_BUILDER_H
+
+#include <map>
+
+#include "isa/instruction.h"
+#include "sim/config.h"
+
+namespace marionette
+{
+
+/** Builds and validates a Program against a machine configuration. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(std::string name, const MachineConfig &config);
+
+    /**
+     * Place an instruction at (pe, addr).  Returns a reference the
+     * caller may keep mutating until finish().
+     */
+    Instruction &place(PeId pe, InstrAddr addr);
+
+    /** Mark the entry instruction the controller boots @p pe with. */
+    void setEntry(PeId pe, InstrAddr addr);
+
+    /** Declare how many output FIFOs the kernel writes. */
+    void setNumOutputs(int n) { numOutputs_ = n; }
+
+    /** Validate everything and produce the program. */
+    Program finish();
+
+  private:
+    void validate() const;
+
+    std::string name_;
+    const MachineConfig &config_;
+    std::map<PeId, std::map<InstrAddr, Instruction>> instrs_;
+    std::map<PeId, InstrAddr> entries_;
+    int numOutputs_ = 1;
+    bool finished_ = false;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_PROGRAM_BUILDER_H

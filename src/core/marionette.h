@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Umbrella public header of the Marionette library.
+ *
+ * Pull in this single header to use the full stack:
+ *
+ *  - IR: build CDFGs (ir/builder.h), analyze control flow
+ *    (ir/analysis.h, ir/loop_info.h), record traces (ir/trace.h).
+ *  - Compiler: schedule (compiler/assignment.h), predicate
+ *    (compiler/predication.h), emit configurations
+ *    (compiler/program_builder.h, compiler/dfg_mapper.h).
+ *  - ISA: instruction formats (isa/instruction.h) and binary
+ *    configuration streams (isa/encoding.h).
+ *  - Machine: the cycle-accurate functional simulator
+ *    (arch/machine.h) over PEs (pe/pe.h), networks (net/...) and
+ *    memory (mem/...).
+ *  - Models: trace-driven architecture comparison
+ *    (model/arch_model.h, model/eval.h) and the area/delay models
+ *    (net/area_model.h, net/delay_model.h).
+ *  - Workloads: the 13 paper benchmarks (workloads/kernels.h).
+ *
+ * See examples/quickstart.cpp for the fastest path to a running
+ * kernel.
+ */
+
+#ifndef MARIONETTE_CORE_MARIONETTE_H
+#define MARIONETTE_CORE_MARIONETTE_H
+
+#include "arch/machine.h"
+#include "compiler/assignment.h"
+#include "compiler/dfg_mapper.h"
+#include "compiler/nest_mapper.h"
+#include "compiler/predication.h"
+#include "compiler/program_builder.h"
+#include "ir/analysis.h"
+#include "ir/builder.h"
+#include "ir/cdfg.h"
+#include "ir/loop_info.h"
+#include "ir/trace.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "mem/control_fifo.h"
+#include "mem/scratchpad.h"
+#include "model/arch_model.h"
+#include "model/capability.h"
+#include "model/taxonomy.h"
+#include "model/eval.h"
+#include "net/area_model.h"
+#include "net/benes.h"
+#include "net/control_network.h"
+#include "net/cs_network.h"
+#include "net/delay_model.h"
+#include "net/mesh.h"
+#include "pe/pe.h"
+#include "sim/config.h"
+#include "sim/logging.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+#endif // MARIONETTE_CORE_MARIONETTE_H

@@ -1,0 +1,138 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace marionette
+{
+
+ControlFlowProfile
+analyzeControlFlow(const Cdfg &cdfg, const LoopInfo &loops)
+{
+    ControlFlowProfile p;
+    p.kernel = cdfg.name();
+    p.numBlocks = cdfg.numBlocks();
+    p.numLoops = loops.numLoops();
+    p.maxLoopDepth = loops.maxDepth();
+    p.totalOps = cdfg.totalOps();
+    p.opsUnderBranch = cdfg.opsUnderBranchFraction();
+
+    for (const BasicBlock &bb : cdfg.blocks()) {
+        p.maxCriticalPath =
+            std::max(p.maxCriticalPath, bb.dfg.criticalPathLength());
+        if (bb.kind == BlockKind::Branch)
+            ++p.numBranches;
+    }
+
+    // ---- Branch form ----
+    // Nested: a branch block reachable through a conditional edge
+    // from another branch's region (approximated: a Branch block that
+    // is itself a branch target).
+    bool nested = false;
+    bool innermost = false;
+    bool subinner = false;
+    int serial_chain = 0;
+    for (const BasicBlock &bb : cdfg.blocks()) {
+        if (bb.kind != BlockKind::Branch)
+            continue;
+        for (const CfgEdge &e : cdfg.predecessors(bb.id)) {
+            if (e.kind == EdgeKind::Taken ||
+                e.kind == EdgeKind::NotTaken)
+                nested = true;
+        }
+        if (bb.loopDepth > 0 && bb.loopDepth == p.maxLoopDepth)
+            innermost = true;
+        else if (bb.loopDepth > 0)
+            subinner = true;
+        // Serial: branch whose successor region leads directly into
+        // another branch through Fall edges.
+        for (const CfgEdge &e : cdfg.successors(bb.id)) {
+            BlockId next = e.dst;
+            for (const CfgEdge &f : cdfg.successors(next)) {
+                if (f.kind == EdgeKind::Fall &&
+                    cdfg.block(f.dst).kind == BlockKind::Branch)
+                    ++serial_chain;
+            }
+        }
+    }
+    if (p.numBranches == 0)
+        p.branchForm = BranchForm::None;
+    else if (nested)
+        p.branchForm = BranchForm::Nested;
+    else if (innermost)
+        p.branchForm = BranchForm::Innermost;
+    else if (subinner)
+        p.branchForm = BranchForm::SubInner;
+    else
+        p.branchForm = serial_chain > 0 ? BranchForm::Serial
+                                        : BranchForm::Innermost;
+
+    // ---- Loop form ----
+    bool imperfect = loops.hasImperfectLoop(cdfg);
+    int serial_groups = loops.serialLoopGroups();
+    if (p.numLoops == 0) {
+        p.loopForm = LoopForm::None;
+    } else if (p.maxLoopDepth <= 1) {
+        p.loopForm = serial_groups > 0 ? LoopForm::SerialLoops
+                                       : LoopForm::Single;
+    } else if (imperfect) {
+        p.loopForm = LoopForm::ImperfectNested;
+        p.alsoSerialLoops = serial_groups > 0;
+    } else {
+        p.loopForm = LoopForm::PerfectNested;
+        p.alsoSerialLoops = serial_groups > 0;
+    }
+
+    // Intensive control flow = branches present beyond plain loop
+    // iteration, or imperfect/serial loop structure (Sec. 3.1 / 6.2:
+    // the 10 intensive benchmarks vs. CO/SI/GP).
+    p.intensiveControlFlow =
+        p.numBranches > 0 || imperfect || serial_groups > 0 ||
+        p.maxLoopDepth > 1;
+
+    return p;
+}
+
+std::string_view
+branchFormName(BranchForm f)
+{
+    switch (f) {
+      case BranchForm::None: return "N/A";
+      case BranchForm::Innermost: return "Innermost";
+      case BranchForm::SubInner: return "Sub-inner";
+      case BranchForm::Nested: return "Nested branches";
+      case BranchForm::Serial: return "Serial branches";
+    }
+    return "?";
+}
+
+std::string_view
+loopFormName(LoopForm f)
+{
+    switch (f) {
+      case LoopForm::None: return "N/A";
+      case LoopForm::Single: return "Single";
+      case LoopForm::PerfectNested: return "Nested";
+      case LoopForm::ImperfectNested: return "Imperfect nested";
+      case LoopForm::SerialLoops: return "Serial Loops";
+    }
+    return "?";
+}
+
+std::string
+toString(const ControlFlowProfile &p)
+{
+    std::ostringstream out;
+    out << p.kernel << ": branch=" << branchFormName(p.branchForm)
+        << ", loop=" << loopFormName(p.loopForm);
+    if (p.alsoSerialLoops)
+        out << "+Serial Loops";
+    out << ", blocks=" << p.numBlocks << ", ops=" << p.totalOps
+        << ", depth=" << p.maxLoopDepth << ", underBranch="
+        << static_cast<int>(p.opsUnderBranch * 100 + 0.5) << "%"
+        << (p.intensiveControlFlow ? " [intensive]" : "");
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static control-flow characterization of a CDFG.
+ *
+ * Reproduces the qualitative classification of the paper's Table 1
+ * ("Control flow forms across modern applications"): where branches
+ * sit relative to the loop nest (innermost / sub-inner / nested /
+ * serial) and which loop forms appear (imperfect nested, serial
+ * loops), plus quantitative inputs the performance models consume
+ * (operators under branch, ops per block, critical paths).
+ */
+
+#ifndef MARIONETTE_IR_ANALYSIS_H
+#define MARIONETTE_IR_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+#include "ir/loop_info.h"
+
+namespace marionette
+{
+
+/** Branch placement relative to the loop nest (Table 1 vocabulary). */
+enum class BranchForm : std::uint8_t
+{
+    None,          ///< No conditional branches.
+    Innermost,     ///< Branches inside the innermost loop.
+    SubInner,      ///< Branches in a non-innermost loop level.
+    Nested,        ///< Branches nested under other branches.
+    Serial         ///< Straight-line chains of branches.
+};
+
+/** Loop structure classification (Table 1 vocabulary). */
+enum class LoopForm : std::uint8_t
+{
+    None,             ///< No loops.
+    Single,           ///< One non-nested loop.
+    PerfectNested,    ///< Nested loops, all work innermost.
+    ImperfectNested,  ///< Nested with outer-body computation.
+    SerialLoops       ///< Multiple sibling loops in sequence.
+};
+
+/** Full static characterization of one CDFG. */
+struct ControlFlowProfile
+{
+    std::string kernel;
+    BranchForm branchForm = BranchForm::None;
+    LoopForm loopForm = LoopForm::None;
+    /** True when both SerialLoops and nesting coexist. */
+    bool alsoSerialLoops = false;
+    int numBlocks = 0;
+    int numBranches = 0;
+    int numLoops = 0;
+    int maxLoopDepth = 0;
+    int totalOps = 0;
+    /** Fraction of operators in branch-target blocks (Fig. 11). */
+    double opsUnderBranch = 0.0;
+    /** Longest single-block critical path (pipeline fill depth). */
+    int maxCriticalPath = 0;
+    /** Whether the kernel counts as "intensive control flow". */
+    bool intensiveControlFlow = false;
+};
+
+/** Compute the profile; @p cdfg must have loop depths annotated. */
+ControlFlowProfile analyzeControlFlow(const Cdfg &cdfg,
+                                      const LoopInfo &loops);
+
+/** Table-1-style one-line rendering. */
+std::string toString(const ControlFlowProfile &profile);
+
+/** Vocabulary helpers. */
+std::string_view branchFormName(BranchForm f);
+std::string_view loopFormName(LoopForm f);
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_ANALYSIS_H

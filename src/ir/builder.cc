@@ -1,0 +1,118 @@
+#include "ir/builder.h"
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+BlockId
+CdfgBuilder::addBlock(const std::string &name)
+{
+    return cdfg_.addBlock(name, BlockKind::Plain);
+}
+
+BlockId
+CdfgBuilder::addBranchBlock(const std::string &name)
+{
+    return cdfg_.addBlock(name, BlockKind::Branch);
+}
+
+BlockId
+CdfgBuilder::addLoopHeader(const std::string &name)
+{
+    return cdfg_.addBlock(name, BlockKind::LoopHeader);
+}
+
+void
+CdfgBuilder::fall(BlockId src, BlockId dst)
+{
+    cdfg_.addEdge(src, dst, EdgeKind::Fall);
+}
+
+void
+CdfgBuilder::branch(BlockId src, BlockId taken, BlockId not_taken)
+{
+    cdfg_.addEdge(src, taken, EdgeKind::Taken);
+    cdfg_.addEdge(src, not_taken, EdgeKind::NotTaken);
+}
+
+void
+CdfgBuilder::loopBack(BlockId src, BlockId header)
+{
+    cdfg_.addEdge(src, header, EdgeKind::LoopBack);
+}
+
+void
+CdfgBuilder::loopExit(BlockId header, BlockId dst)
+{
+    cdfg_.addEdge(header, dst, EdgeKind::LoopExit);
+}
+
+Cdfg
+CdfgBuilder::finish()
+{
+    MARIONETTE_ASSERT(!finished_, "CdfgBuilder reused after finish()");
+    finished_ = true;
+    cdfg_.validate();
+    LoopInfo::analyze(cdfg_);
+    return std::move(cdfg_);
+}
+
+namespace dfg_patterns
+{
+
+void
+reduceTree(Dfg &dfg, int n_inputs, Opcode op)
+{
+    MARIONETTE_ASSERT(n_inputs >= 1, "reduceTree needs inputs");
+    std::vector<Operand> level;
+    for (int i = 0; i < n_inputs; ++i) {
+        dfg.addInput("v" + std::to_string(i));
+        level.push_back(Operand::input(i));
+    }
+    NodeId last = invalidNode;
+    while (level.size() > 1) {
+        std::vector<Operand> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            last = dfg.addNode(op, level[i], level[i + 1]);
+            next.push_back(Operand::node(last));
+        }
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    if (last == invalidNode)
+        last = dfg.addNode(Opcode::Copy, level[0]);
+    dfg.addOutput("sum", last);
+}
+
+LoopVars
+addCountedLoop(Dfg &dfg, Word init, Word step,
+               const std::string &bound_input)
+{
+    int bound_port = dfg.findInput(bound_input);
+    if (bound_port < 0)
+        bound_port = dfg.addInput(bound_input);
+    int iv_port = dfg.findInput("iv_in");
+    if (iv_port < 0)
+        iv_port = dfg.addInput("iv_in");
+    (void)init;
+
+    LoopVars vars;
+    // Next induction value: iv + step.
+    vars.induction = dfg.addNode(Opcode::Add, Operand::input(iv_port),
+                                 Operand::imm(step), Operand::none(),
+                                 "iv.next");
+    // Loop operator compares the running value against the bound.
+    vars.condition = dfg.addNode(Opcode::Loop,
+                                 Operand::node(vars.induction),
+                                 Operand::input(bound_port),
+                                 Operand::none(), "loop.cond");
+    dfg.addOutput("iv", vars.induction);
+    dfg.addOutput("continue", vars.condition);
+    return vars;
+}
+
+} // namespace dfg_patterns
+
+} // namespace marionette

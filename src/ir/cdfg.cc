@@ -1,0 +1,168 @@
+#include "ir/cdfg.h"
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+BlockId
+Cdfg::addBlock(std::string name, BlockKind kind)
+{
+    BlockId id = static_cast<BlockId>(blocks_.size());
+    BasicBlock bb;
+    bb.id = id;
+    bb.name = std::move(name);
+    bb.kind = kind;
+    blocks_.push_back(std::move(bb));
+    return id;
+}
+
+void
+Cdfg::addEdge(BlockId src, BlockId dst, EdgeKind kind)
+{
+    MARIONETTE_ASSERT(src >= 0 && src < numBlocks(),
+                      "edge source %d out of range", src);
+    MARIONETTE_ASSERT(dst >= 0 && dst < numBlocks(),
+                      "edge destination %d out of range", dst);
+    edges_.push_back(CfgEdge{src, dst, kind});
+}
+
+BasicBlock &
+Cdfg::block(BlockId id)
+{
+    MARIONETTE_ASSERT(id >= 0 && id < numBlocks(),
+                      "block id %d out of range", id);
+    return blocks_[static_cast<std::size_t>(id)];
+}
+
+const BasicBlock &
+Cdfg::block(BlockId id) const
+{
+    MARIONETTE_ASSERT(id >= 0 && id < numBlocks(),
+                      "block id %d out of range", id);
+    return blocks_[static_cast<std::size_t>(id)];
+}
+
+std::vector<CfgEdge>
+Cdfg::successors(BlockId id) const
+{
+    std::vector<CfgEdge> out;
+    for (const CfgEdge &e : edges_)
+        if (e.src == id)
+            out.push_back(e);
+    return out;
+}
+
+std::vector<CfgEdge>
+Cdfg::predecessors(BlockId id) const
+{
+    std::vector<CfgEdge> out;
+    for (const CfgEdge &e : edges_)
+        if (e.dst == id)
+            out.push_back(e);
+    return out;
+}
+
+int
+Cdfg::totalOps() const
+{
+    int total = 0;
+    for (const BasicBlock &bb : blocks_)
+        total += bb.dfg.numNodes();
+    return total;
+}
+
+double
+Cdfg::opsUnderBranchFraction() const
+{
+    int total = totalOps();
+    if (total == 0)
+        return 0.0;
+    int under = 0;
+    for (const BasicBlock &bb : blocks_) {
+        bool branch_target = false;
+        for (const CfgEdge &e : predecessors(bb.id)) {
+            if (e.kind == EdgeKind::Taken ||
+                e.kind == EdgeKind::NotTaken) {
+                branch_target = true;
+                break;
+            }
+        }
+        if (branch_target)
+            under += bb.dfg.numNodes();
+    }
+    return static_cast<double>(under) / static_cast<double>(total);
+}
+
+void
+Cdfg::validate() const
+{
+    MARIONETTE_ASSERT(!blocks_.empty(),
+                      "CDFG '%s' has no blocks", name_.c_str());
+    for (const BasicBlock &bb : blocks_)
+        bb.dfg.validate();
+    for (const BasicBlock &bb : blocks_) {
+        auto succs = successors(bb.id);
+        int taken = 0, ntaken = 0;
+        for (const CfgEdge &e : succs) {
+            taken += e.kind == EdgeKind::Taken;
+            ntaken += e.kind == EdgeKind::NotTaken;
+        }
+        if (bb.kind == BlockKind::Branch) {
+            MARIONETTE_ASSERT(taken == 1 && ntaken == 1,
+                              "branch block '%s' needs exactly one "
+                              "taken and one not-taken edge",
+                              bb.name.c_str());
+        } else {
+            MARIONETTE_ASSERT(taken == 0 && ntaken == 0,
+                              "non-branch block '%s' has conditional "
+                              "edges", bb.name.c_str());
+        }
+        if (bb.kind == BlockKind::LoopHeader) {
+            bool has_exit = false;
+            for (const CfgEdge &e : succs)
+                has_exit |= e.kind == EdgeKind::LoopExit;
+            bool has_back = false;
+            for (const CfgEdge &e : predecessors(bb.id))
+                has_back |= e.kind == EdgeKind::LoopBack;
+            MARIONETTE_ASSERT(has_exit,
+                              "loop header '%s' lacks a LoopExit edge",
+                              bb.name.c_str());
+            MARIONETTE_ASSERT(has_back,
+                              "loop header '%s' lacks a LoopBack edge",
+                              bb.name.c_str());
+        }
+    }
+}
+
+std::string
+Cdfg::toString() const
+{
+    std::ostringstream out;
+    out << "cdfg " << name_ << " (" << numBlocks() << " blocks, "
+        << totalOps() << " ops)\n";
+    auto kindStr = [](EdgeKind k) {
+        switch (k) {
+          case EdgeKind::Fall: return "fall";
+          case EdgeKind::Taken: return "taken";
+          case EdgeKind::NotTaken: return "nottaken";
+          case EdgeKind::LoopBack: return "loopback";
+          case EdgeKind::LoopExit: return "loopexit";
+        }
+        return "?";
+    };
+    for (const BasicBlock &bb : blocks_) {
+        out << "block %" << bb.id << " '" << bb.name << "'"
+            << " depth=" << bb.loopDepth << '\n'
+            << bb.dfg.toString();
+        for (const CfgEdge &e : successors(bb.id)) {
+            out << "  -> %" << e.dst << " (" << kindStr(e.kind)
+                << ")\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace marionette

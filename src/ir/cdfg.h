@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Control Data Flow Graph: the computational model of a spatial
+ * architecture (paper Sec. 2.1).
+ *
+ * A Cdfg is a control flow graph whose nodes are basic blocks, each
+ * embedding one Dfg.  Edges carry the control-dependence kind so the
+ * loop analysis and the Marionette scheduler can distinguish forward
+ * branches from loop back edges without re-deriving dominators.
+ */
+
+#ifndef MARIONETTE_IR_CDFG_H
+#define MARIONETTE_IR_CDFG_H
+
+#include <string>
+#include <vector>
+
+#include "ir/dfg.h"
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** Role a basic block plays in the control flow graph. */
+enum class BlockKind : std::uint8_t
+{
+    Plain,      ///< Straight-line DFG block.
+    Branch,     ///< Ends in a two-way conditional branch.
+    LoopHeader  ///< Contains a Loop operator generating iterations.
+};
+
+/** Control-dependence kind of a CFG edge. */
+enum class EdgeKind : std::uint8_t
+{
+    Fall,       ///< Unconditional fall-through.
+    Taken,      ///< Conditional branch, predicate true.
+    NotTaken,   ///< Conditional branch, predicate false.
+    LoopBack,   ///< Back edge to a loop header.
+    LoopExit    ///< Edge leaving a loop after its last iteration.
+};
+
+/** One edge of the control flow graph. */
+struct CfgEdge
+{
+    BlockId src = invalidBlock;
+    BlockId dst = invalidBlock;
+    EdgeKind kind = EdgeKind::Fall;
+};
+
+/** A basic block: single-entry single-exit region holding one DFG. */
+struct BasicBlock
+{
+    BlockId id = invalidBlock;
+    std::string name;
+    BlockKind kind = BlockKind::Plain;
+    Dfg dfg;
+    /** Loop nesting depth; 0 = not in any loop.  Set by LoopInfo. */
+    int loopDepth = 0;
+};
+
+/**
+ * A whole program: basic blocks plus control edges.
+ *
+ * Construction is append-only; ids are dense indices.  The entry
+ * block is always block 0.  validate() checks structural invariants
+ * once construction finishes.
+ */
+class Cdfg
+{
+  public:
+    explicit Cdfg(std::string name = "kernel")
+        : name_(std::move(name))
+    {}
+
+    /** Program name (used in dumps and bench labels). */
+    const std::string &name() const { return name_; }
+
+    /** Append a block; returns its id. */
+    BlockId addBlock(std::string name,
+                     BlockKind kind = BlockKind::Plain);
+
+    /** Append a control edge. */
+    void addEdge(BlockId src, BlockId dst, EdgeKind kind);
+
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    int numBlocks() const
+    { return static_cast<int>(blocks_.size()); }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<CfgEdge> &edges() const { return edges_; }
+
+    /** All edges leaving @p id. */
+    std::vector<CfgEdge> successors(BlockId id) const;
+
+    /** All edges entering @p id. */
+    std::vector<CfgEdge> predecessors(BlockId id) const;
+
+    /** Total operator count across every block. */
+    int totalOps() const;
+
+    /**
+     * Fraction of operators residing in blocks reached through a
+     * Taken/NotTaken edge (i.e., "operators under branch", the metric
+     * plotted on Fig. 11's secondary axis).
+     */
+    double opsUnderBranchFraction() const;
+
+    /** Structural validation; panics on malformed graphs. */
+    void validate() const;
+
+    /** Multi-line dump of blocks, DFGs and edges. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<CfgEdge> edges_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_CDFG_H

@@ -1,0 +1,199 @@
+#include "ir/dfg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+int
+Dfg::addInput(std::string name)
+{
+    inputs_.push_back(DfgInput{std::move(name)});
+    return static_cast<int>(inputs_.size()) - 1;
+}
+
+NodeId
+Dfg::addNode(Opcode op, Operand a, Operand b, Operand c,
+             std::string name)
+{
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(DfgNode{id, op, a, b, c, std::move(name)});
+    return id;
+}
+
+int
+Dfg::addOutput(std::string name, NodeId producer)
+{
+    MARIONETTE_ASSERT(producer >= 0 && producer < numNodes(),
+                      "output '%s' bound to bad node %d",
+                      name.c_str(), producer);
+    outputs_.push_back(DfgOutput{std::move(name), producer});
+    return static_cast<int>(outputs_.size()) - 1;
+}
+
+const DfgNode &
+Dfg::node(NodeId id) const
+{
+    MARIONETTE_ASSERT(id >= 0 && id < numNodes(),
+                      "node id %d out of range", id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+int
+Dfg::numMemoryOps() const
+{
+    return static_cast<int>(std::count_if(
+        nodes_.begin(), nodes_.end(),
+        [](const DfgNode &n) { return isMemoryOp(n.op); }));
+}
+
+int
+Dfg::numOpsInClass(OpClass cls) const
+{
+    return static_cast<int>(std::count_if(
+        nodes_.begin(), nodes_.end(),
+        [cls](const DfgNode &n) { return opInfo(n.op).cls == cls; }));
+}
+
+int
+Dfg::criticalPathLength() const
+{
+    std::vector<int> depth(nodes_.size(), 1);
+    int best = nodes_.empty() ? 0 : 1;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const DfgNode &n = nodes_[i];
+        auto relax = [&](const Operand &opnd) {
+            if (opnd.kind == OperandKind::Node) {
+                int d = depth[static_cast<std::size_t>(opnd.ref)] + 1;
+                if (d > depth[i])
+                    depth[i] = d;
+            }
+        };
+        relax(n.a);
+        relax(n.b);
+        relax(n.c);
+        best = std::max(best, depth[i]);
+    }
+    return best;
+}
+
+std::vector<NodeId>
+Dfg::consumersOf(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (const DfgNode &n : nodes_) {
+        auto uses = [&](const Operand &opnd) {
+            return opnd.kind == OperandKind::Node && opnd.ref == id;
+        };
+        if (uses(n.a) || uses(n.b) || uses(n.c))
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+int
+Dfg::findOutput(const std::string &name) const
+{
+    for (std::size_t i = 0; i < outputs_.size(); ++i)
+        if (outputs_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+Dfg::findInput(const std::string &name) const
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+        if (inputs_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+Dfg::validate() const
+{
+    for (const DfgNode &n : nodes_) {
+        const OpInfo &info = opInfo(n.op);
+        int used = 0;
+        auto checkOperand = [&](const Operand &opnd, int slot) {
+            switch (opnd.kind) {
+              case OperandKind::None:
+                return;
+              case OperandKind::Node:
+                MARIONETTE_ASSERT(
+                    opnd.ref >= 0 && opnd.ref < n.id,
+                    "node %d ('%s') operand %d references node %d, "
+                    "violating DAG construction order",
+                    n.id, n.name.c_str(), slot, opnd.ref);
+                break;
+              case OperandKind::Input:
+                MARIONETTE_ASSERT(
+                    opnd.ref >= 0 &&
+                        opnd.ref < static_cast<Word>(inputs_.size()),
+                    "node %d operand %d references bad input port %d",
+                    n.id, slot, opnd.ref);
+                break;
+              case OperandKind::Immediate:
+                break;
+            }
+            ++used;
+        };
+        checkOperand(n.a, 0);
+        checkOperand(n.b, 1);
+        checkOperand(n.c, 2);
+        // Const carries its value in operand a as an immediate.
+        if (n.op == Opcode::Const) {
+            MARIONETTE_ASSERT(n.a.kind == OperandKind::Immediate,
+                              "const node %d lacks immediate", n.id);
+        } else {
+            MARIONETTE_ASSERT(
+                used >= info.arity,
+                "node %d ('%.*s') has %d operands, needs %d",
+                n.id, static_cast<int>(info.mnemonic.size()),
+                info.mnemonic.data(), used, info.arity);
+        }
+    }
+    for (const DfgOutput &out : outputs_) {
+        MARIONETTE_ASSERT(out.producer >= 0 &&
+                              out.producer < numNodes(),
+                          "output '%s' producer out of range",
+                          out.name.c_str());
+    }
+}
+
+std::string
+Dfg::toString() const
+{
+    std::ostringstream out;
+    auto opndStr = [](const Operand &o) -> std::string {
+        switch (o.kind) {
+          case OperandKind::None:
+            return "_";
+          case OperandKind::Node:
+            return "%" + std::to_string(o.ref);
+          case OperandKind::Input:
+            return "in" + std::to_string(o.ref);
+          case OperandKind::Immediate:
+            return "#" + std::to_string(o.ref);
+        }
+        return "?";
+    };
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+        out << "  in" << i << " = " << inputs_[i].name << '\n';
+    for (const DfgNode &n : nodes_) {
+        out << "  %" << n.id << " = " << opName(n.op) << ' '
+            << opndStr(n.a) << ", " << opndStr(n.b) << ", "
+            << opndStr(n.c);
+        if (!n.name.empty())
+            out << "  ; " << n.name;
+        out << '\n';
+    }
+    for (const DfgOutput &o : outputs_)
+        out << "  out " << o.name << " = %" << o.producer << '\n';
+    return out.str();
+}
+
+} // namespace marionette

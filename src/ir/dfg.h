@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Data Flow Graph: operations as nodes, data dependencies as edges.
+ *
+ * A DFG lives inside one basic block (single entry, single exit;
+ * paper Sec. 2.1).  Block boundaries are crossed through named
+ * *ports*: live-in values enter through input ports and live-out
+ * values leave through output ports, which the CFG stitches to other
+ * blocks and to memory.
+ */
+
+#ifndef MARIONETTE_IR_DFG_H
+#define MARIONETTE_IR_DFG_H
+
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** Where a DFG operand comes from. */
+enum class OperandKind : std::uint8_t
+{
+    None,       ///< Unused operand slot.
+    Node,       ///< Result of another node in the same DFG.
+    Input,      ///< Live-in port of the block.
+    Immediate   ///< Inline constant.
+};
+
+/** One operand reference of a DFG node. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    /** Node id, input-port index, or immediate value (by kind). */
+    Word ref = 0;
+
+    static Operand none() { return {}; }
+    static Operand node(NodeId id)
+    { return {OperandKind::Node, id}; }
+    static Operand input(int port)
+    { return {OperandKind::Input, port}; }
+    static Operand imm(Word v)
+    { return {OperandKind::Immediate, v}; }
+
+    bool operator==(const Operand &) const = default;
+};
+
+/** One operation node. */
+struct DfgNode
+{
+    NodeId id = invalidNode;
+    Opcode op = Opcode::Nop;
+    Operand a;
+    Operand b;
+    Operand c;
+    /** Optional label for dumps and tests. */
+    std::string name;
+};
+
+/** Named live-in port. */
+struct DfgInput
+{
+    std::string name;
+};
+
+/** Named live-out port bound to the producing node. */
+struct DfgOutput
+{
+    std::string name;
+    NodeId producer = invalidNode;
+};
+
+/**
+ * A directed acyclic graph of operations.
+ *
+ * Nodes are created through addNode() and referenced by dense ids.
+ * The graph owns no execution state; it is a pure description that
+ * the compiler maps and the machine interprets.
+ */
+class Dfg
+{
+  public:
+    /** Declare a live-in port; returns its index. */
+    int addInput(std::string name);
+
+    /** Create a node; operands must reference earlier-created nodes
+     *  (the builder enforces DAG construction order). */
+    NodeId addNode(Opcode op, Operand a = Operand::none(),
+                   Operand b = Operand::none(),
+                   Operand c = Operand::none(),
+                   std::string name = {});
+
+    /** Bind a live-out port to @p producer. */
+    int addOutput(std::string name, NodeId producer);
+
+    const std::vector<DfgNode> &nodes() const { return nodes_; }
+    const std::vector<DfgInput> &inputs() const { return inputs_; }
+    const std::vector<DfgOutput> &outputs() const { return outputs_; }
+
+    const DfgNode &node(NodeId id) const;
+
+    /** Number of operation nodes. */
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Count of nodes whose opcode satisfies isMemoryOp(). */
+    int numMemoryOps() const;
+
+    /** Count of nodes in a given class. */
+    int numOpsInClass(OpClass cls) const;
+
+    /**
+     * Length of the longest dependence chain through the graph, in
+     * nodes.  This is the spatial pipeline depth when every node gets
+     * its own PE.
+     */
+    int criticalPathLength() const;
+
+    /** Ids of every node consuming @p id's result. */
+    std::vector<NodeId> consumersOf(NodeId id) const;
+
+    /** Find an output port index by name; -1 if absent. */
+    int findOutput(const std::string &name) const;
+
+    /** Find an input port index by name; -1 if absent. */
+    int findInput(const std::string &name) const;
+
+    /**
+     * Validate structural invariants (operand references in range,
+     * arity matches opcode, outputs bound).  Panics on violation —
+     * a malformed DFG is a builder bug, not user error.
+     */
+    void validate() const;
+
+    /** Multi-line textual dump for debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<DfgNode> nodes_;
+    std::vector<DfgInput> inputs_;
+    std::vector<DfgOutput> outputs_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_DFG_H

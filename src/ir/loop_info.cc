@@ -1,0 +1,239 @@
+#include "ir/loop_info.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/**
+ * Collect the body of the natural loop with back edge
+ * @p latch -> @p header by walking predecessors from the latch until
+ * the header, the classic natural-loop algorithm.
+ */
+std::vector<BlockId>
+collectLoopBody(const Cdfg &cdfg, BlockId header, BlockId latch)
+{
+    std::set<BlockId> body{header};
+    std::vector<BlockId> work;
+    if (latch != header) {
+        body.insert(latch);
+        work.push_back(latch);
+    }
+    while (!work.empty()) {
+        BlockId b = work.back();
+        work.pop_back();
+        for (const CfgEdge &e : cdfg.predecessors(b)) {
+            if (!body.count(e.src)) {
+                body.insert(e.src);
+                work.push_back(e.src);
+            }
+        }
+    }
+    return {body.begin(), body.end()};
+}
+
+} // namespace
+
+LoopInfo
+LoopInfo::analyze(Cdfg &cdfg)
+{
+    LoopInfo info;
+    info.blockLoop_.assign(static_cast<std::size_t>(cdfg.numBlocks()),
+                           -1);
+
+    // One loop per header; merge multiple back edges to one header.
+    std::map<BlockId, std::set<BlockId>> bodies;
+    for (const CfgEdge &e : cdfg.edges()) {
+        if (e.kind != EdgeKind::LoopBack)
+            continue;
+        auto body = collectLoopBody(cdfg, e.dst, e.src);
+        bodies[e.dst].insert(body.begin(), body.end());
+    }
+
+    for (auto &kv : bodies) {
+        Loop loop;
+        loop.id = static_cast<int>(info.loops_.size());
+        loop.header = kv.first;
+        loop.blocks.assign(kv.second.begin(), kv.second.end());
+        info.loops_.push_back(std::move(loop));
+    }
+
+    // Parent = smallest strictly-containing loop.
+    for (Loop &inner : info.loops_) {
+        int best = -1;
+        std::size_t best_size = 0;
+        for (const Loop &outer : info.loops_) {
+            if (outer.id == inner.id)
+                continue;
+            std::set<BlockId> outer_set(outer.blocks.begin(),
+                                        outer.blocks.end());
+            bool contains = std::all_of(
+                inner.blocks.begin(), inner.blocks.end(),
+                [&](BlockId b) { return outer_set.count(b) > 0; });
+            if (contains && outer.blocks.size() > inner.blocks.size()) {
+                if (best == -1 || outer.blocks.size() < best_size) {
+                    best = outer.id;
+                    best_size = outer.blocks.size();
+                }
+            }
+        }
+        inner.parent = best;
+    }
+    for (Loop &loop : info.loops_) {
+        if (loop.parent >= 0)
+            info.loops_[static_cast<std::size_t>(loop.parent)]
+                .children.push_back(loop.id);
+    }
+
+    // Depths by walking parent chains.
+    for (Loop &loop : info.loops_) {
+        int d = 1;
+        int p = loop.parent;
+        while (p >= 0) {
+            ++d;
+            p = info.loops_[static_cast<std::size_t>(p)].parent;
+        }
+        loop.depth = d;
+    }
+
+    // Innermost loop per block: deepest loop containing it.
+    for (const Loop &loop : info.loops_) {
+        for (BlockId b : loop.blocks) {
+            int cur = info.blockLoop_[static_cast<std::size_t>(b)];
+            if (cur < 0 ||
+                info.loops_[static_cast<std::size_t>(cur)].depth <
+                    loop.depth) {
+                info.blockLoop_[static_cast<std::size_t>(b)] = loop.id;
+            }
+        }
+    }
+
+    // Annotate the CDFG's per-block depths.
+    for (BasicBlock &bb : cdfg.blocks()) {
+        int l = info.blockLoop_[static_cast<std::size_t>(bb.id)];
+        bb.loopDepth =
+            l < 0 ? 0 : info.loops_[static_cast<std::size_t>(l)].depth;
+    }
+
+    return info;
+}
+
+int
+LoopInfo::loopOf(BlockId block) const
+{
+    if (block < 0 ||
+        block >= static_cast<BlockId>(blockLoop_.size()))
+        return -1;
+    return blockLoop_[static_cast<std::size_t>(block)];
+}
+
+int
+LoopInfo::maxDepth() const
+{
+    int d = 0;
+    for (const Loop &loop : loops_)
+        d = std::max(d, loop.depth);
+    return d;
+}
+
+bool
+LoopInfo::isImperfect(const Cdfg &cdfg, int loop_id) const
+{
+    MARIONETTE_ASSERT(loop_id >= 0 && loop_id < numLoops(),
+                      "bad loop id %d", loop_id);
+    const Loop &loop = loops_[static_cast<std::size_t>(loop_id)];
+    if (loop.children.empty())
+        return false;
+
+    // Blocks belonging to some child loop.
+    std::set<BlockId> inner_blocks;
+    for (int c : loop.children) {
+        const Loop &child = loops_[static_cast<std::size_t>(c)];
+        inner_blocks.insert(child.blocks.begin(), child.blocks.end());
+    }
+
+    for (BlockId b : loop.blocks) {
+        if (inner_blocks.count(b))
+            continue;
+        // Count real computation, not the loop bookkeeping itself:
+        // loop headers carry only induction/bound ops and pure
+        // Copy plumbing never constitutes body work.
+        if (cdfg.block(b).kind == BlockKind::LoopHeader)
+            continue;
+        const Dfg &dfg = cdfg.block(b).dfg;
+        for (const DfgNode &n : dfg.nodes()) {
+            if (!isControlOp(n.op) && n.op != Opcode::Const &&
+                n.op != Opcode::Nop && n.op != Opcode::Copy)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+LoopInfo::hasImperfectLoop(const Cdfg &cdfg) const
+{
+    for (const Loop &loop : loops_)
+        if (isImperfect(cdfg, loop.id))
+            return true;
+    return false;
+}
+
+int
+LoopInfo::serialLoopGroups() const
+{
+    // Group loops by parent; count groups with >1 member.
+    std::map<int, int> by_parent;
+    for (const Loop &loop : loops_)
+        ++by_parent[loop.parent];
+    int groups = 0;
+    for (const auto &kv : by_parent)
+        if (kv.second > 1)
+            ++groups;
+    return groups;
+}
+
+std::vector<int>
+LoopInfo::innermostFirstOrder() const
+{
+    std::vector<int> order;
+    for (const Loop &loop : loops_)
+        order.push_back(loop.id);
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+        const Loop &la = loops_[static_cast<std::size_t>(a)];
+        const Loop &lb = loops_[static_cast<std::size_t>(b)];
+        if (la.depth != lb.depth)
+            return la.depth > lb.depth;
+        return la.header < lb.header;
+    });
+    return order;
+}
+
+std::string
+LoopInfo::toString(const Cdfg &cdfg) const
+{
+    std::ostringstream out;
+    for (const Loop &loop : loops_) {
+        out << "loop " << loop.id << " depth=" << loop.depth
+            << " header='" << cdfg.block(loop.header).name
+            << "' blocks={";
+        for (std::size_t i = 0; i < loop.blocks.size(); ++i) {
+            if (i)
+                out << ',';
+            out << loop.blocks[i];
+        }
+        out << "} imperfect="
+            << (isImperfect(cdfg, loop.id) ? "yes" : "no") << '\n';
+    }
+    return out.str();
+}
+
+} // namespace marionette

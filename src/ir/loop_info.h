@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Loop-nest analysis over a CDFG.
+ *
+ * Loops are identified from the explicitly-marked LoopBack edges
+ * (the builder knows where its loops are, so no dominator computation
+ * is required).  The analysis recovers the nest tree, per-block loop
+ * depths, and the *imperfect loop* classification of Sec. 3.1: a loop
+ * is imperfect when its body contains operators that do not belong to
+ * any inner loop while an inner loop exists.
+ */
+
+#ifndef MARIONETTE_IR_LOOP_INFO_H
+#define MARIONETTE_IR_LOOP_INFO_H
+
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.h"
+
+namespace marionette
+{
+
+/** One natural loop of the CDFG. */
+struct Loop
+{
+    /** Dense loop id (index into LoopInfo::loops()). */
+    int id = -1;
+    /** Header block containing the Loop operator. */
+    BlockId header = invalidBlock;
+    /** Every block in the loop body, header included. */
+    std::vector<BlockId> blocks;
+    /** Parent loop id; -1 for outermost loops. */
+    int parent = -1;
+    /** Child loop ids. */
+    std::vector<int> children;
+    /** Nesting depth: 1 for outermost. */
+    int depth = 1;
+};
+
+/** Loop-nest analysis result. */
+class LoopInfo
+{
+  public:
+    /** Run the analysis and annotate @p cdfg block loop depths. */
+    static LoopInfo analyze(Cdfg &cdfg);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    int numLoops() const { return static_cast<int>(loops_.size()); }
+
+    /** Innermost loop containing @p block; -1 if none. */
+    int loopOf(BlockId block) const;
+
+    /** Maximum nesting depth in the program. */
+    int maxDepth() const;
+
+    /**
+     * True when @p loop_id has at least one inner loop *and* carries
+     * operators outside all inner loops (the Imperfect Loop pattern
+     * of Fig. 3b).
+     */
+    bool isImperfect(const Cdfg &cdfg, int loop_id) const;
+
+    /** True when any loop in the program is imperfect. */
+    bool hasImperfectLoop(const Cdfg &cdfg) const;
+
+    /**
+     * Loops executed one after another at the same nesting level
+     * ("Serial Loops" in Table 1): count of sibling groups with more
+     * than one member.
+     */
+    int serialLoopGroups() const;
+
+    /** Loop ids ordered innermost-first (deepest depth first), the
+     *  traversal order of the Marionette scheduling algorithm. */
+    std::vector<int> innermostFirstOrder() const;
+
+    /** Human-readable nest dump. */
+    std::string toString(const Cdfg &cdfg) const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> blockLoop_; ///< innermost loop id per block.
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_LOOP_INFO_H

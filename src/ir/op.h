@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Operation set of the Marionette data flow plane.
+ *
+ * The opcode list covers every operator the 13 paper benchmarks need
+ * (Table 5): integer arithmetic and logic, comparisons, select/phi,
+ * memory access, multiply-accumulate, and the nonlinear-fitting ops
+ * (log/sigmoid) that the 4 "nonlinear" PEs of Table 4 provide.  The
+ * control-plane operator modes (branch and loop) are also opcodes so
+ * a CDFG node can be placed on a PE's branch unit.
+ */
+
+#ifndef MARIONETTE_IR_OP_H
+#define MARIONETTE_IR_OP_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** Every operation a DFG node may carry. */
+enum class Opcode : std::uint8_t
+{
+    // Value producers.
+    Const,      ///< Literal constant.
+    // Integer arithmetic.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Mac,        ///< Multiply-accumulate: a * b + c.
+    Abs,
+    Min,
+    Max,
+    Neg,
+    // Bitwise / shifts.
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,        ///< Logical right shift.
+    Sra,        ///< Arithmetic right shift.
+    // Comparisons (produce 0/1).
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    // Data steering.
+    Select,     ///< cond ? a : b.
+    Phi,        ///< Control-dependent merge of two reaching values.
+    Copy,       ///< Identity; used for routing/pipeline balancing.
+    // Memory.
+    Load,       ///< addr -> value.
+    Store,      ///< (addr, value) -> void.
+    // Nonlinear fitting units (Table 4's 4 special PEs).
+    Log2Fix,    ///< Fixed-point log2 approximation.
+    SigmoidFix, ///< Fixed-point logistic approximation.
+    SqrtFix,    ///< Fixed-point integer square root.
+    // Control flow plane operators (Fig. 7a operator modes).
+    Branch,     ///< Branch unit: steers control by a predicate.
+    Loop,       ///< Loop operator: generates the induction stream.
+    // Bookkeeping.
+    Nop,
+    NumOpcodes
+};
+
+/** Broad operator categories used by mapping and area accounting. */
+enum class OpClass : std::uint8_t
+{
+    Constant,
+    IntAlu,     ///< Single-cycle-class integer op.
+    IntMul,     ///< Multiplier-class op (Mul/Mac).
+    IntDiv,     ///< Iterative divider class.
+    Nonlinear,  ///< Requires a nonlinear-fitting PE.
+    Memory,
+    Steering,   ///< Select/Phi/Copy.
+    Control,    ///< Branch/Loop operators.
+    Misc
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    OpClass cls;
+    /** Number of value operands consumed (0-3). */
+    int arity;
+    /** Does the op read or write the data scratchpad? */
+    bool isMemory;
+    /** Does the op decide control flow (Branch/Loop)? */
+    bool isControl;
+};
+
+/** Property table lookup. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic helper. */
+std::string_view opName(Opcode op);
+
+/** True for Branch and Loop operators. */
+bool isControlOp(Opcode op);
+
+/** True for Load/Store. */
+bool isMemoryOp(Opcode op);
+
+/** True if the op must map onto a nonlinear-fitting PE. */
+bool isNonlinearOp(Opcode op);
+
+/**
+ * Functional evaluation of a (non-memory, non-control) opcode on up
+ * to three operands.  Division by zero yields 0 with a warning-free
+ * saturating semantic, matching common CGRA FU behaviour.
+ */
+Word evalOp(Opcode op, Word a, Word b = 0, Word c = 0);
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_OP_H

@@ -1,0 +1,77 @@
+#include "ir/trace.h"
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+void
+BlockTrace::record(BlockId block)
+{
+    recordRun(block, 1);
+}
+
+void
+BlockTrace::recordRun(BlockId block, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    MARIONETTE_ASSERT(block >= 0, "trace of invalid block");
+    if (!runs_.empty() && runs_.back().block == block)
+        runs_.back().count += count;
+    else
+        runs_.push_back(TraceRun{block, count});
+    total_ += count;
+}
+
+std::uint64_t
+BlockTrace::executions(BlockId block) const
+{
+    std::uint64_t n = 0;
+    for (const TraceRun &r : runs_)
+        if (r.block == block)
+            n += r.count;
+    return n;
+}
+
+std::uint64_t
+BlockTrace::transitions() const
+{
+    return runs_.empty() ? 0 : runs_.size() - 1;
+}
+
+std::uint64_t
+BlockTrace::entries(BlockId block) const
+{
+    std::uint64_t n = 0;
+    for (const TraceRun &r : runs_)
+        if (r.block == block)
+            ++n;
+    return n;
+}
+
+void
+BlockTrace::clear()
+{
+    runs_.clear();
+    total_ = 0;
+}
+
+std::string
+BlockTrace::toString(std::size_t max_runs) const
+{
+    std::ostringstream out;
+    std::size_t shown = 0;
+    for (const TraceRun &r : runs_) {
+        if (shown++ >= max_runs) {
+            out << "... (" << runs_.size() << " runs total)";
+            break;
+        }
+        out << r.block << ':' << r.count << ' ';
+    }
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic basic-block execution traces.
+ *
+ * The golden (reference) implementation of every workload is
+ * instrumented to record the sequence of basic blocks it executes.
+ * The trace is stored run-length encoded — loop bodies compress to a
+ * handful of runs — and is what the trace-driven performance models
+ * replay cycle-by-cycle.
+ */
+
+#ifndef MARIONETTE_IR_TRACE_H
+#define MARIONETTE_IR_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** A maximal run of consecutive executions of one block. */
+struct TraceRun
+{
+    BlockId block = invalidBlock;
+    std::uint64_t count = 0;
+};
+
+/** Run-length encoded dynamic block trace. */
+class BlockTrace
+{
+  public:
+    /** Record one execution of @p block. */
+    void record(BlockId block);
+
+    /** Record @p count back-to-back executions of @p block. */
+    void recordRun(BlockId block, std::uint64_t count);
+
+    const std::vector<TraceRun> &runs() const { return runs_; }
+
+    /** Total block executions (sum of run counts). */
+    std::uint64_t totalEvents() const { return total_; }
+
+    /** Executions of one specific block. */
+    std::uint64_t executions(BlockId block) const;
+
+    /** Number of *transitions* between different blocks. */
+    std::uint64_t transitions() const;
+
+    /**
+     * Number of transitions entering @p block from a different
+     * block — the number of times its pipeline must be (re)started.
+     */
+    std::uint64_t entries(BlockId block) const;
+
+    /** True if no events recorded. */
+    bool empty() const { return runs_.empty(); }
+
+    /** Reset to empty. */
+    void clear();
+
+    /** Compact textual rendering ("3:1024 4:1 3:1024 ..."). */
+    std::string toString(std::size_t max_runs = 32) const;
+
+  private:
+    std::vector<TraceRun> runs_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_IR_TRACE_H

@@ -1,0 +1,304 @@
+#include "isa/encoding.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+class WordWriter
+{
+  public:
+    void put(std::uint32_t w) { words_.push_back(w); }
+    void putSigned(std::int32_t w)
+    { words_.push_back(static_cast<std::uint32_t>(w)); }
+    void
+    putString(const std::string &s)
+    {
+        put(static_cast<std::uint32_t>(s.size()));
+        std::uint32_t acc = 0;
+        int n = 0;
+        for (char ch : s) {
+            acc |= static_cast<std::uint32_t>(
+                       static_cast<unsigned char>(ch))
+                   << (8 * n);
+            if (++n == 4) {
+                put(acc);
+                acc = 0;
+                n = 0;
+            }
+        }
+        if (n > 0)
+            put(acc);
+    }
+    std::vector<std::uint32_t> take() { return std::move(words_); }
+
+  private:
+    std::vector<std::uint32_t> words_;
+};
+
+class WordReader
+{
+  public:
+    explicit WordReader(const std::vector<std::uint32_t> &words)
+        : words_(words)
+    {}
+
+    std::uint32_t
+    get()
+    {
+        MARIONETTE_ASSERT(pos_ < words_.size(),
+                          "config stream truncated at word %zu",
+                          pos_);
+        return words_[pos_++];
+    }
+
+    std::int32_t getSigned()
+    { return static_cast<std::int32_t>(get()); }
+
+    std::string
+    getString()
+    {
+        std::uint32_t len = get();
+        MARIONETTE_ASSERT(len < (1u << 20),
+                          "implausible string length %u in config "
+                          "stream", len);
+        std::string s;
+        s.reserve(len);
+        std::uint32_t acc = 0;
+        for (std::uint32_t i = 0; i < len; ++i) {
+            if (i % 4 == 0)
+                acc = get();
+            s.push_back(static_cast<char>((acc >> (8 * (i % 4))) &
+                                          0xff));
+        }
+        return s;
+    }
+
+    bool done() const { return pos_ == words_.size(); }
+
+  private:
+    const std::vector<std::uint32_t> &words_;
+    std::size_t pos_ = 0;
+};
+
+void
+encodeOperand(WordWriter &w, const OperandSel &sel)
+{
+    w.put((static_cast<std::uint32_t>(sel.kind) << 8) |
+          static_cast<std::uint8_t>(sel.index));
+    w.putSigned(sel.imm);
+}
+
+OperandSel
+decodeOperand(WordReader &r)
+{
+    std::uint32_t head = r.get();
+    OperandSel sel;
+    std::uint32_t kind = head >> 8;
+    MARIONETTE_ASSERT(kind <= 3, "bad operand kind %u", kind);
+    sel.kind = static_cast<OperandSel::Kind>(kind);
+    sel.index = static_cast<std::int8_t>(head & 0xff);
+    sel.imm = r.getSigned();
+    return sel;
+}
+
+void
+encodeInstruction(WordWriter &w, const Instruction &in)
+{
+    w.put((static_cast<std::uint32_t>(in.mode) << 16) |
+          static_cast<std::uint32_t>(in.op));
+    encodeOperand(w, in.a);
+    encodeOperand(w, in.b);
+    encodeOperand(w, in.c);
+    w.putSigned(in.memBase);
+
+    w.put(static_cast<std::uint32_t>(in.dests.size()));
+    for (const DestSel &d : in.dests) {
+        w.put((static_cast<std::uint32_t>(d.kind) << 16) |
+              static_cast<std::uint8_t>(d.channel));
+        w.putSigned(d.pe);
+    }
+
+    w.put(static_cast<std::uint32_t>(in.ctrlDests.size()));
+    for (PeId pe : in.ctrlDests)
+        w.putSigned(pe);
+
+    w.put(static_cast<std::uint32_t>(in.alsoPop.size()));
+    for (std::int8_t ch : in.alsoPop)
+        w.putSigned(ch);
+
+    w.putSigned(in.emitAddr);
+    w.putSigned(in.takenAddr);
+    w.putSigned(in.notTakenAddr);
+    w.putSigned(in.loopStart);
+    w.putSigned(in.loopStep);
+    w.putSigned(in.loopBound);
+    w.putSigned(in.startFifo);
+    w.putSigned(in.boundFifo);
+    w.putSigned(in.pipelineII);
+    w.putSigned(in.loopExitAddr);
+    w.putSigned(in.pushFifo);
+    w.put(in.ctrlGated ? 1u : 0u);
+}
+
+Instruction
+decodeInstruction(WordReader &r)
+{
+    Instruction in;
+    std::uint32_t head = r.get();
+    std::uint32_t mode = head >> 16;
+    std::uint32_t op = head & 0xffff;
+    MARIONETTE_ASSERT(mode <= 3, "bad sender mode %u", mode);
+    MARIONETTE_ASSERT(
+        op < static_cast<std::uint32_t>(Opcode::NumOpcodes),
+        "bad opcode %u", op);
+    in.mode = static_cast<SenderMode>(mode);
+    in.op = static_cast<Opcode>(op);
+    in.a = decodeOperand(r);
+    in.b = decodeOperand(r);
+    in.c = decodeOperand(r);
+    in.memBase = r.getSigned();
+
+    std::uint32_t ndests = r.get();
+    MARIONETTE_ASSERT(ndests < 1024, "implausible dest count %u",
+                      ndests);
+    for (std::uint32_t i = 0; i < ndests; ++i) {
+        std::uint32_t dhead = r.get();
+        DestSel d;
+        std::uint32_t kind = dhead >> 16;
+        MARIONETTE_ASSERT(kind <= 3, "bad dest kind %u", kind);
+        d.kind = static_cast<DestSel::Kind>(kind);
+        d.channel = static_cast<std::int8_t>(dhead & 0xff);
+        d.pe = r.getSigned();
+        in.dests.push_back(d);
+    }
+
+    std::uint32_t nctrl = r.get();
+    MARIONETTE_ASSERT(nctrl < 1024, "implausible ctrl dest count %u",
+                      nctrl);
+    for (std::uint32_t i = 0; i < nctrl; ++i)
+        in.ctrlDests.push_back(r.getSigned());
+
+    std::uint32_t npop = r.get();
+    MARIONETTE_ASSERT(npop < 16, "implausible alsoPop count %u",
+                      npop);
+    for (std::uint32_t i = 0; i < npop; ++i)
+        in.alsoPop.push_back(
+            static_cast<std::int8_t>(r.getSigned()));
+
+    in.emitAddr = r.getSigned();
+    in.takenAddr = r.getSigned();
+    in.notTakenAddr = r.getSigned();
+    in.loopStart = r.getSigned();
+    in.loopStep = r.getSigned();
+    in.loopBound = r.getSigned();
+    in.startFifo = r.getSigned();
+    in.boundFifo = r.getSigned();
+    in.pipelineII = r.getSigned();
+    in.loopExitAddr = r.getSigned();
+    in.pushFifo = r.getSigned();
+    in.ctrlGated = r.get() != 0;
+    return in;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+encodeProgram(const Program &program)
+{
+    WordWriter w;
+    w.put(kConfigMagic);
+    w.put(kConfigVersion);
+    w.putString(program.name);
+    w.put(static_cast<std::uint32_t>(program.pes.size()));
+    w.putSigned(program.numAddrs);
+    w.putSigned(program.numOutputs);
+    for (const PeProgram &p : program.pes) {
+        w.putSigned(p.pe);
+        w.putSigned(p.entry);
+        w.put(static_cast<std::uint32_t>(p.instrs.size()));
+        for (const Instruction &in : p.instrs)
+            encodeInstruction(w, in);
+    }
+    return w.take();
+}
+
+Program
+decodeProgram(const std::vector<std::uint32_t> &words)
+{
+    WordReader r(words);
+    MARIONETTE_ASSERT(r.get() == kConfigMagic,
+                      "bad config magic");
+    std::uint32_t version = r.get();
+    MARIONETTE_ASSERT(version == kConfigVersion,
+                      "unsupported config version %u", version);
+    Program program;
+    program.name = r.getString();
+    std::uint32_t npes = r.get();
+    MARIONETTE_ASSERT(npes < 4096, "implausible PE count %u", npes);
+    program.numAddrs = r.getSigned();
+    program.numOutputs = r.getSigned();
+    for (std::uint32_t i = 0; i < npes; ++i) {
+        PeProgram p;
+        p.pe = r.getSigned();
+        p.entry = r.getSigned();
+        std::uint32_t ninstr = r.get();
+        MARIONETTE_ASSERT(ninstr < 65536,
+                          "implausible instruction count %u",
+                          ninstr);
+        for (std::uint32_t k = 0; k < ninstr; ++k)
+            p.instrs.push_back(decodeInstruction(r));
+        program.pes.push_back(std::move(p));
+    }
+    MARIONETTE_ASSERT(r.done(), "trailing words in config stream");
+    return program;
+}
+
+void
+writeConfigFile(const Program &program, const std::string &path)
+{
+    auto words = encodeProgram(program);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        MARIONETTE_FATAL("cannot write configuration file '%s'",
+                         path.c_str());
+    std::size_t written = std::fwrite(
+        words.data(), sizeof(std::uint32_t), words.size(), f);
+    std::fclose(f);
+    if (written != words.size())
+        MARIONETTE_FATAL("short write to '%s'", path.c_str());
+}
+
+Program
+readConfigFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        MARIONETTE_FATAL("cannot read configuration file '%s'",
+                         path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long bytes = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (bytes < 0 ||
+        bytes % static_cast<long>(sizeof(std::uint32_t)) != 0) {
+        std::fclose(f);
+        MARIONETTE_FATAL("'%s' is not a word-aligned "
+                         "configuration file", path.c_str());
+    }
+    std::vector<std::uint32_t> words(
+        static_cast<std::size_t>(bytes) / sizeof(std::uint32_t));
+    std::size_t got = std::fread(words.data(),
+                                 sizeof(std::uint32_t),
+                                 words.size(), f);
+    std::fclose(f);
+    if (got != words.size())
+        MARIONETTE_FATAL("short read from '%s'", path.c_str());
+    return decodeProgram(words);
+}
+
+} // namespace marionette

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary configuration encoding (paper Sec. 4.4: "The final
+ * bitstream generation step converts CFG and DFG into configuration
+ * bitstreams according to the hardware model"; Sec. 5: the
+ * simulator "uses the binary configuration file output by the
+ * compiler").
+ *
+ * The format is a self-describing little-endian 32-bit word stream:
+ * a header (magic, version, PE count, address count), then one
+ * record per PE program.  Variable-length fields (data destinations,
+ * control destinations) carry explicit counts.  decode() validates
+ * everything and panics on corrupt streams.
+ */
+
+#ifndef MARIONETTE_ISA_ENCODING_H
+#define MARIONETTE_ISA_ENCODING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace marionette
+{
+
+/** Stream magic: "MRNT". */
+inline constexpr std::uint32_t kConfigMagic = 0x4d524e54;
+/** Format version. */
+inline constexpr std::uint32_t kConfigVersion = 2;
+
+/** Serialize a program to its binary configuration stream. */
+std::vector<std::uint32_t> encodeProgram(const Program &program);
+
+/** Parse a binary configuration stream back into a Program. */
+Program decodeProgram(const std::vector<std::uint32_t> &words);
+
+/**
+ * Write the binary configuration to @p path (the artifact the
+ * compiler hands to the simulator in the paper's flow).
+ * Calls fatal() when the file cannot be written.
+ */
+void writeConfigFile(const Program &program,
+                     const std::string &path);
+
+/** Load a binary configuration file; fatal() on I/O or format
+ *  errors. */
+Program readConfigFile(const std::string &path);
+
+} // namespace marionette
+
+#endif // MARIONETTE_ISA_ENCODING_H

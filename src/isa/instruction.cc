@@ -1,0 +1,146 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+namespace marionette
+{
+
+const PeProgram *
+Program::forPe(PeId pe) const
+{
+    for (const PeProgram &p : pes)
+        if (p.pe == pe)
+            return &p;
+    return nullptr;
+}
+
+std::string_view
+senderModeName(SenderMode mode)
+{
+    switch (mode) {
+      case SenderMode::Idle: return "idle";
+      case SenderMode::Dfg: return "dfg";
+      case SenderMode::BranchOp: return "branch";
+      case SenderMode::LoopOp: return "loop";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+operandStr(const OperandSel &sel)
+{
+    switch (sel.kind) {
+      case OperandSel::Kind::None:
+        return "_";
+      case OperandSel::Kind::Channel:
+        return "ch" + std::to_string(sel.index);
+      case OperandSel::Kind::Reg:
+        return "r" + std::to_string(sel.index);
+      case OperandSel::Kind::Imm:
+        return "#" + std::to_string(sel.imm);
+    }
+    return "?";
+}
+
+std::string
+destStr(const DestSel &d)
+{
+    switch (d.kind) {
+      case DestSel::Kind::None:
+        return "_";
+      case DestSel::Kind::PeChannel:
+        return "pe" + std::to_string(d.pe) + ".ch" +
+               std::to_string(d.channel);
+      case DestSel::Kind::LocalReg:
+        return "r" + std::to_string(d.channel);
+      case DestSel::Kind::OutputFifo:
+        return "out" + std::to_string(d.channel);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &instr)
+{
+    std::ostringstream out;
+    out << '[' << senderModeName(instr.mode) << "] "
+        << opName(instr.op) << ' ' << operandStr(instr.a) << ", "
+        << operandStr(instr.b) << ", " << operandStr(instr.c);
+    if (instr.op == Opcode::Load || instr.op == Opcode::Store)
+        out << " base=" << instr.memBase;
+    if (!instr.dests.empty()) {
+        out << " ->";
+        for (const DestSel &d : instr.dests)
+            out << ' ' << destStr(d);
+    }
+    if (!instr.ctrlDests.empty()) {
+        out << " ctrl->{";
+        for (std::size_t i = 0; i < instr.ctrlDests.size(); ++i) {
+            if (i)
+                out << ',';
+            out << "pe" << instr.ctrlDests[i];
+        }
+        out << '}';
+    }
+    switch (instr.mode) {
+      case SenderMode::Dfg:
+        if (instr.emitAddr != invalidInstr)
+            out << " emit=@" << instr.emitAddr;
+        break;
+      case SenderMode::BranchOp:
+        out << " taken=@" << instr.takenAddr << " else=@"
+            << instr.notTakenAddr;
+        break;
+      case SenderMode::LoopOp:
+        out << " loop[";
+        if (instr.startFifo >= 0)
+            out << "fifo" << instr.startFifo;
+        else
+            out << instr.loopStart;
+        out << ":";
+        if (instr.boundFifo >= 0)
+            out << "fifo" << instr.boundFifo;
+        else
+            out << instr.loopBound;
+        out << ":+" << instr.loopStep << "] II=" << instr.pipelineII;
+        if (instr.loopExitAddr != invalidInstr)
+            out << " exit=@" << instr.loopExitAddr;
+        break;
+      case SenderMode::Idle:
+        break;
+    }
+    if (instr.pushFifo >= 0)
+        out << " push->fifo" << instr.pushFifo;
+    if (instr.ctrlGated)
+        out << " gated";
+    return out.str();
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream out;
+    out << "program '" << name << "' (" << pes.size() << " PEs, "
+        << numAddrs << " addrs)\n";
+    for (const PeProgram &p : pes) {
+        out << "pe " << p.pe;
+        if (p.entry != invalidInstr)
+            out << " entry=@" << p.entry;
+        out << ":\n";
+        for (std::size_t a = 0; a < p.instrs.size(); ++a) {
+            if (p.instrs[a].mode == SenderMode::Idle &&
+                p.instrs[a].op == Opcode::Nop)
+                continue;
+            out << "  @" << a << ": "
+                << ::marionette::disassemble(p.instrs[a]) << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,51 @@
+#include "mem/control_fifo.h"
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+ControlFifo::ControlFifo(int depth, const std::string &name)
+    : depth_(depth), stats_(name)
+{
+    MARIONETTE_ASSERT(depth > 0, "FIFO depth must be positive");
+}
+
+bool
+ControlFifo::push(Word value)
+{
+    if (full()) {
+        stats_.stat("push_blocked").inc();
+        return false;
+    }
+    entries_.push_back(value);
+    stats_.stat("pushes").inc();
+    stats_.stat("max_occupancy").max(
+        static_cast<std::uint64_t>(occupancy()));
+    return true;
+}
+
+Word
+ControlFifo::pop()
+{
+    MARIONETTE_ASSERT(!empty(), "pop from empty control FIFO");
+    Word v = entries_.front();
+    entries_.pop_front();
+    stats_.stat("pops").inc();
+    return v;
+}
+
+Word
+ControlFifo::front() const
+{
+    MARIONETTE_ASSERT(!empty(), "front of empty control FIFO");
+    return entries_.front();
+}
+
+void
+ControlFifo::clear()
+{
+    entries_.clear();
+}
+
+} // namespace marionette

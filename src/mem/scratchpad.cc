@@ -1,0 +1,85 @@
+#include "mem/scratchpad.h"
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+Scratchpad::Scratchpad(int bytes, int banks, int ports_per_bank)
+    : data_(static_cast<std::size_t>(bytes / 4), 0),
+      banks_(banks),
+      portsPerBank_(ports_per_bank),
+      portsUsed_(static_cast<std::size_t>(banks), 0),
+      stats_("scratchpad")
+{
+    MARIONETTE_ASSERT(bytes > 0 && bytes % 4 == 0,
+                      "scratchpad bytes %d must be a positive "
+                      "multiple of 4", bytes);
+    MARIONETTE_ASSERT(banks > 0, "bank count must be positive");
+    MARIONETTE_ASSERT(ports_per_bank > 0,
+                      "ports per bank must be positive");
+}
+
+int
+Scratchpad::bankOf(Word addr) const
+{
+    return static_cast<int>(static_cast<UWord>(addr) %
+                            static_cast<UWord>(banks_));
+}
+
+void
+Scratchpad::beginCycle()
+{
+    std::fill(portsUsed_.begin(), portsUsed_.end(), 0);
+}
+
+bool
+Scratchpad::tryAccess(Word addr)
+{
+    int bank = bankOf(addr);
+    if (portsUsed_[static_cast<std::size_t>(bank)] >=
+        portsPerBank_) {
+        stats_.stat("bank_conflicts").inc();
+        return false;
+    }
+    ++portsUsed_[static_cast<std::size_t>(bank)];
+    stats_.stat("accesses").inc();
+    return true;
+}
+
+Word
+Scratchpad::read(Word addr) const
+{
+    MARIONETTE_ASSERT(addr >= 0 && addr < numWords(),
+                      "scratchpad read of word %d out of %d", addr,
+                      numWords());
+    return data_[static_cast<std::size_t>(addr)];
+}
+
+void
+Scratchpad::write(Word addr, Word value)
+{
+    MARIONETTE_ASSERT(addr >= 0 && addr < numWords(),
+                      "scratchpad write of word %d out of %d", addr,
+                      numWords());
+    data_[static_cast<std::size_t>(addr)] = value;
+}
+
+void
+Scratchpad::load(Word base, const std::vector<Word> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        write(base + static_cast<Word>(i), words[i]);
+}
+
+std::vector<Word>
+Scratchpad::dump(Word base, int count) const
+{
+    std::vector<Word> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        out.push_back(read(base + i));
+    return out;
+}
+
+} // namespace marionette

@@ -1,0 +1,45 @@
+#include "model/capability.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace marionette
+{
+
+const std::vector<Capability> &
+capabilityMatrix()
+{
+    static const std::vector<Capability> matrix = {
+        // Softbrain: host processor orchestrates configuration.
+        {"Softbrain", false, false, false},
+        // TIA: triggered instructions let tags steer peers, but the
+        // tag rides the data token (coupled, no dedicated path).
+        {"TIA", true, false, false},
+        {"DySER", false, false, false},
+        {"Plasticine", false, false, false},
+        {"RipTide", false, false, false},
+        // Marionette: the decoupled control flow plane (Sec. 4).
+        {"Marionette", true, true, true},
+    };
+    return matrix;
+}
+
+std::string
+renderCapabilityMatrix()
+{
+    std::ostringstream out;
+    out << std::left << std::setw(14) << "Architecture"
+        << std::setw(14) << "Autonomous" << std::setw(14)
+        << "PeerToPeer" << std::setw(16) << "LooselyCoupled"
+        << '\n';
+    for (const Capability &c : capabilityMatrix()) {
+        out << std::left << std::setw(14) << c.architecture
+            << std::setw(14) << (c.autonomous ? "yes" : "no")
+            << std::setw(14) << (c.peerToPeer ? "yes" : "no")
+            << std::setw(16) << (c.looselyCoupled ? "yes" : "no")
+            << '\n';
+    }
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Control-flow capability matrix (paper Table 3): which
+ * architectures can autonomously control other PEs, own a
+ * peer-to-peer control path, and decouple control from data in
+ * time.
+ */
+
+#ifndef MARIONETTE_MODEL_CAPABILITY_H
+#define MARIONETTE_MODEL_CAPABILITY_H
+
+#include <string>
+#include <vector>
+
+namespace marionette
+{
+
+/** One architecture's control-flow capabilities. */
+struct Capability
+{
+    std::string architecture;
+    /** Can a PE autonomously change other PEs' configuration? */
+    bool autonomous = false;
+    /** Is there a dedicated peer-to-peer control flow path? */
+    bool peerToPeer = false;
+    /** Is control temporally loosely-coupled with dataflow? */
+    bool looselyCoupled = false;
+};
+
+/** Table 3's rows. */
+const std::vector<Capability> &capabilityMatrix();
+
+/** Render Table 3. */
+std::string renderCapabilityMatrix();
+
+} // namespace marionette
+
+#endif // MARIONETTE_MODEL_CAPABILITY_H

@@ -1,0 +1,243 @@
+#include "model/structure.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "compiler/predication.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+const LoopSummary &
+KernelStructure::loop(int id) const
+{
+    MARIONETTE_ASSERT(id >= 0 &&
+                          id < static_cast<int>(loops.size()),
+                      "bad loop id %d", id);
+    return loops[static_cast<std::size_t>(id)];
+}
+
+std::vector<int>
+KernelStructure::rootLoops() const
+{
+    std::vector<int> out;
+    for (const LoopSummary &l : loops)
+        if (l.parent < 0)
+            out.push_back(l.loopId);
+    return out;
+}
+
+namespace
+{
+
+/** Outputs that are loop plumbing, not data recurrences. */
+bool
+isPlumbingName(const std::string &name)
+{
+    return name == "x" || name == "continue" || name == "iv";
+}
+
+LoopDependence
+analyzeDependence(const Cdfg &cdfg, const LoopInfo &loops,
+                  int loop_id, const std::vector<BodyBlock> &body,
+                  BlockId header)
+{
+    LoopDependence dep;
+    (void)loops;
+    (void)loop_id;
+
+    // Collect input names consumed anywhere in the loop.
+    std::set<std::string> consumed;
+    auto collect = [&](BlockId b) {
+        for (const DfgInput &in : cdfg.block(b).dfg.inputs())
+            consumed.insert(in.name);
+    };
+    collect(header);
+    for (const BodyBlock &bb : body)
+        collect(bb.block);
+
+    // A loop-carried dependence is a body output feeding a consumed
+    // name (the builder names recurrences consistently: "crc",
+    // "sum", "i1", ...).
+    bool all_lanes_selectable = true;
+    for (const BodyBlock &bb : body) {
+        const Dfg &dfg = cdfg.block(bb.block).dfg;
+        for (const DfgOutput &out : dfg.outputs()) {
+            if (isPlumbingName(out.name))
+                continue;
+            if (!consumed.count(out.name))
+                continue;
+            dep.carried = true;
+            if (bb.isBranchTarget) {
+                dep.viaBranch = true;
+                // A lane that merely *chooses* values (only Copy /
+                // Const nodes) is if-converted to Select by every
+                // compiler and the recurrence stays on the data
+                // path.  Lanes that compute or touch memory keep
+                // the control transfer on the recurrence.
+                for (const DfgNode &n : dfg.nodes()) {
+                    if (n.op != Opcode::Copy &&
+                        n.op != Opcode::Const)
+                        all_lanes_selectable = false;
+                }
+            }
+            if (dfg.node(out.producer).op != Opcode::Mac)
+                dep.macOnly = false;
+        }
+    }
+    if (!dep.carried)
+        dep.macOnly = false;
+    dep.selectable = dep.viaBranch && all_lanes_selectable;
+    return dep;
+}
+
+} // namespace
+
+KernelStructure
+analyzeStructure(const WorkloadProfile &profile)
+{
+    KernelStructure ks;
+    const Cdfg &cdfg = profile.cdfg;
+    const LoopInfo &loops = profile.loops;
+
+    auto pred_counts = predicatedOpCounts(cdfg);
+
+    // Branch-target marking.
+    std::vector<bool> is_target(
+        static_cast<std::size_t>(cdfg.numBlocks()), false);
+    for (const CfgEdge &e : cdfg.edges())
+        if (e.kind == EdgeKind::Taken ||
+            e.kind == EdgeKind::NotTaken)
+            is_target[static_cast<std::size_t>(e.dst)] = true;
+
+    for (const Loop &loop : loops.loops()) {
+        LoopSummary ls;
+        ls.loopId = loop.id;
+        ls.header = loop.header;
+        ls.depth = loop.depth;
+        ls.parent = loop.parent;
+        ls.children = loop.children;
+        ls.rounds = profile.roundsOf(loop.header);
+        ls.iterations = profile.iterationsOf(loop.header);
+
+        double iters = static_cast<double>(
+            std::max<std::uint64_t>(1, ls.iterations));
+
+        // Merged-lane accounting (Fig. 7b): branch targets pair up;
+        // the pair occupies max(lane) PEs in Marionette.
+        std::map<BlockId, int> merged = pred_counts;
+        for (const BasicBlock &bb : cdfg.blocks()) {
+            if (bb.kind != BlockKind::Branch)
+                continue;
+            int t_ops = 0, f_ops = 0;
+            for (const CfgEdge &e : cdfg.successors(bb.id)) {
+                if (e.kind == EdgeKind::Taken)
+                    t_ops = cdfg.block(e.dst).dfg.numNodes();
+                if (e.kind == EdgeKind::NotTaken)
+                    f_ops = cdfg.block(e.dst).dfg.numNodes();
+            }
+            merged[bb.id] = bb.dfg.numNodes() +
+                            std::max(t_ops, f_ops);
+        }
+
+        for (BlockId b : loop.blocks) {
+            if (b == loop.header)
+                continue;
+            if (loops.loopOf(b) != loop.id)
+                continue; // belongs to an inner loop.
+            BodyBlock body;
+            body.block = b;
+            body.ops = cdfg.block(b).dfg.numNodes();
+            body.depth = cdfg.block(b).dfg.criticalPathLength();
+            body.isBranch =
+                cdfg.block(b).kind == BlockKind::Branch;
+            body.isBranchTarget =
+                is_target[static_cast<std::size_t>(b)];
+            body.freq =
+                static_cast<double>(profile.trace.executions(b)) /
+                iters;
+            ls.body.push_back(body);
+
+            ls.opsPerIter += body.freq * body.ops;
+            ls.depthPerIter += body.freq * body.depth;
+            if (body.isBranch)
+                ls.branchesPerIter += body.freq;
+            // Predicated / merged footprints use frequency 1 for
+            // branch lanes (they are wired in space), charged at
+            // the branch block.
+            auto pit = pred_counts.find(b);
+            double pfreq = body.isBranchTarget ? 0.0
+                          : body.isBranch
+                              ? 1.0
+                              : std::min(1.0, body.freq);
+            if (pit != pred_counts.end())
+                ls.opsPerIterPredicated += pfreq * pit->second;
+            auto mit = merged.find(b);
+            if (mit != merged.end())
+                ls.opsPerIterMerged += pfreq * mit->second;
+        }
+        // The loop header itself contributes its bookkeeping ops.
+        {
+            int hops = cdfg.block(loop.header).dfg.numNodes();
+            ls.opsPerIter += hops;
+            ls.opsPerIterPredicated += hops;
+            ls.opsPerIterMerged += hops;
+            ls.depthPerIter += 1;
+        }
+
+        ls.dependence = analyzeDependence(cdfg, loops, loop.id,
+                                          ls.body, loop.header);
+        ks.loops.push_back(std::move(ls));
+    }
+
+    // Top-level blocks.
+    for (const BasicBlock &bb : cdfg.blocks()) {
+        if (loops.loopOf(bb.id) >= 0)
+            continue;
+        TopBlock tb;
+        tb.block = bb.id;
+        tb.execs = profile.trace.executions(bb.id);
+        tb.ops = bb.dfg.numNodes();
+        tb.depth = bb.dfg.criticalPathLength();
+        if (tb.execs > 0)
+            ks.topBlocks.push_back(tb);
+    }
+
+    for (const LoopSummary &l : ks.loops)
+        ks.totalOpExecutions +=
+            static_cast<double>(l.iterations) * l.opsPerIter;
+    for (const TopBlock &tb : ks.topBlocks)
+        ks.totalOpExecutions +=
+            static_cast<double>(tb.execs) * tb.ops;
+
+    return ks;
+}
+
+std::string
+KernelStructure::toString(const Cdfg &cdfg) const
+{
+    std::ostringstream out;
+    for (const LoopSummary &l : loops) {
+        out << "loop " << l.loopId << " '"
+            << cdfg.block(l.header).name << "' depth=" << l.depth
+            << " rounds=" << l.rounds << " iters=" << l.iterations
+            << " ops/iter=" << l.opsPerIter
+            << " pred=" << l.opsPerIterPredicated
+            << " merged=" << l.opsPerIterMerged
+            << " br/iter=" << l.branchesPerIter << " dep="
+            << (l.dependence.carried
+                    ? (l.dependence.viaBranch ? "branch"
+                       : l.dependence.macOnly ? "mac"
+                                              : "data")
+                    : "none")
+            << '\n';
+    }
+    for (const TopBlock &tb : topBlocks)
+        out << "top '" << cdfg.block(tb.block).name
+            << "' execs=" << tb.execs << " ops=" << tb.ops << '\n';
+    return out.str();
+}
+
+} // namespace marionette

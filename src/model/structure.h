@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Kernel structure extraction for the trace-driven models.
+ *
+ * Distills a WorkloadProfile into the quantities every execution-
+ * model needs: the loop tree with measured rounds/iterations, each
+ * loop body's per-iteration block frequencies (branch directions
+ * from the real trace), operator footprints under the different
+ * branch-handling policies, and the loop-carried dependence
+ * classification that decides whether a pipeline's II is footprint-
+ * limited or dependence-limited (the "data-dependent pipeline II"
+ * the paper observes on FFT and Viterbi, Sec. 7.3).
+ */
+
+#ifndef MARIONETTE_MODEL_STRUCTURE_H
+#define MARIONETTE_MODEL_STRUCTURE_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace marionette
+{
+
+/** One block of a loop body with its measured frequency. */
+struct BodyBlock
+{
+    BlockId block = invalidBlock;
+    /** Executions per loop iteration (branch lanes are < 1). */
+    double freq = 0.0;
+    /** Operator count of the block. */
+    int ops = 0;
+    /** Critical path of the block's DFG. */
+    int depth = 0;
+    /** True when the block is a Branch block. */
+    bool isBranch = false;
+    /** True when reached through a Taken/NotTaken edge. */
+    bool isBranchTarget = false;
+};
+
+/** How a loop's iterations depend on each other. */
+struct LoopDependence
+{
+    /** Any loop-carried value dependence at all. */
+    bool carried = false;
+    /** The carried value is produced inside a branch lane, so the
+     *  recurrence crosses a control decision every iteration. */
+    bool viaBranch = false;
+    /** Every carried producer is a Mac (hardware accumulation
+     *  sustains II = 1 despite the recurrence). */
+    bool macOnly = true;
+    /** The branch lanes feeding the recurrence are small and free
+     *  of side effects, so every compiler converts them to Select
+     *  operators and the recurrence never leaves the data path. */
+    bool selectable = false;
+};
+
+/** One loop with everything the models need. */
+struct LoopSummary
+{
+    int loopId = -1;
+    BlockId header = invalidBlock;
+    int depth = 1;
+    int parent = -1;
+    std::vector<int> children;
+    std::uint64_t rounds = 0;
+    std::uint64_t iterations = 0;
+    std::vector<BodyBlock> body;
+    LoopDependence dependence;
+
+    /** Taken-path operators per iteration. */
+    double opsPerIter = 0.0;
+    /** Operators per iteration under predication (both lanes). */
+    double opsPerIterPredicated = 0.0;
+    /** Operators per iteration with Marionette's merged branch
+     *  lanes (max of the two lanes shares one PE set, Fig. 7b). */
+    double opsPerIterMerged = 0.0;
+    /** Branch decisions per iteration. */
+    double branchesPerIter = 0.0;
+    /** Critical path length per iteration (pipeline fill depth). */
+    double depthPerIter = 0.0;
+    /** True when the loop is innermost (no children). */
+    bool innermost() const { return children.empty(); }
+};
+
+/** A top-level (outside all loops) block with its executions. */
+struct TopBlock
+{
+    BlockId block = invalidBlock;
+    std::uint64_t execs = 0;
+    int ops = 0;
+    int depth = 0;
+};
+
+/** The extracted structure of one kernel run. */
+struct KernelStructure
+{
+    std::vector<LoopSummary> loops;
+    std::vector<TopBlock> topBlocks;
+    /** Total taken-path operator executions (useful-work anchor). */
+    double totalOpExecutions = 0.0;
+
+    const LoopSummary &loop(int id) const;
+    /** Ids of loops without parents. */
+    std::vector<int> rootLoops() const;
+
+    std::string toString(const Cdfg &cdfg) const;
+};
+
+/** Build the structure from a profile. */
+KernelStructure analyzeStructure(const WorkloadProfile &profile);
+
+} // namespace marionette
+
+#endif // MARIONETTE_MODEL_STRUCTURE_H

@@ -1,0 +1,98 @@
+#include "model/taxonomy.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace marionette
+{
+
+const std::vector<TaxonomyEntry> &
+taxonomy()
+{
+    // Paper Table 2, verbatim mechanisms.
+    static const std::vector<TaxonomyEntry> rows = {
+        // ---- von Neumann PEs ----
+        {"RICA", PeModelClass::VonNeumann,
+         "A core processor that generates the overall "
+         "configuration signal.", 2007},
+        {"DRP", PeModelClass::VonNeumann,
+         "Switching all PE configurations via a finite state "
+         "machine.", 2004},
+        {"DySER", PeModelClass::VonNeumann,
+         "Configuration update via external processor signal.",
+         2012},
+        {"FPCA", PeModelClass::VonNeumann,
+         "External processor assignments.", 2014},
+        {"DORA", PeModelClass::VonNeumann,
+         "A counter determines the end and update of the "
+         "configurations.", 2016},
+        {"Plasticine", PeModelClass::VonNeumann,
+         "A counter controls the distribution and execution of "
+         "configurations.", 2017},
+        {"Softbrain", PeModelClass::VonNeumann,
+         "Processor fetches instruction from memory.", 2017},
+        {"SPU", PeModelClass::VonNeumann,
+         "Processor fetches instruction from memory.", 2019},
+        {"MP-CGRA", PeModelClass::VonNeumann,
+         "Distributed instruction counters.", 2022},
+        {"DRIPS", PeModelClass::VonNeumann,
+         "The centralized controller dynamically changes the map "
+         "table.", 2022},
+        {"RipTide", PeModelClass::VonNeumann,
+         "Processor fetches instruction.", 2022},
+        // ---- dataflow PEs ----
+        {"TRIPS", PeModelClass::Dataflow,
+         "An instruction window to determine instruction "
+         "execution.", 2004},
+        {"Wavescalar", PeModelClass::Dataflow,
+         "According to the data, configurations are fetched to "
+         "execute.", 2003},
+        {"TIA", PeModelClass::Dataflow,
+         "Scheduler selects instructions based on the input "
+         "data.", 2013},
+        {"T3", PeModelClass::Dataflow,
+         "An instruction window to determine instruction "
+         "execution.", 2013},
+        {"SGMF", PeModelClass::Dataflow,
+         "The corresponding thread is executed when the token "
+         "arrives.", 2014},
+        {"dMT-CGRA", PeModelClass::Dataflow,
+         "An instruction window to determine instruction "
+         "execution.", 2018},
+    };
+    return rows;
+}
+
+std::vector<TaxonomyEntry>
+taxonomyOf(PeModelClass cls)
+{
+    std::vector<TaxonomyEntry> out;
+    for (const TaxonomyEntry &e : taxonomy())
+        if (e.cls == cls)
+            out.push_back(e);
+    return out;
+}
+
+std::string_view
+peModelClassName(PeModelClass cls)
+{
+    return cls == PeModelClass::VonNeumann ? "von Neumann PE"
+                                           : "dataflow PE";
+}
+
+std::string
+renderTaxonomy()
+{
+    std::ostringstream out;
+    for (PeModelClass cls :
+         {PeModelClass::VonNeumann, PeModelClass::Dataflow}) {
+        out << "-- " << peModelClassName(cls) << " --\n";
+        for (const TaxonomyEntry &e : taxonomyOf(cls)) {
+            out << std::left << std::setw(12) << e.architecture
+                << ' ' << e.mechanism << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace marionette

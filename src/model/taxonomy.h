@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The spatial-architecture survey of paper Table 2: a decade of
+ * SAs categorized by PE execution model (von Neumann-derived vs.
+ * dataflow-derived) with each design's configuration-triggering
+ * mechanism.  The taxonomy drives the paper's Sec. 2.3 analysis
+ * and this repository's model zoo (the two PE baselines of
+ * Fig. 11 are the two rows' archetypes).
+ */
+
+#ifndef MARIONETTE_MODEL_TAXONOMY_H
+#define MARIONETTE_MODEL_TAXONOMY_H
+
+#include <string>
+#include <vector>
+
+namespace marionette
+{
+
+/** The two PE execution-model families of Sec. 2.3 / Fig. 2. */
+enum class PeModelClass
+{
+    VonNeumann,  ///< Sequenced configurations; PC/FSM/host-driven.
+    Dataflow     ///< Token tags select the configuration.
+};
+
+/** One surveyed architecture (a Table 2 row). */
+struct TaxonomyEntry
+{
+    std::string architecture;
+    PeModelClass cls = PeModelClass::VonNeumann;
+    /** "Mechanism for configuration triggering" column. */
+    std::string mechanism;
+    /** Publication year (ordering aid). */
+    int year = 0;
+};
+
+/** Table 2's rows, in the paper's order. */
+const std::vector<TaxonomyEntry> &taxonomy();
+
+/** Rows of one family. */
+std::vector<TaxonomyEntry> taxonomyOf(PeModelClass cls);
+
+/** Render Table 2. */
+std::string renderTaxonomy();
+
+/** Family name helper. */
+std::string_view peModelClassName(PeModelClass cls);
+
+} // namespace marionette
+
+#endif // MARIONETTE_MODEL_TAXONOMY_H

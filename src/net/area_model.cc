@@ -1,0 +1,186 @@
+#include "net/area_model.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "net/control_network.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/**
+ * Calibration constants: per-unit 28 nm areas/powers chosen so the
+ * paper's reference configuration (4x4 PEs, 12 ordinary + 4
+ * nonlinear, 16 KiB scratchpad, 2 KiB instruction memory, 16+32+16
+ * port CS-Benes) lands exactly on Table 4.
+ */
+constexpr double ordinaryPeArea = 0.059 / 12;   // mm^2 per PE
+constexpr double ordinaryPePower = 48.99 / 12;  // mW per PE
+constexpr double nonlinearPeArea = 0.032 / 4;
+constexpr double nonlinearPePower = 22.02 / 4;
+
+// Data mesh: per-router area on the reference 4x4 (16 routers).
+constexpr double meshRouterArea = 0.0063 / 16;
+constexpr double meshRouterPower = 40.80 / 16;
+
+// Control network: per-switching-element area.  The reference
+// CS-Benes over width 64 has a 64x64 Benes (11 stages x 32 = 352
+// 2x2 switches) and two 64-wide CS stages (2 x 6 x 64 = 768 2:1
+// muxes); a 2x2 switch is modeled as 3x the mux cost (two muxes
+// plus state), giving 352*3 + 768 = 1824 mux-equivalents for
+// 0.0022 mm^2.
+constexpr double muxEquivArea = 0.0022 / 1824;
+constexpr double muxEquivPower = 13.89 / 1824;
+
+constexpr double spadAreaPerKib = 0.033 / 16;
+constexpr double spadPowerPerKib = 5.07 / 16;
+
+constexpr double memXbarAreaPerPe = 0.003 / 16;
+constexpr double memXbarPowerPerPe = 14.24 / 16;
+
+constexpr double fifoAreaEach = 0.001 / 16;
+constexpr double fifoPowerEach = 0.56 / 16;
+
+constexpr double controllerAreaBase = 0.013;
+constexpr double controllerPowerBase = 6.52;
+
+} // namespace
+
+AreaBreakdown
+marionetteAreaBreakdown(const MachineConfig &config)
+{
+    AreaBreakdown bd;
+    auto add = [&bd](const std::string &group,
+                     const std::string &component, double area,
+                     double power) {
+        bd.rows.push_back(AreaRow{group, component, area, power});
+        bd.totalAreaMm2 += area;
+        bd.totalPowerMw += power;
+    };
+
+    int ordinary = config.numPes() - config.nonlinearPes;
+    add("PE",
+        "PEs (" + std::to_string(ordinary) + " ordinary)",
+        ordinary * ordinaryPeArea, ordinary * ordinaryPePower);
+    add("PE",
+        "PEs (" + std::to_string(config.nonlinearPes) +
+            " with nonlinear fitting)",
+        config.nonlinearPes * nonlinearPeArea,
+        config.nonlinearPes * nonlinearPePower);
+
+    add("Network", "Data Network",
+        config.numPes() * meshRouterArea,
+        config.numPes() * meshRouterPower);
+
+    // Control network cost from the actual switch counts of a
+    // CS-Benes instance sized for this array.
+    ControlNetwork net(config.numPes(),
+                       config.controlFifoCount / 2 + 8);
+    double mux_equiv = net.benesSwitches() * 3.0 + net.csMuxes();
+    add("Network", "Control Network", mux_equiv * muxEquivArea,
+        mux_equiv * muxEquivPower);
+
+    double spad_kib = config.scratchpadBytes / 1024.0;
+    add("Memory",
+        "Data Scratchpad (" +
+            std::to_string(static_cast<int>(spad_kib)) + "KB)",
+        spad_kib * spadAreaPerKib, spad_kib * spadPowerPerKib);
+    add("Memory", "Memory Access Interconnect",
+        config.numPes() * memXbarAreaPerPe,
+        config.numPes() * memXbarPowerPerPe);
+    add("Memory", "Control FIFOs",
+        config.controlFifoCount * fifoAreaEach,
+        config.controlFifoCount * fifoPowerEach);
+
+    double ctrl_scale =
+        (config.instrMemBytes / 2048.0 + 1.0) / 2.0;
+    add("Control",
+        "Controller + Instruction Scratchpad (" +
+            std::to_string(config.instrMemBytes / 1024) + "KB)",
+        controllerAreaBase * ctrl_scale,
+        controllerPowerBase * ctrl_scale);
+
+    return bd;
+}
+
+std::string
+AreaBreakdown::toString() const
+{
+    std::ostringstream out;
+    out << std::left << std::setw(10) << "Group" << std::setw(44)
+        << "Component" << std::right << std::setw(12)
+        << "Area(mm^2)" << std::setw(12) << "Power(mW)" << '\n';
+    for (const AreaRow &row : rows) {
+        out << std::left << std::setw(10) << row.group
+            << std::setw(44) << row.component << std::right
+            << std::fixed << std::setprecision(4) << std::setw(12)
+            << row.areaMm2 << std::setprecision(2) << std::setw(12)
+            << row.powerMw << '\n';
+    }
+    out << std::left << std::setw(54) << "Total" << std::right
+        << std::fixed << std::setprecision(4) << std::setw(12)
+        << totalAreaMm2 << std::setprecision(2) << std::setw(12)
+        << totalPowerMw << '\n';
+    return out.str();
+}
+
+std::vector<NetworkAreaEntry>
+networkAreaComparison(const MachineConfig &config)
+{
+    // Literature rows as published in Table 6 (normalized to 28 nm,
+    // 32-bit datapath, 4x4 PE array by the paper's methodology).
+    std::vector<NetworkAreaEntry> table = {
+        {"Softbrain", 0.0041, 0.0130, 0.0, 0.0, true},
+        {"REVEL", 0.022, 0.028, 0.0, 0.0, true},
+        {"DySER", 0.058, 0.052, 0.0, 0.0, true},
+        {"Plasticine", 0.161, 0.294, 0.0, 0.0, true},
+        {"SPU", 0.050, 0.045, 0.0, 0.0, true},
+    };
+
+    // Marionette's row from this model: PE area from the breakdown,
+    // network area = data mesh + control network.
+    AreaBreakdown bd = marionetteAreaBreakdown(config);
+    NetworkAreaEntry us;
+    us.architecture = "Marionette";
+    for (const AreaRow &row : bd.rows) {
+        if (row.group == "PE")
+            us.peAreaMm2 += row.areaMm2;
+        else if (row.group == "Network")
+            us.networkAreaMm2 += row.areaMm2;
+        else if (row.component == "Memory Access Interconnect")
+            us.networkAreaMm2 += row.areaMm2;
+    }
+    table.push_back(us);
+
+    for (NetworkAreaEntry &e : table) {
+        e.computingFabricMm2 = e.peAreaMm2 + e.networkAreaMm2;
+        e.networkRatio = e.networkAreaMm2 / e.computingFabricMm2;
+    }
+    return table;
+}
+
+std::string
+toString(const std::vector<NetworkAreaEntry> &table)
+{
+    std::ostringstream out;
+    out << std::left << std::setw(14) << "Architecture" << std::right
+        << std::setw(10) << "PE" << std::setw(10) << "Network"
+        << std::setw(10) << "Fabric" << std::setw(10) << "Ratio"
+        << '\n';
+    for (const NetworkAreaEntry &e : table) {
+        out << std::left << std::setw(14) << e.architecture
+            << std::right << std::fixed << std::setprecision(4)
+            << std::setw(10) << e.peAreaMm2 << std::setw(10)
+            << e.networkAreaMm2 << std::setw(10)
+            << e.computingFabricMm2 << std::setprecision(1)
+            << std::setw(9) << e.networkRatio * 100 << "%" << '\n';
+    }
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,222 @@
+#include "net/benes.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2int(int v)
+{
+    int k = 0;
+    while ((1 << k) < v)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+BenesNetwork::BenesNetwork(int n) : n_(n)
+{
+    MARIONETTE_ASSERT(isPowerOfTwo(n) && n >= 2,
+                      "Benes terminal count %d must be a power of two "
+                      ">= 2", n);
+    stages_ = 2 * log2int(n) - 1;
+}
+
+BenesRouting
+BenesNetwork::route(const std::vector<int> &perm) const
+{
+    MARIONETTE_ASSERT(static_cast<int>(perm.size()) == n_,
+                      "permutation size %zu != %d terminals",
+                      perm.size(), n_);
+    std::vector<bool> out_used(static_cast<std::size_t>(n_), false);
+    for (int i = 0; i < n_; ++i) {
+        int o = perm[static_cast<std::size_t>(i)];
+        if (o < 0)
+            continue;
+        MARIONETTE_ASSERT(o < n_, "permutation target %d out of "
+                          "range", o);
+        MARIONETTE_ASSERT(!out_used[static_cast<std::size_t>(o)],
+                          "output %d targeted twice", o);
+        out_used[static_cast<std::size_t>(o)] = true;
+    }
+
+    BenesRouting routing;
+    routing.settings.assign(
+        static_cast<std::size_t>(stages_),
+        std::vector<bool>(static_cast<std::size_t>(n_ / 2), false));
+    routeRec(perm, 0, stages_ - 1, 0, routing);
+    return routing;
+}
+
+void
+BenesNetwork::routeRec(const std::vector<int> &perm, int stage_lo,
+                       int stage_hi, int row_base,
+                       BenesRouting &routing) const
+{
+    const int n = static_cast<int>(perm.size());
+    if (n == 2) {
+        // Single switch: cross when input 0 targets output 1 or
+        // input 1 targets output 0.
+        bool cross = false;
+        if (perm[0] == 1 || perm[1] == 0)
+            cross = true;
+        routing.settings[static_cast<std::size_t>(stage_lo)]
+                        [static_cast<std::size_t>(row_base)] = cross;
+        return;
+    }
+
+    // Inverse permutation: which input feeds each output.
+    std::vector<int> inv(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i)
+        if (perm[static_cast<std::size_t>(i)] >= 0)
+            inv[static_cast<std::size_t>(
+                perm[static_cast<std::size_t>(i)])] = i;
+
+    // 2-colour the looping constraint graph: inputs sharing an input
+    // switch must use different subnetworks; inputs targeting outputs
+    // that share an output switch must too.  Benes' theorem
+    // guarantees 2-colourability.
+    std::vector<int> sub(static_cast<std::size_t>(n), -1);
+    for (int seed = 0; seed < n; ++seed) {
+        if (sub[static_cast<std::size_t>(seed)] != -1)
+            continue;
+        sub[static_cast<std::size_t>(seed)] = 0;
+        std::vector<int> work{seed};
+        while (!work.empty()) {
+            int i = work.back();
+            work.pop_back();
+            int color = sub[static_cast<std::size_t>(i)];
+            auto visit = [&](int j, int want) {
+                if (j < 0)
+                    return;
+                int &c = sub[static_cast<std::size_t>(j)];
+                if (c == -1) {
+                    c = want;
+                    work.push_back(j);
+                } else {
+                    MARIONETTE_ASSERT(c == want,
+                                      "Benes looping conflict at "
+                                      "input %d", j);
+                }
+            };
+            // Input-switch sibling must differ.
+            visit(i ^ 1, 1 - color);
+            // Output-switch sibling's source must differ.
+            int o = perm[static_cast<std::size_t>(i)];
+            if (o >= 0)
+                visit(inv[static_cast<std::size_t>(o ^ 1)], 1 - color);
+        }
+    }
+
+    // Input-stage switch settings: cross when even input goes lower.
+    for (int j = 0; j < n / 2; ++j) {
+        routing.settings[static_cast<std::size_t>(stage_lo)]
+                        [static_cast<std::size_t>(row_base + j)] =
+            sub[static_cast<std::size_t>(2 * j)] == 1;
+    }
+
+    // Output-stage switch settings: cross when output 2m is fed from
+    // the lower subnetwork.
+    for (int m = 0; m < n / 2; ++m) {
+        bool cross = false;
+        int src_even = inv[static_cast<std::size_t>(2 * m)];
+        int src_odd = inv[static_cast<std::size_t>(2 * m + 1)];
+        if (src_even >= 0)
+            cross = sub[static_cast<std::size_t>(src_even)] == 1;
+        else if (src_odd >= 0)
+            cross = sub[static_cast<std::size_t>(src_odd)] == 0;
+        routing.settings[static_cast<std::size_t>(stage_hi)]
+                        [static_cast<std::size_t>(row_base + m)] =
+            cross;
+    }
+
+    // Build the two half-size subproblems.
+    std::vector<int> upper(static_cast<std::size_t>(n / 2), -1);
+    std::vector<int> lower(static_cast<std::size_t>(n / 2), -1);
+    for (int i = 0; i < n; ++i) {
+        int o = perm[static_cast<std::size_t>(i)];
+        if (o < 0)
+            continue;
+        if (sub[static_cast<std::size_t>(i)] == 0)
+            upper[static_cast<std::size_t>(i / 2)] = o / 2;
+        else
+            lower[static_cast<std::size_t>(i / 2)] = o / 2;
+    }
+
+    routeRec(upper, stage_lo + 1, stage_hi - 1, row_base, routing);
+    routeRec(lower, stage_lo + 1, stage_hi - 1, row_base + n / 4,
+             routing);
+}
+
+std::vector<Word>
+BenesNetwork::apply(const BenesRouting &routing,
+                    const std::vector<Word> &inputs) const
+{
+    MARIONETTE_ASSERT(static_cast<int>(inputs.size()) == n_,
+                      "input vector size %zu != %d", inputs.size(),
+                      n_);
+    MARIONETTE_ASSERT(static_cast<int>(routing.settings.size()) ==
+                          stages_,
+                      "routing has wrong stage count");
+    return applyRec(routing, inputs, 0, stages_ - 1, 0);
+}
+
+std::vector<Word>
+BenesNetwork::applyRec(const BenesRouting &routing,
+                       const std::vector<Word> &inputs, int stage_lo,
+                       int stage_hi, int row_base) const
+{
+    const int n = static_cast<int>(inputs.size());
+    if (n == 2) {
+        bool cross =
+            routing.settings[static_cast<std::size_t>(stage_lo)]
+                            [static_cast<std::size_t>(row_base)];
+        if (cross)
+            return {inputs[1], inputs[0]};
+        return {inputs[0], inputs[1]};
+    }
+
+    std::vector<Word> up(static_cast<std::size_t>(n / 2));
+    std::vector<Word> low(static_cast<std::size_t>(n / 2));
+    for (int j = 0; j < n / 2; ++j) {
+        bool cross =
+            routing.settings[static_cast<std::size_t>(stage_lo)]
+                            [static_cast<std::size_t>(row_base + j)];
+        Word a = inputs[static_cast<std::size_t>(2 * j)];
+        Word b = inputs[static_cast<std::size_t>(2 * j + 1)];
+        up[static_cast<std::size_t>(j)] = cross ? b : a;
+        low[static_cast<std::size_t>(j)] = cross ? a : b;
+    }
+
+    std::vector<Word> up_out =
+        applyRec(routing, up, stage_lo + 1, stage_hi - 1, row_base);
+    std::vector<Word> low_out = applyRec(
+        routing, low, stage_lo + 1, stage_hi - 1, row_base + n / 4);
+
+    std::vector<Word> out(static_cast<std::size_t>(n));
+    for (int m = 0; m < n / 2; ++m) {
+        bool cross =
+            routing.settings[static_cast<std::size_t>(stage_hi)]
+                            [static_cast<std::size_t>(row_base + m)];
+        Word a = up_out[static_cast<std::size_t>(m)];
+        Word b = low_out[static_cast<std::size_t>(m)];
+        out[static_cast<std::size_t>(2 * m)] = cross ? b : a;
+        out[static_cast<std::size_t>(2 * m + 1)] = cross ? a : b;
+    }
+    return out;
+}
+
+} // namespace marionette

@@ -1,0 +1,214 @@
+#include "net/control_network.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+int
+nextPowerOfTwo(int v)
+{
+    int p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+ControlNetwork::ControlNetwork(int num_pes, int num_extra)
+    : numPes_(num_pes),
+      numExtra_(num_extra),
+      // Fig. 6c sizing: a 4x expansion over the PE ports (16 PEs ->
+      // 64-wide core), widened further only if the FIFO/controller
+      // ports would not fit.
+      width_(nextPowerOfTwo(std::max(4 * num_pes,
+                                     num_pes + num_extra))),
+      strideIn_(width_ / (num_pes + num_extra)),
+      strideOut_(width_ / (num_pes + num_extra)),
+      csIn_(width_),
+      benes_(width_),
+      csOut_(width_),
+      stats_("ctrlnet")
+{
+    MARIONETTE_ASSERT(num_pes > 0, "control network needs PE ports");
+    MARIONETTE_ASSERT(num_extra >= 0, "negative extra ports");
+}
+
+bool
+ControlNetwork::configure(const std::vector<ControlRoute> &routes)
+{
+    // --- Validate: ports in range, destination sets disjoint. ---
+    std::set<int> seen_dests;
+    std::set<int> seen_srcs;
+    for (const ControlRoute &r : routes) {
+        if (r.srcPort < 0 || r.srcPort >= numPorts())
+            MARIONETTE_FATAL("control route source port %d out of "
+                             "range", r.srcPort);
+        if (!seen_srcs.insert(r.srcPort).second)
+            MARIONETTE_FATAL("duplicate control route from port %d",
+                             r.srcPort);
+        if (r.destPorts.empty())
+            MARIONETTE_FATAL("control route from port %d has no "
+                             "destinations", r.srcPort);
+        for (int d : r.destPorts) {
+            if (d < 0 || d >= numPorts())
+                MARIONETTE_FATAL("control route dest port %d out of "
+                                 "range", d);
+            if (!seen_dests.insert(d).second)
+                MARIONETTE_FATAL("output port %d listens to two "
+                                 "sources", d);
+        }
+    }
+
+    // --- Split each route's destinations into consecutive runs. ---
+    struct Run
+    {
+        int routeIdx;
+        int firstPort;
+        int lastPort;
+    };
+    std::vector<std::vector<Run>> runs_per_route(routes.size());
+    std::vector<Run> all_runs;
+    for (std::size_t k = 0; k < routes.size(); ++k) {
+        std::vector<int> dests = routes[k].destPorts;
+        std::sort(dests.begin(), dests.end());
+        for (std::size_t i = 0; i < dests.size();) {
+            std::size_t j = i;
+            // Merge only PE ports into runs; the second CS spreads
+            // across the PE range of the output side.
+            while (j + 1 < dests.size() &&
+                   dests[j + 1] == dests[j] + 1 &&
+                   dests[j + 1] < numPes_)
+                ++j;
+            Run run{static_cast<int>(k), dests[i], dests[j]};
+            runs_per_route[k].push_back(run);
+            all_runs.push_back(run);
+            i = j + 1;
+        }
+    }
+
+    // --- First CS: replicate each source into one copy per run. ---
+    // Corridor allocation in ascending source-position order; spans
+    // [srcPos, corridorEnd] must stay disjoint (CS contract).
+    std::vector<std::size_t> order(routes.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return routes[a].srcPort < routes[b].srcPort;
+              });
+
+    std::vector<CsSpread> in_spreads;
+    std::vector<int> corridor_start(routes.size(), -1);
+    int prev_span_end = -1;
+    for (std::size_t k : order) {
+        int src_pos = inPosition(routes[k].srcPort);
+        int n_copies =
+            static_cast<int>(runs_per_route[k].size());
+        if (src_pos <= prev_span_end)
+            return false; // corridor would overlap the previous span
+        int start = std::max(src_pos, prev_span_end + 1);
+        int end = start + n_copies - 1;
+        if (end >= width_)
+            return false; // exceeds network capacity
+        corridor_start[k] = start;
+        prev_span_end = end;
+        in_spreads.push_back(CsSpread{src_pos, start, end});
+    }
+
+    // --- Benes: copy i of route k -> start position of its run. ---
+    std::vector<int> perm(static_cast<std::size_t>(width_), -1);
+    for (std::size_t k = 0; k < routes.size(); ++k) {
+        for (std::size_t i = 0; i < runs_per_route[k].size(); ++i) {
+            int mid = corridor_start[k] + static_cast<int>(i);
+            int out_pos =
+                outPosition(runs_per_route[k][i].firstPort);
+            perm[static_cast<std::size_t>(mid)] = out_pos;
+        }
+    }
+
+    // --- Second CS: spread every run across its PE positions. ---
+    std::vector<CsSpread> out_spreads;
+    for (const Run &run : all_runs) {
+        int lo = outPosition(run.firstPort);
+        int hi = outPosition(run.lastPort);
+        out_spreads.push_back(CsSpread{lo, lo, hi});
+    }
+    if (!CsNetwork::routable(in_spreads, width_) ||
+        !CsNetwork::routable(out_spreads, width_))
+        return false;
+
+    csInRouting_ = csIn_.route(in_spreads);
+    benesRouting_ = benes_.route(perm);
+    csOutRouting_ = csOut_.route(out_spreads);
+    routes_ = routes;
+    routeOfPort_.assign(static_cast<std::size_t>(numPorts()), -1);
+    for (std::size_t k = 0; k < routes.size(); ++k)
+        routeOfPort_[static_cast<std::size_t>(routes[k].srcPort)] =
+            static_cast<int>(k);
+    configured_ = true;
+    stats_.stat("configurations").inc();
+    return true;
+}
+
+std::vector<ControlDelivery>
+ControlNetwork::transfer(
+    const std::vector<std::pair<int, Word>> &sends)
+{
+    MARIONETTE_ASSERT(configured_,
+                      "transfer on unconfigured control network");
+    if (sends.empty())
+        return {};
+
+    std::vector<Word> lane(static_cast<std::size_t>(width_), 0);
+    for (const auto &[port, value] : sends) {
+        MARIONETTE_ASSERT(port >= 0 && port < numPorts(),
+                          "send from bad port %d", port);
+        MARIONETTE_ASSERT(
+            routeOfPort_[static_cast<std::size_t>(port)] >= 0,
+            "send from port %d without a configured route", port);
+        lane[static_cast<std::size_t>(inPosition(port))] = value;
+    }
+
+    // Real datapath traversal: CS -> Benes -> CS.
+    lane = csIn_.apply(csInRouting_, lane);
+    lane = benes_.apply(benesRouting_, lane);
+    lane = csOut_.apply(csOutRouting_, lane);
+
+    std::vector<ControlDelivery> out;
+    for (const auto &[port, value] : sends) {
+        int k = routeOfPort_[static_cast<std::size_t>(port)];
+        for (int dest :
+             routes_[static_cast<std::size_t>(k)].destPorts) {
+            Word delivered =
+                lane[static_cast<std::size_t>(outPosition(dest))];
+            MARIONETTE_ASSERT(delivered == value,
+                              "control network corrupted a word "
+                              "(port %d -> %d)", port, dest);
+            out.push_back(ControlDelivery{dest, delivered});
+        }
+        stats_.stat("transfers").inc();
+    }
+    stats_.stat("words_delivered").inc(out.size());
+    return out;
+}
+
+std::vector<int>
+ControlNetwork::destinationsOf(int src_port) const
+{
+    if (!configured_ || src_port < 0 || src_port >= numPorts())
+        return {};
+    int k = routeOfPort_[static_cast<std::size_t>(src_port)];
+    if (k < 0)
+        return {};
+    return routes_[static_cast<std::size_t>(k)].destPorts;
+}
+
+} // namespace marionette

@@ -1,0 +1,127 @@
+#include "net/cs_network.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+CsNetwork::CsNetwork(int n) : n_(n)
+{
+    MARIONETTE_ASSERT(n >= 2 && (n & (n - 1)) == 0,
+                      "CS network size %d must be a power of two "
+                      ">= 2", n);
+    stages_ = 0;
+    while ((1 << stages_) < n)
+        ++stages_;
+}
+
+bool
+CsNetwork::routable(const std::vector<CsSpread> &spreads, int n)
+{
+    std::vector<CsSpread> sorted = spreads;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CsSpread &a, const CsSpread &b) {
+                  return a.src < b.src;
+              });
+    int prev_hi = -1;
+    for (const CsSpread &s : sorted) {
+        if (s.src < 0 || s.lo < s.src || s.hi < s.lo || s.hi >= n)
+            return false;
+        if (s.src <= prev_hi)
+            return false; // corridor overlap
+        prev_hi = s.hi;
+    }
+    return true;
+}
+
+CsRouting
+CsNetwork::route(const std::vector<CsSpread> &spreads) const
+{
+    if (!routable(spreads, n_))
+        MARIONETTE_FATAL("CS spread set violates the disjoint-"
+                         "corridor contract");
+
+    CsRouting routing;
+    routing.shift.assign(
+        static_cast<std::size_t>(stages_),
+        std::vector<bool>(static_cast<std::size_t>(n_), false));
+
+    // Occupancy: which request's value sits at each position; -1 is
+    // idle.  Greedy-maximal fill inside each request's window is
+    // provably sufficient (see tests/net/cs_network_test.cc for the
+    // exhaustive check).
+    std::vector<int> occ(static_cast<std::size_t>(n_), -1);
+    for (std::size_t k = 0; k < spreads.size(); ++k)
+        occ[static_cast<std::size_t>(spreads[k].src)] =
+            static_cast<int>(k);
+
+    for (int s = 0; s < stages_; ++s) {
+        int d = n_ >> (s + 1); // spans n/2, n/4, ..., 1.
+        std::vector<int> next = occ;
+        for (std::size_t k = 0; k < spreads.size(); ++k) {
+            const CsSpread &req = spreads[k];
+            int window_lo = std::max(req.src, req.lo - (d - 1));
+            for (int p = window_lo; p <= req.hi; ++p) {
+                bool keep_ok =
+                    occ[static_cast<std::size_t>(p)] ==
+                    static_cast<int>(k);
+                bool shift_ok =
+                    p - d >= 0 &&
+                    occ[static_cast<std::size_t>(p - d)] ==
+                        static_cast<int>(k);
+                if (!keep_ok && shift_ok) {
+                    next[static_cast<std::size_t>(p)] =
+                        static_cast<int>(k);
+                    routing.shift[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(p)] = true;
+                }
+            }
+        }
+        occ = std::move(next);
+    }
+
+    for (const CsSpread &req : spreads) {
+        for (int p = req.lo; p <= req.hi; ++p) {
+            MARIONETTE_ASSERT(
+                occ[static_cast<std::size_t>(p)] >= 0 &&
+                    spreads[static_cast<std::size_t>(
+                                occ[static_cast<std::size_t>(p)])]
+                            .src == req.src,
+                "CS routing failed to cover position %d of spread "
+                "from %d", p, req.src);
+        }
+    }
+    return routing;
+}
+
+std::vector<Word>
+CsNetwork::apply(const CsRouting &routing,
+                 const std::vector<Word> &inputs) const
+{
+    MARIONETTE_ASSERT(static_cast<int>(inputs.size()) == n_,
+                      "input vector size %zu != %d", inputs.size(),
+                      n_);
+    MARIONETTE_ASSERT(static_cast<int>(routing.shift.size()) ==
+                          stages_,
+                      "routing stage count mismatch");
+    std::vector<Word> cur = inputs;
+    for (int s = 0; s < stages_; ++s) {
+        int d = n_ >> (s + 1);
+        std::vector<Word> next = cur;
+        for (int p = 0; p < n_; ++p) {
+            if (routing.shift[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(p)]) {
+                MARIONETTE_ASSERT(p - d >= 0,
+                                  "shift mux reads out of range");
+                next[static_cast<std::size_t>(p)] =
+                    cur[static_cast<std::size_t>(p - d)];
+            }
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+} // namespace marionette

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Consecutive Spreading (CS) broadcast network (Lea 1988; paper
+ * Sec. 4.1, Fig. 6b).
+ *
+ * The CS network complements the Benes core: a Benes network can
+ * permute but not replicate, while the CS network spreads an input
+ * to a *consecutive range* of outputs, giving broadcast capability
+ * with far less area than cascading networks.
+ *
+ * Hardware model: log2(n) stages; the stage with span d lets output
+ * position p select between position p and position p-d of the
+ * previous stage (an n-wide row of 2:1 muxes per stage).  A value at
+ * position s can therefore reach any position s+delta, delta in
+ * [0, n-1], and can replicate into any consecutive range.
+ *
+ * Joint routing contract: a set of spreads {src_k -> [lo_k, hi_k]}
+ * is routable when src_k <= lo_k and the *corridors* [src_k, hi_k]
+ * are pairwise disjoint.  Within its corridor each value moves only
+ * rightward, so disjoint corridors can never conflict.  The
+ * composed control network (control_network.h) allocates corridors
+ * satisfying this contract at configuration time, which is exactly
+ * the paper's "fixed connection and no arbitration" property.
+ */
+
+#ifndef MARIONETTE_NET_CS_NETWORK_H
+#define MARIONETTE_NET_CS_NETWORK_H
+
+#include <vector>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** One spreading request: value at src covers [lo, hi] inclusive. */
+struct CsSpread
+{
+    int src = 0;
+    int lo = 0;
+    int hi = 0;
+};
+
+/** Mux settings; shift[stage][pos] true = take from pos - span. */
+struct CsRouting
+{
+    std::vector<std::vector<bool>> shift;
+};
+
+/** A consecutive-spreading network over n = 2^k positions. */
+class CsNetwork
+{
+  public:
+    /** @param n position count, power of two >= 2. */
+    explicit CsNetwork(int n);
+
+    int numTerminals() const { return n_; }
+
+    /** log2(n) mux stages. */
+    int numStages() const { return stages_; }
+
+    /** Total 2:1 muxes (n per stage). */
+    int totalMuxes() const { return stages_ * n_; }
+
+    /**
+     * Check the joint-routing contract: sources not after range
+     * starts, ranges within bounds, corridors pairwise disjoint.
+     */
+    static bool routable(const std::vector<CsSpread> &spreads, int n);
+
+    /**
+     * Compute mux settings for a contract-satisfying set of spreads.
+     * Calls fatal() when the contract is violated (a compiler bug
+     * upstream would be the cause — the allocator checks first).
+     */
+    CsRouting route(const std::vector<CsSpread> &spreads) const;
+
+    /**
+     * Push one value per position through the muxes.
+     * Positions not covered by any spread carry unspecified data.
+     */
+    std::vector<Word> apply(const CsRouting &routing,
+                            const std::vector<Word> &inputs) const;
+
+  private:
+    int n_;
+    int stages_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_NET_CS_NETWORK_H

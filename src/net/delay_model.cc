@@ -1,0 +1,118 @@
+#include "net/delay_model.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/** 28 nm standard-cell constants (typical corner). */
+constexpr double switchLogicNs = 0.085; ///< 2:1 mux + config gate.
+constexpr double wireNsPerSpanLog = 0.022; ///< wire per log2(span).
+constexpr double setupClkQNs = 0.110;   ///< register overhead.
+
+int
+log2ceil(int v)
+{
+    int k = 0;
+    while ((1 << k) < v)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+int
+controlNetworkStages(int num_pes)
+{
+    // Width = 4x the PE port count, as in the Fig. 6c instance
+    // (16 PE ports -> 64-wide core).
+    int width = 1;
+    while (width < 4 * num_pes)
+        width <<= 1;
+    int k = log2ceil(width);
+    // Two CS stages of log2(width) plus a (2*log2(width) - 1)-stage
+    // Benes core.
+    return 2 * k + (2 * k - 1);
+}
+
+NetworkTiming
+timeControlNetwork(int num_pes, double freq_ghz)
+{
+    MARIONETTE_ASSERT(num_pes > 0 && freq_ghz > 0,
+                      "bad timing query");
+    NetworkTiming t;
+    t.numPes = num_pes;
+    t.freqGhz = freq_ghz;
+    t.stages = controlNetworkStages(num_pes);
+
+    // Per-stage delay: logic plus span-dependent wire.  Average span
+    // log across a butterfly of width w is ~log2(w)/2.
+    int width = 1;
+    while (width < 4 * num_pes)
+        width <<= 1;
+    double avg_span_log = log2ceil(width) / 2.0;
+    double per_stage =
+        switchLogicNs + wireNsPerSpanLog * avg_span_log;
+    t.pathNs = t.stages * per_stage;
+
+    double cycle_ns = 1.0 / freq_ghz;
+    double budget = cycle_ns - setupClkQNs;
+    if (budget <= per_stage) {
+        // Even one stage per cycle misses timing: report the
+        // single-stage bound.
+        t.criticalPathNs = per_stage + setupClkQNs;
+        t.latencyCycles = t.stages;
+        t.meetsTiming = t.criticalPathNs <= cycle_ns;
+        return t;
+    }
+    int stages_per_cycle =
+        static_cast<int>(std::floor(budget / per_stage));
+    if (stages_per_cycle < 1)
+        stages_per_cycle = 1;
+    t.latencyCycles = (t.stages + stages_per_cycle - 1) /
+                      stages_per_cycle;
+    t.criticalPathNs =
+        stages_per_cycle * per_stage + setupClkQNs;
+    t.meetsTiming = t.criticalPathNs <= cycle_ns;
+    return t;
+}
+
+std::vector<NetworkTiming>
+delaySweep()
+{
+    std::vector<NetworkTiming> out;
+    const int sizes[] = {4, 16, 64, 256};
+    const double freqs[] = {0.5, 0.8, 1.0, 1.25, 2.0};
+    for (int pes : sizes)
+        for (double f : freqs)
+            out.push_back(timeControlNetwork(pes, f));
+    return out;
+}
+
+std::string
+toString(const std::vector<NetworkTiming> &sweep)
+{
+    std::ostringstream out;
+    out << std::right << std::setw(6) << "PEs" << std::setw(8)
+        << "Stages" << std::setw(10) << "Freq" << std::setw(12)
+        << "Path(ns)" << std::setw(12) << "Crit(ns)" << std::setw(10)
+        << "Cycles" << std::setw(8) << "Meets" << '\n';
+    for (const NetworkTiming &t : sweep) {
+        out << std::setw(6) << t.numPes << std::setw(8) << t.stages
+            << std::fixed << std::setprecision(2) << std::setw(9)
+            << t.freqGhz << "G" << std::setw(12) << t.pathNs
+            << std::setw(12) << t.criticalPathNs << std::setw(10)
+            << t.latencyCycles << std::setw(8)
+            << (t.meetsTiming ? "yes" : "no") << '\n';
+    }
+    return out.str();
+}
+
+} // namespace marionette

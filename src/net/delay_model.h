@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Control-network timing model (paper Fig. 13).
+ *
+ * The paper synthesizes the CS-Benes control network at several
+ * sizes and clock-frequency targets with Synopsys DC and plots the
+ * relationship among network stages, network delay (pipeline
+ * cycles) and critical-path delay.  This model substitutes a
+ * standard-cell timing estimate: each switching stage contributes a
+ * logic delay plus a wire delay that grows with the stage's span
+ * (longer butterfly wires at outer stages), and registers are
+ * inserted whenever the accumulated path exceeds the cycle time.
+ * The observable trends — more stages and higher frequencies cost
+ * more latency cycles, with a modest slope — match Fig. 13.
+ */
+
+#ifndef MARIONETTE_NET_DELAY_MODEL_H
+#define MARIONETTE_NET_DELAY_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace marionette
+{
+
+/** Result of timing one network instance at one frequency. */
+struct NetworkTiming
+{
+    /** PEs served by the network. */
+    int numPes = 0;
+    /** End-to-end switching stages (CS + Benes + CS). */
+    int stages = 0;
+    /** Target clock frequency in GHz. */
+    double freqGhz = 0.0;
+    /** Unpipelined end-to-end path in nanoseconds. */
+    double pathNs = 0.0;
+    /** Longest register-to-register path after pipelining (ns). */
+    double criticalPathNs = 0.0;
+    /** Latency in cycles after pipelining at this frequency. */
+    int latencyCycles = 0;
+    /** Whether the target cycle time is met. */
+    bool meetsTiming = false;
+};
+
+/** Stage count of a CS-Benes network sized for @p num_pes. */
+int controlNetworkStages(int num_pes);
+
+/** Time one configuration. */
+NetworkTiming timeControlNetwork(int num_pes, double freq_ghz);
+
+/**
+ * The Fig. 13 sweep: array sizes 2x2 .. 16x16 crossed with
+ * frequency targets 0.5 .. 2.0 GHz.
+ */
+std::vector<NetworkTiming> delaySweep();
+
+/** Render the sweep as an aligned table. */
+std::string toString(const std::vector<NetworkTiming> &sweep);
+
+} // namespace marionette
+
+#endif // MARIONETTE_NET_DELAY_MODEL_H

@@ -1,0 +1,83 @@
+#include "net/mesh.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+DataMesh::DataMesh(int rows, int cols, Cycles hop_latency)
+    : rows_(rows),
+      cols_(cols),
+      hopLatency_(hop_latency),
+      stats_("datamesh")
+{
+    MARIONETTE_ASSERT(rows > 0 && cols > 0,
+                      "mesh dimensions must be positive");
+    MARIONETTE_ASSERT(hop_latency >= 1, "hop latency must be >= 1");
+}
+
+int
+DataMesh::hops(PeId src, PeId dst) const
+{
+    MARIONETTE_ASSERT(src >= 0 && src < rows_ * cols_,
+                      "mesh source %d out of range", src);
+    MARIONETTE_ASSERT(dst >= 0 && dst < rows_ * cols_,
+                      "mesh destination %d out of range", dst);
+    int sr = src / cols_, sc = src % cols_;
+    int dr = dst / cols_, dc = dst % cols_;
+    return std::abs(sr - dr) + std::abs(sc - dc);
+}
+
+Cycles
+DataMesh::latency(PeId src, PeId dst) const
+{
+    int h = hops(src, dst);
+    return std::max<Cycles>(1,
+                            static_cast<Cycles>(h) * hopLatency_);
+}
+
+Cycles
+DataMesh::maxLatency() const
+{
+    return static_cast<Cycles>(rows_ - 1 + cols_ - 1) * hopLatency_;
+}
+
+void
+DataMesh::send(Cycle now, PeId src, PeId dst, Word value,
+               int channel)
+{
+    MeshPacket pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.value = value;
+    pkt.channel = channel;
+    pkt.arrival = now + latency(src, dst);
+    flight_.push_back(pkt);
+    stats_.stat("packets").inc();
+    stats_.stat("hop_traversals").inc(
+        static_cast<std::uint64_t>(hops(src, dst)));
+}
+
+std::vector<MeshPacket>
+DataMesh::deliver(Cycle now, PeId dst)
+{
+    std::vector<MeshPacket> out;
+    for (auto it = flight_.begin(); it != flight_.end();) {
+        if (it->dst == dst && it->arrival <= now) {
+            out.push_back(*it);
+            it = flight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MeshPacket &a, const MeshPacket &b) {
+                  return a.arrival < b.arrival;
+              });
+    return out;
+}
+
+} // namespace marionette

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Data-plane mesh network.
+ *
+ * The data flow plane interconnects PEs with a 2-D mesh using
+ * dimension-ordered (XY) routing (paper Fig. 4d: "Data Mesh
+ * Network", 6-cycle corner-to-corner latency on the 4x4 prototype).
+ * The functional machine uses it for producer/consumer transfers
+ * between non-adjacent PEs; the performance models query hop
+ * latencies from it.
+ */
+
+#ifndef MARIONETTE_NET_MESH_H
+#define MARIONETTE_NET_MESH_H
+
+#include <deque>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** A word in flight on the mesh. */
+struct MeshPacket
+{
+    PeId src = invalidPe;
+    PeId dst = invalidPe;
+    Word value = 0;
+    /** Cycle at which the packet reaches the destination. */
+    Cycle arrival = 0;
+    /** Logical channel (output port index at the consumer). */
+    int channel = 0;
+};
+
+/** 2-D mesh with XY routing and per-hop latency. */
+class DataMesh
+{
+  public:
+    /**
+     * @param rows array rows.
+     * @param cols array columns.
+     * @param hop_latency cycles per router hop.
+     */
+    DataMesh(int rows, int cols, Cycles hop_latency);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Manhattan hop count between two PEs. */
+    int hops(PeId src, PeId dst) const;
+
+    /** End-to-end latency: one cycle minimum, hop_latency per hop. */
+    Cycles latency(PeId src, PeId dst) const;
+
+    /** Worst-case (corner-to-corner) latency of this mesh. */
+    Cycles maxLatency() const;
+
+    /**
+     * Inject a word at @p now; it becomes visible to the consumer at
+     * now + latency(src, dst).
+     */
+    void send(Cycle now, PeId src, PeId dst, Word value,
+              int channel = 0);
+
+    /**
+     * Pop every packet that has arrived at @p dst by cycle @p now.
+     */
+    std::vector<MeshPacket> deliver(Cycle now, PeId dst);
+
+    /** Packets still in flight (for drain/quiesce checks). */
+    std::size_t inFlight() const { return flight_.size(); }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    int rows_;
+    int cols_;
+    Cycles hopLatency_;
+    std::deque<MeshPacket> flight_;
+    StatGroup stats_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_NET_MESH_H

@@ -1,0 +1,50 @@
+#include "pe/control_trigger.h"
+
+namespace marionette
+{
+
+bool
+ControlFlowTrigger::checkPhase(Cycle now, InstrAddr addr,
+                               StatGroup &stats)
+{
+    if (addr == current_ && pending_ == invalidInstr) {
+        // Sustained configuration: nothing to do, no cost.
+        stats.stat("ctrl_sustained").inc();
+        return false;
+    }
+    if (addr == pending_) {
+        stats.stat("ctrl_sustained").inc();
+        return false;
+    }
+    pending_ = addr;
+    pendingReady_ = now + configLatency_;
+    stats.stat("config_switches").inc();
+    return true;
+}
+
+InstrAddr
+ControlFlowTrigger::applyPhase(Cycle now)
+{
+    if (pending_ == invalidInstr || now < pendingReady_)
+        return invalidInstr;
+    current_ = pending_;
+    pending_ = invalidInstr;
+    return current_;
+}
+
+void
+ControlFlowTrigger::forceConfigure(InstrAddr addr)
+{
+    current_ = addr;
+    pending_ = invalidInstr;
+}
+
+void
+ControlFlowTrigger::reset()
+{
+    current_ = invalidInstr;
+    pending_ = invalidInstr;
+    pendingReady_ = 0;
+}
+
+} // namespace marionette

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control Flow Trigger (paper Fig. 5).
+ *
+ * The pivotal configuration unit of the Marionette PE: a two-phase
+ * state machine.  The *check phase* compares an incoming instruction
+ * address against the current one; only a fresh address starts the
+ * *configuration phase*, which applies after the configuration
+ * latency.  The trigger "sustains the configuration determined in
+ * the configuration phase until a fresh control input is detected",
+ * eliminating per-token reconfiguration overhead — the key contrast
+ * with dataflow-PE tokens (Sec. 4.1).
+ */
+
+#ifndef MARIONETTE_PE_CONTROL_TRIGGER_H
+#define MARIONETTE_PE_CONTROL_TRIGGER_H
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** Two-phase (check / configure) configuration unit. */
+class ControlFlowTrigger
+{
+  public:
+    explicit ControlFlowTrigger(Cycles config_latency)
+        : configLatency_(config_latency)
+    {}
+
+    /** Currently-active instruction address (invalidInstr = idle). */
+    InstrAddr currentAddr() const { return current_; }
+
+    /** True when a configuration phase is in flight. */
+    bool configuring() const { return pending_ != invalidInstr; }
+
+    /**
+     * Check phase: present a control input.
+     * A repeat of the current address is absorbed for free (the
+     * sustained-configuration property).  A fresh address begins the
+     * configuration phase.
+     *
+     * @return true when a (re)configuration was started.
+     */
+    bool checkPhase(Cycle now, InstrAddr addr, StatGroup &stats);
+
+    /**
+     * Configuration phase: returns the newly-applied address when
+     * the pending configuration completes this cycle, otherwise
+     * invalidInstr.
+     */
+    InstrAddr applyPhase(Cycle now);
+
+    /** Force a configuration (controller boot path). */
+    void forceConfigure(InstrAddr addr);
+
+    /** Return to the unconfigured state. */
+    void reset();
+
+  private:
+    Cycles configLatency_;
+    InstrAddr current_ = invalidInstr;
+    InstrAddr pending_ = invalidInstr;
+    Cycle pendingReady_ = 0;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_PE_CONTROL_TRIGGER_H

@@ -1,0 +1,492 @@
+#include "pe/pe.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+Pe::Pe(PeId id, const MachineConfig &config, bool nonlinear_capable)
+    : id_(id),
+      config_(config),
+      nonlinearCapable_(nonlinear_capable),
+      trigger_(config.configLatency),
+      channels_(numChannels, InputChannel(8)),
+      regs_(static_cast<std::size_t>(config.localRegs), 0),
+      stats_("pe" + std::to_string(id))
+{
+}
+
+void
+Pe::loadProgram(const PeProgram &program)
+{
+    reset();
+    instrs_ = program.instrs;
+    entry_ = program.entry;
+    for (const Instruction &in : instrs_) {
+        if (isNonlinearOp(in.op) && !nonlinearCapable_)
+            MARIONETTE_FATAL("nonlinear op '%.*s' mapped to "
+                             "ordinary PE %d",
+                             static_cast<int>(opName(in.op).size()),
+                             opName(in.op).data(), id_);
+    }
+}
+
+void
+Pe::reset()
+{
+    trigger_.reset();
+    for (InputChannel &ch : channels_)
+        ch.clear();
+    std::fill(regs_.begin(), regs_.end(), 0);
+    inflight_.clear();
+    ctrlIn_.reset();
+    gateCredits_ = 0;
+    pendingGateCredits_ = 0;
+    emitPending_ = false;
+    emitOnData_ = false;
+    loopActive_ = false;
+    loopOnceDone_ = false;
+    loopIter_ = 0;
+    loopBound_ = 0;
+    loopNextFire_ = 0;
+}
+
+void
+Pe::acceptControl(Cycle now, InstrAddr addr)
+{
+    (void)now;
+    // Control Flow Scheduler arbitration: last word of the cycle
+    // wins; simultaneous distinct words indicate a compiler bug and
+    // are counted.
+    if (ctrlIn_.has_value() && *ctrlIn_ != addr)
+        stats_.stat("ctrl_arbitrations").inc();
+    ctrlIn_ = addr;
+}
+
+void
+Pe::acceptData(int channel, Word value)
+{
+    MARIONETTE_ASSERT(channel >= 0 && channel < numChannels,
+                      "bad channel %d at pe %d", channel, id_);
+    channels_[static_cast<std::size_t>(channel)].push(value);
+}
+
+int
+Pe::channelSpace(int channel) const
+{
+    MARIONETTE_ASSERT(channel >= 0 && channel < numChannels,
+                      "bad channel %d at pe %d", channel, id_);
+    return channels_[static_cast<std::size_t>(channel)].space();
+}
+
+const Instruction *
+Pe::current() const
+{
+    InstrAddr addr = trigger_.currentAddr();
+    if (addr == invalidInstr ||
+        addr >= static_cast<InstrAddr>(instrs_.size()))
+        return nullptr;
+    return &instrs_[static_cast<std::size_t>(addr)];
+}
+
+bool
+Pe::operandReady(const OperandSel &sel) const
+{
+    switch (sel.kind) {
+      case OperandSel::Kind::None:
+      case OperandSel::Kind::Reg:
+      case OperandSel::Kind::Imm:
+        return true;
+      case OperandSel::Kind::Channel:
+        return !channels_[static_cast<std::size_t>(sel.index)]
+                    .empty();
+    }
+    return false;
+}
+
+Word
+Pe::operandValue(const OperandSel &sel) const
+{
+    switch (sel.kind) {
+      case OperandSel::Kind::None:
+        return 0;
+      case OperandSel::Kind::Reg:
+        MARIONETTE_ASSERT(sel.index >= 0 &&
+                              sel.index <
+                                  static_cast<int>(regs_.size()),
+                          "bad register %d", sel.index);
+        return regs_[static_cast<std::size_t>(sel.index)];
+      case OperandSel::Kind::Imm:
+        return sel.imm;
+      case OperandSel::Kind::Channel:
+        return channels_[static_cast<std::size_t>(sel.index)]
+            .front();
+    }
+    return 0;
+}
+
+void
+Pe::consumeOperand(const OperandSel &sel)
+{
+    if (sel.kind == OperandSel::Kind::Channel)
+        channels_[static_cast<std::size_t>(sel.index)].pop();
+}
+
+void
+Pe::applyConfiguration(Cycle now, PeTickResult &out)
+{
+    InstrAddr applied = trigger_.applyPhase(now);
+    if (applied == invalidInstr)
+        return;
+    out.progressed = true;
+    stats_.stat("configs_applied").inc();
+
+    const Instruction *in = current();
+    if (in == nullptr)
+        return;
+
+    // Entering a loop configuration resets the generator state.
+    if (in->mode == SenderMode::LoopOp) {
+        loopActive_ = false;
+        loopOnceDone_ = false;
+        loopIter_ = 0;
+        loopNextFire_ = now;
+    }
+
+    // Proactive PE Configuration (Sec. 4.2): in DFG operator mode
+    // the next-stage address is emitted as soon as this PE is
+    // configured, overlapping downstream configuration with local
+    // computation.  With the feature disabled the emission waits for
+    // the first datum (temporally tight coupling).
+    if (in->mode == SenderMode::Dfg &&
+        in->emitAddr != invalidInstr && !in->ctrlDests.empty()) {
+        if (config_.features.proactiveConfig) {
+            out.ctrlSends.push_back(
+                CtrlSend{in->ctrlDests, in->emitAddr});
+            stats_.stat("proactive_emits").inc();
+        } else {
+            emitOnData_ = true;
+        }
+    }
+    emitPending_ = false;
+}
+
+bool
+Pe::tryFireLoop(Cycle now, FabricIface &fabric, PeTickResult &out)
+{
+    const Instruction *in = current();
+    // Acquire a new round when idle.  FIFO-fed loops start a round
+    // per FIFO entry (Sec. 4.3); immediate-bound loops run exactly
+    // one round per configuration.
+    if (!loopActive_) {
+        Word start = in->loopStart;
+        Word bound = in->loopBound;
+        bool fifo_fed = in->startFifo >= 0 || in->boundFifo >= 0;
+        if (!fifo_fed && loopOnceDone_)
+            return false;
+        if (in->startFifo >= 0) {
+            if (!fabric.fifoHasData(in->startFifo))
+                return false;
+        }
+        if (in->boundFifo >= 0) {
+            if (!fabric.fifoHasData(in->boundFifo))
+                return false;
+        }
+        if (in->startFifo >= 0)
+            start = fabric.fifoPop(in->startFifo);
+        if (in->boundFifo >= 0)
+            bound = fabric.fifoPop(in->boundFifo);
+        loopIter_ = start;
+        loopBound_ = bound;
+        loopActive_ = true;
+        loopNextFire_ = now;
+        stats_.stat("loop_rounds").inc();
+    }
+
+    if (now < loopNextFire_)
+        return false;
+
+    if (loopIter_ >= loopBound_) {
+        // Round complete: emit the exit address once, go idle.
+        loopActive_ = false;
+        if (in->startFifo < 0 && in->boundFifo < 0)
+            loopOnceDone_ = true;
+        if (in->loopExitAddr != invalidInstr &&
+            !in->ctrlDests.empty()) {
+            out.ctrlSends.push_back(
+                CtrlSend{in->ctrlDests, in->loopExitAddr});
+            stats_.stat("loop_exits").inc();
+        }
+        return true;
+    }
+
+    // Credit check on every data destination before generating.
+    for (const DestSel &d : in->dests) {
+        if (d.kind == DestSel::Kind::PeChannel &&
+            !fabric.dataCredit(d.pe, d.channel))
+            return false;
+    }
+    if (in->pushFifo >= 0 && !fabric.fifoHasSpace(in->pushFifo))
+        return false;
+    for (const DestSel &d : in->dests) {
+        if (d.kind == DestSel::Kind::PeChannel)
+            fabric.claimDataCredit(d.pe, d.channel);
+    }
+    if (in->pushFifo >= 0)
+        fabric.claimFifoSlot(in->pushFifo);
+
+    // Emit the induction value.
+    for (const DestSel &d : in->dests) {
+        switch (d.kind) {
+          case DestSel::Kind::PeChannel:
+            out.dataSends.push_back(
+                DataSend{d.pe, d.channel, loopIter_});
+            break;
+          case DestSel::Kind::LocalReg:
+            regs_[static_cast<std::size_t>(d.channel)] = loopIter_;
+            break;
+          case DestSel::Kind::OutputFifo:
+            out.outputs.emplace_back(d.channel, loopIter_);
+            break;
+          case DestSel::Kind::None:
+            break;
+        }
+    }
+    if (in->pushFifo >= 0)
+        out.fifoPushes.push_back(FifoPush{in->pushFifo, loopIter_});
+
+    loopIter_ += in->loopStep;
+    loopNextFire_ =
+        now + static_cast<Cycles>(std::max(1, in->pipelineII));
+    stats_.stat("fires").inc();
+    stats_.stat("loop_iterations").inc();
+    return true;
+}
+
+bool
+Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
+{
+    const Instruction *in = current();
+    if (in == nullptr || in->mode == SenderMode::Idle)
+        return false;
+
+    if (in->mode == SenderMode::LoopOp)
+        return tryFireLoop(now, fabric, out);
+
+    // Lockstep gating: one firing per received control word.
+    if (in->ctrlGated && gateCredits_ <= 0) {
+        stats_.stat("stall_gate").inc();
+        return false;
+    }
+
+    // Operand readiness.
+    if (!operandReady(in->a) || !operandReady(in->b) ||
+        !operandReady(in->c)) {
+        stats_.stat("stall_operand").inc();
+        return false;
+    }
+    for (std::int8_t ch : in->alsoPop) {
+        if (channels_[static_cast<std::size_t>(ch)].empty()) {
+            stats_.stat("stall_operand").inc();
+            return false;
+        }
+    }
+
+    // Destination credit.
+    for (const DestSel &d : in->dests) {
+        if (d.kind == DestSel::Kind::PeChannel &&
+            !fabric.dataCredit(d.pe, d.channel)) {
+            stats_.stat("stall_credit").inc();
+            return false;
+        }
+    }
+    if (in->pushFifo >= 0 && !fabric.fifoHasSpace(in->pushFifo)) {
+        stats_.stat("stall_credit").inc();
+        return false;
+    }
+
+    // Memory port.
+    Word eff_addr = 0;
+    if (isMemoryOp(in->op)) {
+        eff_addr = operandValue(in->a) + in->memBase;
+        if (!fabric.memPortAvailable(eff_addr)) {
+            stats_.stat("stall_mem").inc();
+            return false;
+        }
+    }
+
+    // All checks passed: reserve the downstream slots this firing
+    // will eventually fill (delivery happens at retire + transit).
+    for (const DestSel &d : in->dests) {
+        if (d.kind == DestSel::Kind::PeChannel)
+            fabric.claimDataCredit(d.pe, d.channel);
+    }
+    if (in->pushFifo >= 0)
+        fabric.claimFifoSlot(in->pushFifo);
+
+    // ---- Issue. ----
+    Word av = operandValue(in->a);
+    Word bv = operandValue(in->b);
+    Word cv = operandValue(in->c);
+    consumeOperand(in->a);
+    consumeOperand(in->b);
+    consumeOperand(in->c);
+    for (std::int8_t ch : in->alsoPop)
+        channels_[static_cast<std::size_t>(ch)].pop();
+
+    InFlight op;
+    op.complete = now + config_.executeLatency;
+    op.dests = in->dests;
+    op.pushFifo = in->pushFifo;
+
+    switch (in->op) {
+      case Opcode::Load:
+        op.value = fabric.memRead(av + in->memBase);
+        break;
+      case Opcode::Store:
+        // Memory ops take effect at issue so issue order defines
+        // memory order; the value still travels to any data
+        // destinations with the normal execute latency.
+        fabric.memWrite(av + in->memBase, bv);
+        stats_.stat("stores").inc();
+        op.value = bv;
+        break;
+      default:
+        op.value = evalOp(in->op, av, bv, cv);
+        break;
+    }
+
+    if (in->mode == SenderMode::BranchOp) {
+        op.isBranch = true;
+        op.takenAddr = in->takenAddr;
+        op.notTakenAddr = in->notTakenAddr;
+        op.ctrlDests = in->ctrlDests;
+    }
+
+    inflight_.push_back(std::move(op));
+    stats_.stat("fires").inc();
+    if (in->ctrlGated)
+        --gateCredits_;
+
+    // Tight-coupling fallback: emit the downstream address together
+    // with the first datum of this configuration.
+    if (emitOnData_ && in->emitAddr != invalidInstr &&
+        !in->ctrlDests.empty()) {
+        out.ctrlSends.push_back(
+            CtrlSend{in->ctrlDests, in->emitAddr});
+        emitOnData_ = false;
+    }
+    return true;
+}
+
+void
+Pe::retire(Cycle now, FabricIface &fabric, PeTickResult &out)
+{
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->complete > now) {
+            ++it;
+            continue;
+        }
+        out.progressed = true;
+        for (const DestSel &d : it->dests) {
+            switch (d.kind) {
+              case DestSel::Kind::PeChannel:
+                out.dataSends.push_back(
+                    DataSend{d.pe, d.channel, it->value});
+                break;
+              case DestSel::Kind::LocalReg:
+                regs_[static_cast<std::size_t>(d.channel)] =
+                    it->value;
+                break;
+              case DestSel::Kind::OutputFifo:
+                out.outputs.emplace_back(d.channel, it->value);
+                break;
+              case DestSel::Kind::None:
+                break;
+            }
+        }
+        if (it->pushFifo >= 0 && !it->isBranch)
+            out.fifoPushes.push_back(
+                FifoPush{it->pushFifo, it->value});
+        if (it->isBranch) {
+            InstrAddr target =
+                it->value != 0 ? it->takenAddr : it->notTakenAddr;
+            if (target != invalidInstr && !it->ctrlDests.empty())
+                out.ctrlSends.push_back(
+                    CtrlSend{it->ctrlDests, target});
+            if (it->pushFifo >= 0)
+                out.fifoPushes.push_back(
+                    FifoPush{it->pushFifo, target});
+            stats_.stat("branches_resolved").inc();
+        }
+        it = inflight_.erase(it);
+    }
+}
+
+PeTickResult
+Pe::tick(Cycle now, FabricIface &fabric)
+{
+    PeTickResult out;
+
+    // Configuration phase first: apply the configuration whose
+    // check phase ran in an earlier cycle, *before* looking at new
+    // control input — otherwise a back-to-back control stream
+    // (II = 1 branch divergence) would clobber a pending
+    // configuration before it ever took effect.  A gated PE defers
+    // applying while unconsumed firing credits remain, keeping the
+    // datum/configuration pairing exact.
+    bool gated_busy = current() != nullptr &&
+                      current()->ctrlGated && gateCredits_ > 0;
+    if (!gated_busy) {
+        applyConfiguration(now, out);
+        if (pendingGateCredits_ > 0 && !trigger_.configuring()) {
+            gateCredits_ += pendingGateCredits_;
+            pendingGateCredits_ = 0;
+        }
+    }
+
+    // Check phase: arbitrated control input delivered this cycle.
+    if (ctrlIn_.has_value()) {
+        bool reconfig =
+            trigger_.checkPhase(now, *ctrlIn_, stats_);
+        if (reconfig)
+            ++pendingGateCredits_;
+        else
+            ++gateCredits_;
+        ctrlIn_.reset();
+        out.progressed = true;
+    }
+
+    // Data flow part: retire completed work, then try to issue.
+    retire(now, fabric, out);
+    if (tryFire(now, fabric, out))
+        out.progressed = true;
+    else if (current() != nullptr &&
+             current()->mode != SenderMode::Idle)
+        stats_.stat("stall_cycles").inc();
+
+    if (current() != nullptr &&
+        current()->mode != SenderMode::Idle)
+        stats_.stat("active_cycles").inc();
+
+    return out;
+}
+
+bool
+Pe::quiescent() const
+{
+    if (!inflight_.empty() || ctrlIn_.has_value() ||
+        trigger_.configuring())
+        return false;
+    for (const InputChannel &ch : channels_)
+        if (!ch.empty())
+            return false;
+    // An active loop round still has iterations to generate.
+    if (loopActive_)
+        return false;
+    return true;
+}
+
+} // namespace marionette

@@ -1,0 +1,50 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+void
+MachineConfig::validate() const
+{
+    if (rows <= 0 || cols <= 0)
+        MARIONETTE_FATAL("PE array dimensions must be positive "
+                         "(got %dx%d)", rows, cols);
+    if (configLatency == 0)
+        MARIONETTE_FATAL("configLatency must be at least 1 cycle");
+    if (executeLatency == 0)
+        MARIONETTE_FATAL("executeLatency must be at least 1 cycle");
+    if (controlFifoDepth <= 0)
+        MARIONETTE_FATAL("controlFifoDepth must be positive (got %d)",
+                         controlFifoDepth);
+    if (scratchpadBanks <= 0 || scratchpadBytes <= 0)
+        MARIONETTE_FATAL("scratchpad must have positive size/banks");
+    if (scratchpadBytes % scratchpadBanks != 0)
+        MARIONETTE_FATAL("scratchpadBytes (%d) must divide evenly "
+                         "into %d banks", scratchpadBytes,
+                         scratchpadBanks);
+    if (instrBufferEntries <= 1)
+        MARIONETTE_FATAL("instruction buffer needs >= 2 entries");
+    if (nonlinearPes < 0 || nonlinearPes > numPes())
+        MARIONETTE_FATAL("nonlinearPes (%d) out of range for %d PEs",
+                         nonlinearPes, numPes());
+}
+
+std::string
+MachineConfig::summary() const
+{
+    std::ostringstream out;
+    out << rows << "x" << cols << " PEs, "
+        << scratchpadBytes / 1024 << "KiB spad/" << scratchpadBanks
+        << " banks, ctrlNet=" << controlNetLatency
+        << "c, dataNet=" << dataNetLatency
+        << "c, features{proactive=" << features.proactiveConfig
+        << ",ctrlnet=" << features.controlNetwork
+        << ",agile=" << features.agileAssignment << "}";
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware parameterization shared by the functional machine, the
+ * performance models and the area/delay models.
+ *
+ * Mirrors the paper's "parameterizable design" (Section 5): PE array
+ * size, FU mix, port widths, memory sizes, network latencies, and the
+ * relative timing assumptions of Section 2.3 (configure = 1 cycle,
+ * execute = 2 cycles, control network = 1 cycle, data mesh = 6 cycles
+ * corner-to-corner on a 4x4 array).
+ */
+
+#ifndef MARIONETTE_SIM_CONFIG_H
+#define MARIONETTE_SIM_CONFIG_H
+
+#include <string>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/**
+ * Feature toggles matching the paper's ablation methodology
+ * (Section 6.1): each innovation can be enabled independently so the
+ * benches can measure its isolated contribution.
+ */
+struct Features
+{
+    /** Proactive PE Configuration (Control Flow Sender, Sec. 4.2). */
+    bool proactiveConfig = true;
+    /** Dedicated peer-to-peer CS-Benes control network (Sec. 4.1). */
+    bool controlNetwork = true;
+    /** Agile PE Assignment scheduling (Sec. 4.3). */
+    bool agileAssignment = true;
+};
+
+/** Static hardware parameters of a Marionette instance. */
+struct MachineConfig
+{
+    /** PEs per row of the array. */
+    int rows = 4;
+    /** PEs per column of the array. */
+    int cols = 4;
+
+    /** Cycles to decode+apply one configuration (paper Sec. 2.3). */
+    Cycles configLatency = 1;
+    /** Cycles for one FU execution (paper Sec. 2.3). */
+    Cycles executeLatency = 2;
+
+    /** One-way latency of the dedicated control network (Fig. 4d). */
+    Cycles controlNetLatency = 1;
+    /** Corner-to-corner latency of the data mesh (Fig. 4d). */
+    Cycles dataNetLatency = 6;
+    /** Per-hop latency on the data mesh. */
+    Cycles meshHopLatency = 1;
+
+    /** Round-trip penalty of routing control through the CCU. */
+    Cycles ccuRoundTrip = 8;
+
+    /** Depth of each control FIFO (entries). */
+    int controlFifoDepth = 16;
+    /** Number of control FIFOs. */
+    int controlFifoCount = 16;
+
+    /** Data scratchpad capacity (bytes); paper Table 4 uses 16 KiB. */
+    int scratchpadBytes = 16 * 1024;
+    /** Number of scratchpad banks. */
+    int scratchpadBanks = 4;
+    /** Instruction scratchpad capacity (bytes); Table 4 uses 2 KiB. */
+    int instrMemBytes = 2 * 1024;
+
+    /** Instruction-buffer entries per PE control-flow part. */
+    int instrBufferEntries = 32;
+
+    /** Local register-file entries per PE data-flow part. */
+    int localRegs = 4;
+
+    /** PEs that carry the nonlinear-fitting FU (Table 4 has 4). */
+    int nonlinearPes = 4;
+
+    /** Fabric clock (Hz); prototype synthesized at 500 MHz. */
+    double clockHz = 500e6;
+
+    /** Feature toggles for ablation studies. */
+    Features features;
+
+    /** Total number of PEs. */
+    int numPes() const { return rows * cols; }
+
+    /** Validate invariants; calls fatal() on user error. */
+    void validate() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_CONFIG_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status-message and error-handling primitives.
+ *
+ * Follows the gem5 discipline: panic() is for simulator bugs
+ * (conditions that should be impossible regardless of user input) and
+ * aborts; fatal() is for user/configuration errors and exits cleanly;
+ * warn() and inform() report conditions without stopping simulation.
+ */
+
+#ifndef MARIONETTE_SIM_LOGGING_H
+#define MARIONETTE_SIM_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace marionette
+{
+
+/** Severity levels used by the message sink. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error
+};
+
+/**
+ * Global verbosity threshold; messages below it are suppressed.
+ * Defaults to LogLevel::Info so debug tracing is opt-in.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current verbosity threshold. */
+LogLevel logLevel();
+
+/** Emit an informational message (printf formatting). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug trace message (suppressed unless LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because the *simulator* is broken.  Prints the message and
+ * the offending source location, then aborts (may dump core).
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Terminate because the *user input* (configuration, workload,
+ * mapping request) cannot be honoured.  Exits with status 1.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace marionette
+
+/** Simulator-bug assertion/termination; see panicImpl(). */
+#define MARIONETTE_PANIC(...) \
+    ::marionette::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** User-error termination; see fatalImpl(). */
+#define MARIONETTE_FATAL(...) \
+    ::marionette::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic unless an invariant holds. */
+#define MARIONETTE_ASSERT(cond, ...)                                  \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::marionette::panicImpl(__FILE__, __LINE__, __VA_ARGS__); \
+        }                                                             \
+    } while (0)
+
+#endif // MARIONETTE_SIM_LOGGING_H

@@ -1,0 +1,52 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace marionette
+{
+
+Stat &
+StatGroup::stat(const std::string &name)
+{
+    return stats_[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : stats_)
+        kv.second.reset();
+}
+
+void
+StatGroup::render(std::vector<std::string> &out) const
+{
+    for (const auto &kv : stats_) {
+        std::ostringstream line;
+        line << prefix_ << '.' << kv.first << ' ' << kv.second.value();
+        out.push_back(line.str());
+    }
+}
+
+std::string
+renderStats(const std::vector<const StatGroup *> &groups)
+{
+    std::vector<std::string> lines;
+    for (const StatGroup *g : groups) {
+        if (g != nullptr)
+            g->render(lines);
+    }
+    std::ostringstream out;
+    for (const std::string &line : lines)
+        out << line << '\n';
+    return out.str();
+}
+
+} // namespace marionette

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every architectural component owns a StatGroup and registers scalar
+ * counters in it.  Groups nest by name prefix ("machine.pe03.fu").
+ * The registry can render a sorted human-readable dump, which the
+ * benches and EXPERIMENTS.md rely on.
+ */
+
+#ifndef MARIONETTE_SIM_STATS_H
+#define MARIONETTE_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marionette
+{
+
+/** A single named scalar statistic (a 64-bit counter or gauge). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    /** Add @p delta to the counter. */
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+
+    /** Overwrite the value (for gauges such as "max occupancy"). */
+    void set(std::uint64_t v) { value_ = v; }
+
+    /** Track a running maximum. */
+    void max(std::uint64_t v) { if (v > value_) value_ = v; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A collection of named statistics with a common prefix.
+ *
+ * Components embed a StatGroup by value; the owning component outlives
+ * all references handed out by stat().
+ */
+class StatGroup
+{
+  public:
+    /** @param prefix dotted path under which stats are reported. */
+    explicit StatGroup(std::string prefix) : prefix_(std::move(prefix)) {}
+
+    /**
+     * Look up (creating on first use) the stat named @p name.
+     * References remain valid for the lifetime of the group.
+     */
+    Stat &stat(const std::string &name);
+
+    /** Read-only lookup; returns 0 for unknown names. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+    /** Dotted path prefix. */
+    const std::string &prefix() const { return prefix_; }
+
+    /** Append "prefix.name value" lines to @p out, sorted by name. */
+    void render(std::vector<std::string> &out) const;
+
+  private:
+    std::string prefix_;
+    std::map<std::string, Stat> stats_;
+};
+
+/** Render several stat groups into one newline-joined report. */
+std::string renderStats(const std::vector<const StatGroup *> &groups);
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_STATS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Marionette code base.
+ *
+ * The simulator is cycle-level: every timed quantity is expressed in
+ * integral cycles of the (single) fabric clock.  Identifiers for PEs,
+ * basic blocks and instruction addresses are small dense integers so
+ * they can index vectors directly.
+ */
+
+#ifndef MARIONETTE_SIM_TYPES_H
+#define MARIONETTE_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace marionette
+{
+
+/** A point in simulated time, measured in fabric clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A duration measured in fabric clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Dense identifier of a processing element within the array. */
+using PeId = std::int32_t;
+
+/** Dense identifier of a basic block within a CDFG. */
+using BlockId = std::int32_t;
+
+/** Dense identifier of a DFG node within a basic block. */
+using NodeId = std::int32_t;
+
+/** Instruction address inside a PE's instruction buffer. */
+using InstrAddr = std::int32_t;
+
+/** The fabric operates on 32-bit words, as in the paper (Table 5). */
+using Word = std::int32_t;
+
+/** Unsigned view of a fabric word, for bit-twiddling kernels. */
+using UWord = std::uint32_t;
+
+/** Sentinel for "no PE". */
+inline constexpr PeId invalidPe = -1;
+
+/** Sentinel for "no basic block". */
+inline constexpr BlockId invalidBlock = -1;
+
+/** Sentinel for "no DFG node". */
+inline constexpr NodeId invalidNode = -1;
+
+/** Sentinel for "no instruction address". */
+inline constexpr InstrAddr invalidInstr = -1;
+
+/** Sentinel for "never" in cycle arithmetic. */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_TYPES_H

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * FFT (1024 points) — MachSuite-derived iterative radix-2.
+ *
+ * Table 1: innermost branch (bit-reverse swap guard), imperfect
+ * nested loops (per-group twiddle computation in the middle loop
+ * level while the butterflies run innermost).
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kN = 1024;
+
+enum Block : BlockId
+{
+    bInit = 0,
+    bRevLoop,    // bit-reverse permutation loop (depth 1)
+    bRevIf,      // swap guard branch
+    bRevSwap,    // the swap
+    bRevSkip,
+    bRevLatch,
+    bStageLoop,  // log2(N) stages (depth 1)
+    bGroupLoop,  // butterfly groups (depth 2)
+    bTwiddle,    // per-group twiddle update (imperfect work)
+    bBflyLoop,   // butterflies (depth 3)
+    bBflyBody,   // the butterfly computation
+    bGroupLatch,
+    bStageLatch,
+    bDone
+};
+
+class FftWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "FFT"; }
+    std::string fullName() const override { return "FFT"; }
+    std::string sizeDesc() const override { return "1024 points"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("fft");
+        BlockId init = b.addBlock("init");
+        BlockId rev = b.addLoopHeader("rev_loop");
+        BlockId revif = b.addBranchBlock("rev_if");
+        BlockId revswap = b.addBlock("rev_swap");
+        BlockId revskip = b.addBlock("rev_skip");
+        BlockId revlatch = b.addBlock("rev_latch");
+        BlockId stage = b.addLoopHeader("stage_loop");
+        BlockId group = b.addLoopHeader("group_loop");
+        BlockId twid = b.addBlock("twiddle");
+        BlockId bfly = b.addLoopHeader("bfly_loop");
+        BlockId body = b.addBlock("bfly_body");
+        BlockId glatch = b.addBlock("group_latch");
+        BlockId slatch = b.addBlock("stage_latch");
+        BlockId done = b.addBlock("done");
+
+        {
+            Dfg &d = b.dfg(init);
+            NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+            d.addOutput("i", c);
+        }
+        {
+            Dfg &d = b.dfg(rev);
+            dfg_patterns::addCountedLoop(d, 0, 1, "n");
+        }
+        {   // if (j > i) swap.
+            Dfg &d = b.dfg(revif);
+            int i = d.addInput("i");
+            int j = d.addInput("j");
+            NodeId gt = d.addNode(Opcode::CmpGt, Operand::input(j),
+                                  Operand::input(i));
+            d.addNode(Opcode::Branch, Operand::node(gt));
+            d.addOutput("swap", gt);
+        }
+        {
+            Dfg &d = b.dfg(revswap);
+            int i = d.addInput("i");
+            int j = d.addInput("j");
+            NodeId vi = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId vj = d.addNode(Opcode::Load, Operand::input(j));
+            d.addNode(Opcode::Store, Operand::input(i),
+                      Operand::node(vj));
+            d.addNode(Opcode::Store, Operand::input(j),
+                      Operand::node(vi));
+            d.addOutput("vi", vi);
+        }
+        {
+            Dfg &d = b.dfg(revskip);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        }
+        {
+            Dfg &d = b.dfg(revlatch);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        }
+        {   // stage: len = 2, 4, ..., N.
+            Dfg &d = b.dfg(stage);
+            int len = d.addInput("len");
+            NodeId nx = d.addNode(Opcode::Shl, Operand::input(len),
+                                  Operand::imm(1), Operand::none(),
+                                  "len*2");
+            NodeId lp = d.addNode(Opcode::Loop, Operand::input(len),
+                                  Operand::imm(kN + 1));
+            d.addOutput("len", nx);
+            d.addOutput("continue", lp);
+        }
+        {   // group: i = 0, len, 2len, ...
+            Dfg &d = b.dfg(group);
+            int i = d.addInput("i");
+            int len = d.addInput("len");
+            NodeId nx = d.addNode(Opcode::Add, Operand::input(i),
+                                  Operand::input(len));
+            NodeId lp = d.addNode(Opcode::Loop, Operand::node(nx),
+                                  Operand::imm(kN));
+            d.addOutput("i", nx);
+            d.addOutput("continue", lp);
+        }
+        {   // per-group twiddle state (the imperfect outer work).
+            Dfg &d = b.dfg(twid);
+            int wbase = d.addInput("wbase");
+            NodeId wr = d.addNode(Opcode::Mul, Operand::input(wbase),
+                                  Operand::imm(0x7ff0), // Q15 cos
+                                  Operand::none(), "w.re");
+            NodeId wr2 = d.addNode(Opcode::Sra, Operand::node(wr),
+                                   Operand::imm(15));
+            NodeId wi = d.addNode(Opcode::Mul, Operand::input(wbase),
+                                  Operand::imm(0x00c9), // Q15 sin
+                                  Operand::none(), "w.im");
+            NodeId wi2 = d.addNode(Opcode::Sra, Operand::node(wi),
+                                   Operand::imm(15));
+            d.addOutput("wre", wr2);
+            d.addOutput("wim", wi2);
+        }
+        {
+            Dfg &d = b.dfg(bfly);
+            dfg_patterns::addCountedLoop(d, 0, 1, "half");
+        }
+        {   // butterfly: t = w*a[j+half]; a[j+half]=a[j]-t;
+            //            a[j]+=t  (complex, Q15).
+            Dfg &d = b.dfg(body);
+            int j = d.addInput("j");
+            int half = d.addInput("half");
+            int wre = d.addInput("wre");
+            int wim = d.addInput("wim");
+            NodeId jh = d.addNode(Opcode::Add, Operand::input(j),
+                                  Operand::input(half));
+            NodeId ar = d.addNode(Opcode::Load, Operand::input(j));
+            NodeId br = d.addNode(Opcode::Load, Operand::node(jh));
+            NodeId tr = d.addNode(Opcode::Mul, Operand::node(br),
+                                  Operand::input(wre));
+            NodeId tr2 = d.addNode(Opcode::Sra, Operand::node(tr),
+                                   Operand::imm(15));
+            NodeId ti = d.addNode(Opcode::Mul, Operand::node(br),
+                                  Operand::input(wim));
+            NodeId ti2 = d.addNode(Opcode::Sra, Operand::node(ti),
+                                   Operand::imm(15));
+            NodeId lo = d.addNode(Opcode::Sub, Operand::node(ar),
+                                  Operand::node(tr2));
+            NodeId hi = d.addNode(Opcode::Add, Operand::node(ar),
+                                  Operand::node(ti2));
+            d.addNode(Opcode::Store, Operand::node(jh),
+                      Operand::node(lo));
+            d.addNode(Opcode::Store, Operand::input(j),
+                      Operand::node(hi));
+            d.addOutput("lo", lo);
+        }
+        for (BlockId lb : {glatch, slatch, done}) {
+            Dfg &d = b.dfg(lb);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        }
+
+        b.fall(init, rev);
+        b.fall(rev, revif);
+        b.branch(revif, revswap, revskip);
+        b.fall(revswap, revlatch);
+        b.fall(revskip, revlatch);
+        b.loopBack(revlatch, rev);
+        b.loopExit(rev, stage);
+        b.fall(stage, group);
+        b.fall(group, twid);
+        b.fall(twid, bfly);
+        b.fall(bfly, body);
+        b.loopBack(body, bfly);
+        b.loopExit(bfly, glatch);
+        b.loopBack(glatch, group);
+        b.loopExit(group, slatch);
+        b.loopBack(slatch, stage);
+        b.loopExit(stage, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0002);
+        std::vector<double> re(kN), im(kN, 0.0);
+        for (double &v : re)
+            v = static_cast<double>(rng.nextRange(-1000, 1000));
+
+        rec.block(bInit);
+
+        // Bit-reverse permutation.
+        rec.round(bRevLoop);
+        int j = 0;
+        for (int i = 0; i < kN; ++i) {
+            rec.iteration(bRevLoop);
+            rec.block(bRevIf);
+            if (j > i) {
+                rec.block(bRevSwap);
+                std::swap(re[static_cast<std::size_t>(i)],
+                          re[static_cast<std::size_t>(j)]);
+                std::swap(im[static_cast<std::size_t>(i)],
+                          im[static_cast<std::size_t>(j)]);
+            } else {
+                rec.block(bRevSkip);
+            }
+            rec.block(bRevLatch);
+            int bit = kN >> 1;
+            while (j & bit) {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+        }
+
+        // Stages.
+        rec.round(bStageLoop);
+        for (int len = 2; len <= kN; len <<= 1) {
+            rec.iteration(bStageLoop);
+            double ang = -2.0 * M_PI / len;
+            rec.round(bGroupLoop);
+            for (int i = 0; i < kN; i += len) {
+                rec.iteration(bGroupLoop);
+                rec.block(bTwiddle);
+                double wr = 1.0, wi = 0.0;
+                double swr = std::cos(ang), swi = std::sin(ang);
+                rec.round(bBflyLoop);
+                for (int k = 0; k < len / 2; ++k) {
+                    rec.iteration(bBflyLoop);
+                    rec.block(bBflyBody);
+                    std::size_t u0 =
+                        static_cast<std::size_t>(i + k);
+                    std::size_t u1 = static_cast<std::size_t>(
+                        i + k + len / 2);
+                    double tr = re[u1] * wr - im[u1] * wi;
+                    double ti = re[u1] * wi + im[u1] * wr;
+                    re[u1] = re[u0] - tr;
+                    im[u1] = im[u0] - ti;
+                    re[u0] += tr;
+                    im[u0] += ti;
+                    double nwr = wr * swr - wi * swi;
+                    wi = wr * swi + wi * swr;
+                    wr = nwr;
+                }
+                rec.block(bGroupLatch);
+            }
+            rec.block(bStageLatch);
+        }
+        rec.block(bDone);
+
+        std::uint64_t sum = 0;
+        for (int i = 0; i < kN; ++i) {
+            sum = sum * 131 +
+                  static_cast<std::uint64_t>(static_cast<Word>(
+                      re[static_cast<std::size_t>(i)]));
+        }
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+fftWorkload()
+{
+    static FftWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

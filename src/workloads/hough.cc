@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Hough Transform (HT) — 120 x 180 image (HosNa suite).
+ *
+ * Line detection: every edge pixel votes across 180 theta bins.
+ * The theta loop hangs *under a branch* (only edge pixels enter
+ * it), making the branch sub-inner and the nest imperfect —
+ * Table 1: sub-inner branch, imperfect nested loops.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kHeight = 120;
+constexpr int kWidth = 180;
+constexpr int kThetas = 180;
+constexpr Word kThreshold = 128;
+
+enum Block : BlockId
+{
+    bInit = 0,
+    bYLoop,      // depth 1
+    bXLoop,      // depth 2
+    bPixelIf,    // if (img[y][x] > threshold)
+    bThetaLoop,  // vote loop (depth 3, under the branch)
+    bVote,       // rho = x cos + y sin; acc[theta][rho]++
+    bSkip,
+    bXLatch,
+    bYLatch,
+    bDone
+};
+
+class HoughWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "HT"; }
+    std::string fullName() const override
+    { return "Hough Transform"; }
+    std::string sizeDesc() const override { return "120 x 180"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("hough");
+        BlockId init = b.addBlock("init");
+        BlockId yloop = b.addLoopHeader("y_loop");
+        BlockId xloop = b.addLoopHeader("x_loop");
+        BlockId pif = b.addBranchBlock("pixel_if");
+        BlockId theta = b.addLoopHeader("theta_loop");
+        BlockId vote = b.addBlock("vote");
+        BlockId skip = b.addBlock("skip");
+        BlockId xlatch = b.addBlock("x_latch");
+        BlockId ylatch = b.addBlock("y_latch");
+        BlockId done = b.addBlock("done");
+
+        auto copyBlock = [&](BlockId id) {
+            Dfg &d = b.dfg(id);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        };
+
+        {
+            Dfg &d = b.dfg(init);
+            NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+            d.addOutput("y", c);
+        }
+        for (BlockId hdr : {yloop, xloop, theta}) {
+            Dfg &d = b.dfg(hdr);
+            dfg_patterns::addCountedLoop(d, 0, 1, "bound");
+        }
+        {   // load pixel, compare, branch.
+            Dfg &d = b.dfg(pif);
+            int y = d.addInput("y");
+            int x = d.addInput("x");
+            NodeId idx = d.addNode(Opcode::Mul, Operand::input(y),
+                                   Operand::imm(kWidth));
+            NodeId idx2 = d.addNode(Opcode::Add, Operand::node(idx),
+                                    Operand::input(x));
+            NodeId px = d.addNode(Opcode::Load, Operand::node(idx2),
+                                  Operand::none(), Operand::none(),
+                                  "img[y][x]");
+            NodeId gt = d.addNode(Opcode::CmpGt, Operand::node(px),
+                                  Operand::imm(kThreshold));
+            d.addNode(Opcode::Branch, Operand::node(gt));
+            d.addOutput("edge", gt);
+        }
+        {   // vote: rho = (x*cos[t] + y*sin[t]) >> 15; acc++.
+            Dfg &d = b.dfg(vote);
+            int x = d.addInput("x");
+            int y = d.addInput("y");
+            int t = d.addInput("theta");
+            NodeId ct = d.addNode(Opcode::Load, Operand::input(t),
+                                  Operand::none(), Operand::none(),
+                                  "cos[t]");
+            NodeId st = d.addNode(Opcode::Load, Operand::input(t),
+                                  Operand::none(), Operand::none(),
+                                  "sin[t]");
+            NodeId xc = d.addNode(Opcode::Mul, Operand::input(x),
+                                  Operand::node(ct));
+            NodeId ys = d.addNode(Opcode::Mac, Operand::input(y),
+                                  Operand::node(st),
+                                  Operand::node(xc), "rho.q15");
+            NodeId rho = d.addNode(Opcode::Sra, Operand::node(ys),
+                                   Operand::imm(15));
+            NodeId cur = d.addNode(Opcode::Load, Operand::node(rho),
+                                   Operand::none(), Operand::none(),
+                                   "acc");
+            NodeId inc = d.addNode(Opcode::Add, Operand::node(cur),
+                                   Operand::imm(1));
+            d.addNode(Opcode::Store, Operand::node(rho),
+                      Operand::node(inc));
+            d.addOutput("rho", rho);
+        }
+        copyBlock(skip);
+        copyBlock(xlatch);
+        copyBlock(ylatch);
+        copyBlock(done);
+
+        b.fall(init, yloop);
+        b.fall(yloop, xloop);
+        b.fall(xloop, pif);
+        b.branch(pif, theta, skip);
+        b.fall(theta, vote);
+        b.loopBack(vote, theta);
+        b.loopExit(theta, xlatch);
+        b.fall(skip, xlatch);
+        b.loopBack(xlatch, xloop);
+        b.loopExit(xloop, ylatch);
+        b.loopBack(ylatch, yloop);
+        b.loopExit(yloop, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0005);
+        // Synthetic image: mostly dark with a few bright lines
+        // (about 10% edge pixels, the HosNa-like density).
+        std::vector<Word> img(
+            static_cast<std::size_t>(kHeight * kWidth));
+        for (int y = 0; y < kHeight; ++y) {
+            for (int x = 0; x < kWidth; ++x) {
+                bool line = (x + 2 * y) % 23 == 0 ||
+                            (3 * x - y) % 31 == 0;
+                Word noise =
+                    static_cast<Word>(rng.nextBounded(100));
+                img[static_cast<std::size_t>(y * kWidth + x)] =
+                    line ? 200 + noise % 56 : noise;
+            }
+        }
+        // Q15 trig tables.
+        std::vector<Word> cos_t(kThetas), sin_t(kThetas);
+        for (int t = 0; t < kThetas; ++t) {
+            double a = 3.14159265358979 * t / kThetas;
+            cos_t[static_cast<std::size_t>(t)] =
+                static_cast<Word>(32767.0 * std::cos(a));
+            sin_t[static_cast<std::size_t>(t)] =
+                static_cast<Word>(32767.0 * std::sin(a));
+        }
+        const int rho_max = kWidth + kHeight;
+        std::vector<Word> acc(
+            static_cast<std::size_t>(kThetas * 2 * rho_max), 0);
+
+        rec.block(bInit);
+        rec.round(bYLoop);
+        for (int y = 0; y < kHeight; ++y) {
+            rec.iteration(bYLoop);
+            rec.round(bXLoop);
+            for (int x = 0; x < kWidth; ++x) {
+                rec.iteration(bXLoop);
+                rec.block(bPixelIf);
+                if (img[static_cast<std::size_t>(
+                        y * kWidth + x)] > kThreshold) {
+                    rec.round(bThetaLoop);
+                    for (int t = 0; t < kThetas; ++t) {
+                        rec.iteration(bThetaLoop);
+                        rec.block(bVote);
+                        Word rho = static_cast<Word>(
+                            (static_cast<std::int64_t>(x) *
+                                 cos_t[static_cast<std::size_t>(
+                                     t)] +
+                             static_cast<std::int64_t>(y) *
+                                 sin_t[static_cast<std::size_t>(
+                                     t)]) >>
+                            15);
+                        int bin = t * 2 * rho_max +
+                                  (rho + rho_max);
+                        ++acc[static_cast<std::size_t>(bin)];
+                    }
+                } else {
+                    rec.block(bSkip);
+                }
+                rec.block(bXLatch);
+            }
+            rec.block(bYLatch);
+        }
+        rec.block(bDone);
+
+        std::uint64_t sum = 0;
+        for (const Word v : acc)
+            sum = sum * 31 +
+                  static_cast<std::uint64_t>(static_cast<UWord>(v));
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+houghWorkload()
+{
+    static HoughWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

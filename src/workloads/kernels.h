@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Accessors for the 13 benchmark singletons (Table 5).
+ */
+
+#ifndef MARIONETTE_WORKLOADS_KERNELS_H
+#define MARIONETTE_WORKLOADS_KERNELS_H
+
+#include "workloads/workload.h"
+
+namespace marionette
+{
+
+const Workload &mergeSortWorkload();  ///< MS: 1024 elements.
+const Workload &fftWorkload();        ///< FFT: 1024 points.
+const Workload &viterbiWorkload();    ///< VI: 64 st, 140 obs.
+const Workload &nwWorkload();         ///< NW: 128 x 128.
+const Workload &houghWorkload();      ///< HT: 120 x 180.
+const Workload &crcWorkload();        ///< CRC: 64 bytes.
+const Workload &adpcmWorkload();      ///< ADPCM: 2000 bytes.
+const Workload &scDecodeWorkload();   ///< SCD: 2048 channels.
+const Workload &ldpcWorkload();       ///< LDPC: 20 it, 128 bits.
+const Workload &gemmWorkload();       ///< GEMM: 64 x 64.
+const Workload &conv1dWorkload();     ///< CO: 16384.
+const Workload &sigmoidWorkload();    ///< SI: 2048.
+const Workload &grayWorkload();       ///< GP: 16384.
+
+} // namespace marionette
+
+#endif // MARIONETTE_WORKLOADS_KERNELS_H

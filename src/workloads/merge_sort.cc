@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Merge Sort (MS), 1024 elements — MachSuite-derived.
+ *
+ * The paper's flagship Branch Divergence kernel (Fig. 3a): the merge
+ * inner loop forks into a taken/not-taken path every iteration, and
+ * the loop nest is imperfect (per-pair setup work in the middle
+ * level).  Table 1: nested branches, innermost, under branch;
+ * imperfect nested loops.
+ */
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kN = 1024;
+
+// Block layout shared by buildCdfg() and runGolden().
+enum Block : BlockId
+{
+    bInit = 0,
+    bWidthLoop,   // outer: merge width 1,2,4,... (depth 1)
+    bPairLoop,    // pairs of runs at this width (depth 2)
+    bSetup,       // mid/right/i1/i2/iout setup (imperfect work)
+    bMergeWhile,  // the merge while loop (depth 3)
+    bCmpIf,       // if (in[i1] <= in[i2])  -- Branch Divergence
+    bTakeLeft,    // store from left run, i1++
+    bTakeRight,   // store from right run, i2++
+    bAdvance,     // iout++ (join)
+    bDrainLoop,   // copy the leftover run tail (depth 3)
+    bDrainBody,
+    bPairLatch,
+    bWidthLatch,
+    bDone,
+    numBlocks
+};
+
+class MergeSortWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "MS"; }
+    std::string fullName() const override { return "Merge Sort"; }
+    std::string sizeDesc() const override { return "1024"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("merge_sort");
+        BlockId init = b.addBlock("init");
+        BlockId width = b.addLoopHeader("width_loop");
+        BlockId pair = b.addLoopHeader("pair_loop");
+        BlockId setup = b.addBlock("setup");
+        BlockId mwhile = b.addLoopHeader("merge_while");
+        BlockId cmpif = b.addBranchBlock("cmp_if");
+        BlockId tleft = b.addBlock("take_left");
+        BlockId tright = b.addBlock("take_right");
+        BlockId adv = b.addBlock("advance");
+        BlockId drain = b.addLoopHeader("drain_loop");
+        BlockId drainb = b.addBlock("drain_body");
+        BlockId platch = b.addBlock("pair_latch");
+        BlockId wlatch = b.addBlock("width_latch");
+        BlockId done = b.addBlock("done");
+
+        {   // init: width = 1.
+            Dfg &d = b.dfg(init);
+            NodeId w = d.addNode(Opcode::Const,
+                                 Operand::imm(1), Operand::none(),
+                                 Operand::none(), "width");
+            d.addOutput("width", w);
+        }
+        {   // width loop: while (width < n) ... width *= 2.
+            Dfg &d = b.dfg(width);
+            int w = d.addInput("width");
+            NodeId dbl = d.addNode(Opcode::Shl, Operand::input(w),
+                                   Operand::imm(1), Operand::none(),
+                                   "width.next");
+            NodeId lp = d.addNode(Opcode::Loop, Operand::input(w),
+                                  Operand::imm(kN), Operand::none(),
+                                  "width.loop");
+            d.addOutput("width", dbl);
+            d.addOutput("continue", lp);
+        }
+        {   // pair loop: left = 0, 2*width, ...
+            Dfg &d = b.dfg(pair);
+            int w = d.addInput("width");
+            int left = d.addInput("left");
+            NodeId step = d.addNode(Opcode::Shl, Operand::input(w),
+                                    Operand::imm(1), Operand::none(),
+                                    "pair.step");
+            NodeId nxt = d.addNode(Opcode::Add, Operand::input(left),
+                                   Operand::node(step),
+                                   Operand::none(), "left.next");
+            NodeId lp = d.addNode(Opcode::Loop, Operand::node(nxt),
+                                  Operand::imm(kN), Operand::none(),
+                                  "pair.loop");
+            d.addOutput("left", nxt);
+            d.addOutput("continue", lp);
+        }
+        {   // setup: mid = min(left+w, n); right = min(left+2w, n).
+            Dfg &d = b.dfg(setup);
+            int left = d.addInput("left");
+            int w = d.addInput("width");
+            NodeId lw = d.addNode(Opcode::Add, Operand::input(left),
+                                  Operand::input(w), Operand::none(),
+                                  "left+w");
+            NodeId mid = d.addNode(Opcode::Min, Operand::node(lw),
+                                   Operand::imm(kN), Operand::none(),
+                                   "mid");
+            NodeId lw2 = d.addNode(Opcode::Add, Operand::node(lw),
+                                   Operand::input(w), Operand::none(),
+                                   "left+2w");
+            NodeId right = d.addNode(Opcode::Min, Operand::node(lw2),
+                                     Operand::imm(kN),
+                                     Operand::none(), "right");
+            NodeId i1 = d.addNode(Opcode::Copy, Operand::input(left),
+                                  Operand::none(), Operand::none(),
+                                  "i1");
+            NodeId i2 = d.addNode(Opcode::Copy, Operand::node(mid),
+                                  Operand::none(), Operand::none(),
+                                  "i2");
+            d.addOutput("mid", mid);
+            d.addOutput("right", right);
+            d.addOutput("i1", i1);
+            d.addOutput("i2", i2);
+        }
+        {   // while (i1 < mid && i2 < right).
+            Dfg &d = b.dfg(mwhile);
+            int i1 = d.addInput("i1");
+            int i2 = d.addInput("i2");
+            int mid = d.addInput("mid");
+            int right = d.addInput("right");
+            NodeId c1 = d.addNode(Opcode::CmpLt, Operand::input(i1),
+                                  Operand::input(mid),
+                                  Operand::none(), "i1<mid");
+            NodeId c2 = d.addNode(Opcode::CmpLt, Operand::input(i2),
+                                  Operand::input(right),
+                                  Operand::none(), "i2<right");
+            NodeId both = d.addNode(Opcode::And, Operand::node(c1),
+                                    Operand::node(c2),
+                                    Operand::none(), "both");
+            NodeId lp = d.addNode(Opcode::Loop, Operand::node(both),
+                                  Operand::imm(1), Operand::none(),
+                                  "while.loop");
+            d.addOutput("continue", lp);
+        }
+        {   // if (in[i1] <= in[i2]).
+            Dfg &d = b.dfg(cmpif);
+            int i1 = d.addInput("i1");
+            int i2 = d.addInput("i2");
+            NodeId v1 = d.addNode(Opcode::Load, Operand::input(i1),
+                                  Operand::none(), Operand::none(),
+                                  "in[i1]");
+            NodeId v2 = d.addNode(Opcode::Load, Operand::input(i2),
+                                  Operand::none(), Operand::none(),
+                                  "in[i2]");
+            NodeId le = d.addNode(Opcode::CmpLe, Operand::node(v1),
+                                  Operand::node(v2), Operand::none(),
+                                  "le");
+            NodeId br = d.addNode(Opcode::Branch, Operand::node(le),
+                                  Operand::none(), Operand::none(),
+                                  "br");
+            d.addOutput("v1", v1);
+            d.addOutput("v2", v2);
+            d.addOutput("take_left", br);
+        }
+        {   // taken: out[iout] = in[i1]; i1++.
+            Dfg &d = b.dfg(tleft);
+            int iout = d.addInput("iout");
+            int v1 = d.addInput("v1");
+            int i1 = d.addInput("i1");
+            d.addNode(Opcode::Store, Operand::input(iout),
+                      Operand::input(v1), Operand::none(),
+                      "out[iout]");
+            NodeId inc = d.addNode(Opcode::Add, Operand::input(i1),
+                                   Operand::imm(1), Operand::none(),
+                                   "i1++");
+            d.addOutput("i1", inc);
+        }
+        {   // not taken: out[iout] = in[i2]; i2++.
+            Dfg &d = b.dfg(tright);
+            int iout = d.addInput("iout");
+            int v2 = d.addInput("v2");
+            int i2 = d.addInput("i2");
+            d.addNode(Opcode::Store, Operand::input(iout),
+                      Operand::input(v2), Operand::none(),
+                      "out[iout]");
+            NodeId inc = d.addNode(Opcode::Add, Operand::input(i2),
+                                   Operand::imm(1), Operand::none(),
+                                   "i2++");
+            d.addOutput("i2", inc);
+        }
+        {   // join: iout++.
+            Dfg &d = b.dfg(adv);
+            int iout = d.addInput("iout");
+            NodeId inc = d.addNode(Opcode::Add, Operand::input(iout),
+                                   Operand::imm(1), Operand::none(),
+                                   "iout++");
+            d.addOutput("iout", inc);
+        }
+        {   // drain loop: while (i1 < mid || i2 < right).
+            Dfg &d = b.dfg(drain);
+            int i1 = d.addInput("i1");
+            int mid = d.addInput("mid");
+            NodeId c = d.addNode(Opcode::CmpLt, Operand::input(i1),
+                                 Operand::input(mid),
+                                 Operand::none(), "more");
+            NodeId lp = d.addNode(Opcode::Loop, Operand::node(c),
+                                  Operand::imm(1), Operand::none(),
+                                  "drain.loop");
+            d.addOutput("continue", lp);
+        }
+        {   // drain body: out[iout++] = in[i++].
+            Dfg &d = b.dfg(drainb);
+            int i = d.addInput("i");
+            int iout = d.addInput("iout");
+            NodeId v = d.addNode(Opcode::Load, Operand::input(i),
+                                 Operand::none(), Operand::none(),
+                                 "in[i]");
+            d.addNode(Opcode::Store, Operand::input(iout),
+                      Operand::node(v), Operand::none(),
+                      "out[iout]");
+            NodeId inc = d.addNode(Opcode::Add, Operand::input(i),
+                                   Operand::imm(1), Operand::none(),
+                                   "i++");
+            NodeId incout = d.addNode(Opcode::Add,
+                                      Operand::input(iout),
+                                      Operand::imm(1),
+                                      Operand::none(), "iout++");
+            d.addOutput("i", inc);
+            d.addOutput("iout", incout);
+        }
+        for (BlockId lb : {platch, wlatch, done}) {
+            Dfg &d = b.dfg(lb);
+            int x = d.addInput("x");
+            NodeId cp = d.addNode(Opcode::Copy, Operand::input(x),
+                                  Operand::none(), Operand::none());
+            d.addOutput("x", cp);
+        }
+
+        b.fall(init, width);
+        b.fall(width, pair);
+        b.fall(pair, setup);
+        b.fall(setup, mwhile);
+        b.fall(mwhile, cmpif);
+        b.branch(cmpif, tleft, tright);
+        b.fall(tleft, adv);
+        b.fall(tright, adv);
+        b.loopBack(adv, mwhile);
+        b.loopExit(mwhile, drain);
+        b.fall(drain, drainb);
+        b.loopBack(drainb, drain);
+        b.loopExit(drain, platch);
+        b.loopBack(platch, pair);
+        b.loopExit(pair, wlatch);
+        b.loopBack(wlatch, width);
+        b.loopExit(width, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0001);
+        std::vector<Word> in(kN), out(kN);
+        for (Word &v : in)
+            v = static_cast<Word>(rng.nextRange(-100000, 100000));
+
+        rec.block(bInit);
+        rec.round(bWidthLoop);
+        for (int width = 1; width < kN; width <<= 1) {
+            rec.iteration(bWidthLoop);
+            rec.round(bPairLoop);
+            for (int left = 0; left < kN; left += 2 * width) {
+                rec.iteration(bPairLoop);
+                rec.block(bSetup);
+                int mid = std::min(left + width, kN);
+                int right = std::min(left + 2 * width, kN);
+                int i1 = left, i2 = mid, iout = left;
+                rec.round(bMergeWhile);
+                while (i1 < mid && i2 < right) {
+                    rec.iteration(bMergeWhile);
+                    rec.block(bCmpIf);
+                    if (in[static_cast<std::size_t>(i1)] <=
+                        in[static_cast<std::size_t>(i2)]) {
+                        rec.block(bTakeLeft);
+                        out[static_cast<std::size_t>(iout)] =
+                            in[static_cast<std::size_t>(i1)];
+                        ++i1;
+                    } else {
+                        rec.block(bTakeRight);
+                        out[static_cast<std::size_t>(iout)] =
+                            in[static_cast<std::size_t>(i2)];
+                        ++i2;
+                    }
+                    rec.block(bAdvance);
+                    ++iout;
+                }
+                rec.round(bDrainLoop);
+                while (i1 < mid) {
+                    rec.iteration(bDrainLoop);
+                    rec.block(bDrainBody);
+                    out[static_cast<std::size_t>(iout++)] =
+                        in[static_cast<std::size_t>(i1++)];
+                }
+                while (i2 < right) {
+                    rec.iteration(bDrainLoop);
+                    rec.block(bDrainBody);
+                    out[static_cast<std::size_t>(iout++)] =
+                        in[static_cast<std::size_t>(i2++)];
+                }
+                rec.block(bPairLatch);
+            }
+            in.swap(out);
+            rec.block(bWidthLatch);
+        }
+        rec.block(bDone);
+
+        std::uint64_t sum = 0;
+        for (int i = 0; i < kN; ++i)
+            sum = sum * 31 +
+                  static_cast<std::uint64_t>(
+                      static_cast<UWord>(in[static_cast<
+                          std::size_t>(i)]));
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+mergeSortWorkload()
+{
+    static MergeSortWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

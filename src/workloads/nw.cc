@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Needleman-Wunsch (NW) — 128 x 128 sequence alignment.
+ *
+ * MachSuite-style DP over the alignment matrix with a *nested*
+ * branch (three-way max) in the innermost loop.  Table 1: nested
+ * branches innermost, nested loops.
+ */
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kLen = 128;
+constexpr Word kMatch = 1;
+constexpr Word kMismatch = -1;
+constexpr Word kGap = -1;
+
+enum Block : BlockId
+{
+    bInit = 0,
+    bRowLoop,   // depth 1
+    bColLoop,   // depth 2
+    bScores,    // compute diag/up/left candidates
+    bIf1,       // if (diag >= up)
+    bIf2a,      // taken:   if (diag >= left)
+    bIf2b,      // nottaken:if (up >= left)
+    bPickDiag,
+    bPickLeftA,
+    bPickUp,
+    bPickLeftB,
+    bStoreCell, // join: M[i][j] = winner
+    bRowLatch,
+    bTraceLoop, // backtrace (depth 1)
+    bTraceBody,
+    bDone
+};
+
+class NwWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "NW"; }
+    std::string fullName() const override
+    { return "Needleman-Wunsch"; }
+    std::string sizeDesc() const override { return "128 x 128"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("nw");
+        BlockId init = b.addBlock("init");
+        BlockId row = b.addLoopHeader("row_loop");
+        BlockId col = b.addLoopHeader("col_loop");
+        BlockId scores = b.addBlock("scores");
+        BlockId if1 = b.addBranchBlock("if_diag_up");
+        BlockId if2a = b.addBranchBlock("if_diag_left");
+        BlockId if2b = b.addBranchBlock("if_up_left");
+        BlockId pdiag = b.addBlock("pick_diag");
+        BlockId plefta = b.addBlock("pick_left_a");
+        BlockId pup = b.addBlock("pick_up");
+        BlockId pleftb = b.addBlock("pick_left_b");
+        BlockId cell = b.addBlock("store_cell");
+        BlockId rlatch = b.addBlock("row_latch");
+        BlockId trace = b.addLoopHeader("trace_loop");
+        BlockId traceb = b.addBlock("trace_body");
+        BlockId done = b.addBlock("done");
+
+        auto copyBlock = [&](BlockId id, const char *out_name) {
+            Dfg &d = b.dfg(id);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput(out_name, c);
+        };
+
+        {
+            Dfg &d = b.dfg(init);
+            NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+            d.addOutput("i", c);
+        }
+        for (BlockId hdr : {row, col, trace}) {
+            Dfg &d = b.dfg(hdr);
+            dfg_patterns::addCountedLoop(d, 1, 1, "bound");
+        }
+        {   // candidates.
+            Dfg &d = b.dfg(scores);
+            int i = d.addInput("i");
+            int j = d.addInput("j");
+            NodeId a = d.addNode(Opcode::Load, Operand::input(i),
+                                 Operand::none(), Operand::none(),
+                                 "seqA[i]");
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(j),
+                                   Operand::none(), Operand::none(),
+                                   "seqB[j]");
+            NodeId eq = d.addNode(Opcode::CmpEq, Operand::node(a),
+                                  Operand::node(bb2));
+            NodeId sc = d.addNode(Opcode::Select, Operand::node(eq),
+                                  Operand::imm(kMatch),
+                                  Operand::imm(kMismatch), "sub");
+            NodeId mnw = d.addNode(Opcode::Load, Operand::input(i),
+                                   Operand::none(), Operand::none(),
+                                   "M[i-1][j-1]");
+            NodeId diag = d.addNode(Opcode::Add, Operand::node(mnw),
+                                    Operand::node(sc));
+            NodeId mn = d.addNode(Opcode::Load, Operand::input(j),
+                                  Operand::none(), Operand::none(),
+                                  "M[i-1][j]");
+            NodeId up = d.addNode(Opcode::Add, Operand::node(mn),
+                                  Operand::imm(kGap));
+            NodeId mw = d.addNode(Opcode::Load, Operand::input(i),
+                                  Operand::none(), Operand::none(),
+                                  "M[i][j-1]");
+            NodeId left = d.addNode(Opcode::Add, Operand::node(mw),
+                                    Operand::imm(kGap));
+            d.addOutput("diag", diag);
+            d.addOutput("up", up);
+            d.addOutput("left", left);
+        }
+        auto branchBlock = [&](BlockId id, const char *x,
+                               const char *y) {
+            Dfg &d = b.dfg(id);
+            int xi = d.addInput(x);
+            int yi = d.addInput(y);
+            NodeId ge = d.addNode(Opcode::CmpGe, Operand::input(xi),
+                                  Operand::input(yi));
+            d.addNode(Opcode::Branch, Operand::node(ge));
+            d.addOutput("ge", ge);
+        };
+        branchBlock(if1, "diag", "up");
+        branchBlock(if2a, "diag", "left");
+        branchBlock(if2b, "up", "left");
+        copyBlock(pdiag, "win");
+        copyBlock(plefta, "win");
+        copyBlock(pup, "win");
+        copyBlock(pleftb, "win");
+        {
+            Dfg &d = b.dfg(cell);
+            int j = d.addInput("j");
+            int win = d.addInput("win");
+            d.addNode(Opcode::Store, Operand::input(j),
+                      Operand::input(win), Operand::none(),
+                      "M[i][j]");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(win));
+            d.addOutput("x", c);
+        }
+        copyBlock(rlatch, "x");
+        {   // trace body: follow the max predecessor.
+            Dfg &d = b.dfg(traceb);
+            int i = d.addInput("i");
+            NodeId v = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId nx = d.addNode(Opcode::Sub, Operand::input(i),
+                                  Operand::imm(1));
+            d.addNode(Opcode::Store, Operand::node(v),
+                      Operand::node(nx));
+            d.addOutput("i", nx);
+        }
+        copyBlock(done, "x");
+
+        b.fall(init, row);
+        b.fall(row, col);
+        b.fall(col, scores);
+        b.fall(scores, if1);
+        b.branch(if1, if2a, if2b);
+        b.branch(if2a, pdiag, plefta);
+        b.branch(if2b, pup, pleftb);
+        b.fall(pdiag, cell);
+        b.fall(plefta, cell);
+        b.fall(pup, cell);
+        b.fall(pleftb, cell);
+        b.loopBack(cell, col);
+        b.loopExit(col, rlatch);
+        b.loopBack(rlatch, row);
+        b.loopExit(row, trace);
+        b.fall(trace, traceb);
+        b.loopBack(traceb, trace);
+        b.loopExit(trace, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0004);
+        std::vector<Word> seq_a(static_cast<std::size_t>(kLen));
+        std::vector<Word> seq_b(static_cast<std::size_t>(kLen));
+        for (Word &v : seq_a)
+            v = static_cast<Word>(rng.nextBounded(4)); // ACGT.
+        for (Word &v : seq_b)
+            v = static_cast<Word>(rng.nextBounded(4));
+
+        const int w = kLen + 1;
+        std::vector<Word> m(
+            static_cast<std::size_t>(w * w), 0);
+        for (int i = 0; i <= kLen; ++i) {
+            m[static_cast<std::size_t>(i * w)] = kGap * i;
+            m[static_cast<std::size_t>(i)] = kGap * i;
+        }
+
+        rec.block(bInit);
+        rec.round(bRowLoop);
+        for (int i = 1; i <= kLen; ++i) {
+            rec.iteration(bRowLoop);
+            rec.round(bColLoop);
+            for (int j = 1; j <= kLen; ++j) {
+                rec.iteration(bColLoop);
+                rec.block(bScores);
+                Word sub =
+                    seq_a[static_cast<std::size_t>(i - 1)] ==
+                            seq_b[static_cast<std::size_t>(j - 1)]
+                        ? kMatch
+                        : kMismatch;
+                Word diag =
+                    m[static_cast<std::size_t>((i - 1) * w +
+                                               (j - 1))] + sub;
+                Word up =
+                    m[static_cast<std::size_t>((i - 1) * w + j)] +
+                    kGap;
+                Word left =
+                    m[static_cast<std::size_t>(i * w + (j - 1))] +
+                    kGap;
+                Word win;
+                rec.block(bIf1);
+                if (diag >= up) {
+                    rec.block(bIf2a);
+                    if (diag >= left) {
+                        rec.block(bPickDiag);
+                        win = diag;
+                    } else {
+                        rec.block(bPickLeftA);
+                        win = left;
+                    }
+                } else {
+                    rec.block(bIf2b);
+                    if (up >= left) {
+                        rec.block(bPickUp);
+                        win = up;
+                    } else {
+                        rec.block(bPickLeftB);
+                        win = left;
+                    }
+                }
+                rec.block(bStoreCell);
+                m[static_cast<std::size_t>(i * w + j)] = win;
+            }
+            rec.block(bRowLatch);
+        }
+
+        // Backtrace along the main diagonal (simplified greedy).
+        std::uint64_t sum = 0;
+        rec.round(bTraceLoop);
+        for (int i = kLen; i > 0; --i) {
+            rec.iteration(bTraceLoop);
+            rec.block(bTraceBody);
+            sum = sum * 31 +
+                  static_cast<std::uint64_t>(static_cast<UWord>(
+                      m[static_cast<std::size_t>(i * w + i)]));
+        }
+        rec.block(bDone);
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+nwWorkload()
+{
+    static NwWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Successive-Cancellation polar decoding (SCD) — 2048 channels
+ * (Arikan 2009).
+ *
+ * Min-sum SC decoding of a rate-1/2 polar code: the recursive
+ * f/g LLR computations form inner loops of data-dependent length,
+ * with the bit decision branching at each leaf and the partial-sum
+ * update as a second (serial) inner loop.  Table 1: innermost
+ * branch, imperfect nested loops, serial loops.
+ */
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kN = 2048;
+constexpr int kLogN = 11;
+
+enum Block : BlockId
+{
+    bInit = 0,
+    bPhaseLoop,  // leaf phases (depth 1)
+    bLlrLoop,    // f/g LLR recomputation (depth 2)
+    bLlrF,       // f node: sign-min
+    bLlrG,       // g node: add/sub by partial sum
+    bDecideIf,   // frozen / sign decision branch
+    bSetZero,
+    bSetSign,
+    bPsumLoop,   // partial-sum update (depth 2, serial to LLR loop)
+    bPsumBody,
+    bPhaseLatch,
+    bDone
+};
+
+/** min-sum f: sign(a) sign(b) min(|a|, |b|). */
+Word
+fNode(Word a, Word b)
+{
+    Word mag = std::min(a < 0 ? -a : a, b < 0 ? -b : b);
+    return ((a < 0) != (b < 0)) ? -mag : mag;
+}
+
+/** g: b + (1 - 2u) a. */
+Word
+gNode(Word a, Word b, Word u)
+{
+    return u ? b - a : b + a;
+}
+
+class ScDecodeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "SCD"; }
+    std::string fullName() const override { return "SC Decode"; }
+    std::string sizeDesc() const override
+    { return "2048 channels"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("sc_decode");
+        BlockId init = b.addBlock("init");
+        BlockId phase = b.addLoopHeader("phase_loop");
+        BlockId llr = b.addLoopHeader("llr_loop");
+        BlockId fnode = b.addBlock("llr_f");
+        BlockId gnode = b.addBlock("llr_g");
+        BlockId decide = b.addBranchBlock("decide_if");
+        BlockId setz = b.addBlock("set_zero");
+        BlockId sets = b.addBlock("set_sign");
+        BlockId psum = b.addLoopHeader("psum_loop");
+        BlockId psumb = b.addBlock("psum_body");
+        BlockId platch = b.addBlock("phase_latch");
+        BlockId done = b.addBlock("done");
+
+        auto copyBlock = [&](BlockId id) {
+            Dfg &d = b.dfg(id);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        };
+
+        {
+            Dfg &d = b.dfg(init);
+            NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+            d.addOutput("phase", c);
+        }
+        for (BlockId hdr : {phase, llr, psum}) {
+            Dfg &d = b.dfg(hdr);
+            dfg_patterns::addCountedLoop(d, 0, 1, "bound");
+        }
+        {   // f: sign-min of the two child LLRs.
+            Dfg &d = b.dfg(fnode);
+            int i = d.addInput("i");
+            NodeId a = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId aa = d.addNode(Opcode::Abs, Operand::node(a));
+            NodeId ab = d.addNode(Opcode::Abs, Operand::node(bb2));
+            NodeId mn = d.addNode(Opcode::Min, Operand::node(aa),
+                                  Operand::node(ab));
+            NodeId sx = d.addNode(Opcode::Xor, Operand::node(a),
+                                  Operand::node(bb2));
+            NodeId sg = d.addNode(Opcode::CmpLt, Operand::node(sx),
+                                  Operand::imm(0));
+            NodeId nm = d.addNode(Opcode::Neg, Operand::node(mn));
+            NodeId r = d.addNode(Opcode::Select, Operand::node(sg),
+                                 Operand::node(nm),
+                                 Operand::node(mn), "f");
+            d.addNode(Opcode::Store, Operand::input(i),
+                      Operand::node(r));
+            d.addOutput("f", r);
+        }
+        {   // g: b +/- a by the partial sum bit.
+            Dfg &d = b.dfg(gnode);
+            int i = d.addInput("i");
+            int u = d.addInput("u");
+            NodeId a = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId sub = d.addNode(Opcode::Sub, Operand::node(bb2),
+                                   Operand::node(a));
+            NodeId add = d.addNode(Opcode::Add, Operand::node(bb2),
+                                   Operand::node(a));
+            NodeId r = d.addNode(Opcode::Select, Operand::input(u),
+                                 Operand::node(sub),
+                                 Operand::node(add), "g");
+            d.addNode(Opcode::Store, Operand::input(i),
+                      Operand::node(r));
+            d.addOutput("g", r);
+        }
+        {   // frozen or sign decision.
+            Dfg &d = b.dfg(decide);
+            int llr_in = d.addInput("llr");
+            int frozen = d.addInput("frozen");
+            NodeId neg = d.addNode(Opcode::CmpLt,
+                                   Operand::input(llr_in),
+                                   Operand::imm(0));
+            NodeId nf = d.addNode(Opcode::Not,
+                                  Operand::input(frozen));
+            NodeId bit = d.addNode(Opcode::And, Operand::node(neg),
+                                   Operand::node(nf));
+            d.addNode(Opcode::Branch, Operand::node(bit));
+            d.addOutput("bit", bit);
+        }
+        copyBlock(setz);
+        copyBlock(sets);
+        {   // partial-sum xor update.
+            Dfg &d = b.dfg(psumb);
+            int i = d.addInput("i");
+            int bit = d.addInput("bit");
+            NodeId p = d.addNode(Opcode::Load, Operand::input(i));
+            NodeId x = d.addNode(Opcode::Xor, Operand::node(p),
+                                 Operand::input(bit));
+            d.addNode(Opcode::Store, Operand::input(i),
+                      Operand::node(x));
+            d.addOutput("x", x);
+        }
+        copyBlock(platch);
+        copyBlock(done);
+
+        b.fall(init, phase);
+        b.fall(phase, llr);
+        b.fall(llr, fnode);
+        b.fall(fnode, gnode);
+        b.loopBack(gnode, llr);
+        b.loopExit(llr, decide);
+        b.branch(decide, sets, setz);
+        b.fall(sets, psum);
+        b.fall(setz, psum);
+        b.fall(psum, psumb);
+        b.loopBack(psumb, psum);
+        b.loopExit(psum, platch);
+        b.loopBack(platch, phase);
+        b.loopExit(phase, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0008);
+        // Synthetic received LLRs: clean codeword of zeros with
+        // noise, so the decoder has real work but a checkable
+        // output distribution.
+        std::vector<Word> channel_llr(
+            static_cast<std::size_t>(kN));
+        for (Word &v : channel_llr)
+            v = static_cast<Word>(rng.nextRange(-14, 18));
+        // Frozen set: lower half (a rate-1/2 polar code's frozen
+        // positions approximated by index weight).
+        std::vector<bool> frozen(static_cast<std::size_t>(kN));
+        for (int i = 0; i < kN; ++i) {
+            int pop = __builtin_popcount(
+                static_cast<unsigned>(i));
+            frozen[static_cast<std::size_t>(i)] = pop < 6;
+        }
+
+        // Iterative SC with per-level LLR and partial-sum arrays;
+        // level l holds N / 2^l entries, level 0 is the channel.
+        std::vector<std::vector<Word>> llr(kLogN + 1);
+        std::vector<std::vector<Word>> psum(kLogN + 1);
+        for (int l = 0; l <= kLogN; ++l) {
+            llr[static_cast<std::size_t>(l)].assign(
+                static_cast<std::size_t>(kN >> l), 0);
+            psum[static_cast<std::size_t>(l)].assign(
+                static_cast<std::size_t>(kN >> l), 0);
+        }
+        llr[0] = channel_llr;
+
+        std::uint64_t sum = 0;
+        rec.block(bInit);
+        rec.round(bPhaseLoop);
+        for (int phase = 0; phase < kN; ++phase) {
+            rec.iteration(bPhaseLoop);
+            // Levels to (re)compute down to the leaf: ctz(phase)+1
+            // of them (the classic SC schedule).
+            int start_level =
+                phase == 0
+                    ? 0
+                    : kLogN - 1 -
+                          __builtin_ctz(
+                              static_cast<unsigned>(phase));
+            // Recompute LLRs from start_level to the leaf level.
+            rec.round(bLlrLoop);
+            for (int l = start_level; l < kLogN; ++l) {
+                int len = kN >> (l + 1);
+                bool is_g = ((phase >> (kLogN - 1 - l)) & 1) != 0;
+                for (int k = 0; k < len; ++k) {
+                    rec.iteration(bLlrLoop);
+                    Word a =
+                        llr[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(k)];
+                    Word bb2 =
+                        llr[static_cast<std::size_t>(l)]
+                           [static_cast<std::size_t>(k + len)];
+                    if (is_g) {
+                        rec.block(bLlrG);
+                        Word u =
+                            psum[static_cast<std::size_t>(l + 1)]
+                                [static_cast<std::size_t>(k)];
+                        llr[static_cast<std::size_t>(l + 1)]
+                           [static_cast<std::size_t>(k)] =
+                               gNode(a, bb2, u);
+                    } else {
+                        rec.block(bLlrF);
+                        llr[static_cast<std::size_t>(l + 1)]
+                           [static_cast<std::size_t>(k)] =
+                               fNode(a, bb2);
+                    }
+                }
+            }
+            // Leaf decision.
+            Word leaf = llr[static_cast<std::size_t>(kLogN)][0];
+            Word bit;
+            rec.block(bDecideIf);
+            if (!frozen[static_cast<std::size_t>(phase)] &&
+                leaf < 0) {
+                rec.block(bSetSign);
+                bit = 1;
+            } else {
+                rec.block(bSetZero);
+                bit = 0;
+            }
+            sum = sum * 3 + static_cast<std::uint64_t>(bit);
+
+            // Partial-sum update: propagate the decided bit up
+            // while phase has trailing ones.
+            psum[static_cast<std::size_t>(kLogN)][0] = bit;
+            rec.round(bPsumLoop);
+            int l = kLogN;
+            int ph = phase;
+            while (l > 0 && (ph & 1)) {
+                int len = kN >> l;
+                for (int k = 0; k < len; ++k) {
+                    rec.iteration(bPsumLoop);
+                    rec.block(bPsumBody);
+                    Word lo =
+                        psum[static_cast<std::size_t>(l)]
+                            [static_cast<std::size_t>(k)];
+                    psum[static_cast<std::size_t>(l - 1)]
+                        [static_cast<std::size_t>(k)] =
+                            lo ^ psum[static_cast<std::size_t>(
+                                     l - 1)]
+                                     [static_cast<std::size_t>(k)];
+                    psum[static_cast<std::size_t>(l - 1)]
+                        [static_cast<std::size_t>(k + len)] = lo;
+                }
+                --l;
+                ph >>= 1;
+            }
+            rec.block(bPhaseLatch);
+        }
+        rec.block(bDone);
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+scDecodeWorkload()
+{
+    static ScDecodeWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

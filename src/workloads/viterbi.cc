@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Viterbi decoding (VI) — 64 states, 140 observations, 64 tokens.
+ *
+ * MachSuite-style dynamic program: for each observation and each
+ * state, the innermost loop scans predecessor states and keeps the
+ * minimum path metric — an innermost branch executed
+ * 140 x 64 x 64 times.  Table 1: innermost branch, imperfect
+ * nested loops.
+ */
+
+#include <vector>
+
+#include "ir/builder.h"
+#include "sim/rng.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+constexpr int kStates = 64;
+constexpr int kObs = 140;
+constexpr int kTokens = 64;
+
+enum Block : BlockId
+{
+    bInit = 0,
+    bObsLoop,    // observations (depth 1)
+    bStateLoop,  // destination states (depth 2)
+    bSeed,       // best = +inf seed (imperfect work at depth 2)
+    bPrevLoop,   // predecessor states (depth 3)
+    bScore,      // metric = path[prev] + trans + emit
+    bMinIf,      // if (metric < best)
+    bMinUpd,     // best = metric, arg = prev
+    bMinSkip,
+    bPrevLatch,
+    bStore,      // path'[state] = best (depth 2)
+    bStateLatch,
+    bObsLatch,
+    bBackLoop,   // backtrace (depth 1)
+    bBackBody,
+    bDone
+};
+
+class ViterbiWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "VI"; }
+    std::string fullName() const override { return "Viterbi"; }
+    std::string
+    sizeDesc() const override
+    {
+        return "64 stages; 140 obs; 64 tokens";
+    }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("viterbi");
+        BlockId init = b.addBlock("init");
+        BlockId obs = b.addLoopHeader("obs_loop");
+        BlockId state = b.addLoopHeader("state_loop");
+        BlockId seed = b.addBlock("seed");
+        BlockId prev = b.addLoopHeader("prev_loop");
+        BlockId score = b.addBlock("score");
+        BlockId minif = b.addBranchBlock("min_if");
+        BlockId minupd = b.addBlock("min_upd");
+        BlockId minskip = b.addBlock("min_skip");
+        BlockId platch = b.addBlock("prev_latch");
+        BlockId store = b.addBlock("store");
+        BlockId slatch = b.addBlock("state_latch");
+        BlockId olatch = b.addBlock("obs_latch");
+        BlockId back = b.addLoopHeader("back_loop");
+        BlockId backb = b.addBlock("back_body");
+        BlockId done = b.addBlock("done");
+
+        auto copyBlock = [&](BlockId id) {
+            Dfg &d = b.dfg(id);
+            int x = d.addInput("x");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        };
+
+        {
+            Dfg &d = b.dfg(init);
+            NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+            d.addOutput("t", c);
+        }
+        for (BlockId hdr : {obs, state, prev, back}) {
+            Dfg &d = b.dfg(hdr);
+            dfg_patterns::addCountedLoop(d, 0, 1, "bound");
+        }
+        {   // seed best metric.
+            Dfg &d = b.dfg(seed);
+            NodeId inf = d.addNode(Opcode::Const,
+                                   Operand::imm(0x7fffffff));
+            d.addOutput("best", inf);
+        }
+        {   // metric = path[prev] + trans[prev][s] + emit[s][obs].
+            Dfg &d = b.dfg(score);
+            int p = d.addInput("prev");
+            int s = d.addInput("state");
+            NodeId pm = d.addNode(Opcode::Load, Operand::input(p),
+                                  Operand::none(), Operand::none(),
+                                  "path[prev]");
+            NodeId ti = d.addNode(Opcode::Shl, Operand::input(p),
+                                  Operand::imm(6));
+            NodeId ti2 = d.addNode(Opcode::Add, Operand::node(ti),
+                                   Operand::input(s));
+            NodeId tr = d.addNode(Opcode::Load, Operand::node(ti2),
+                                  Operand::none(), Operand::none(),
+                                  "trans");
+            NodeId m1 = d.addNode(Opcode::Add, Operand::node(pm),
+                                  Operand::node(tr));
+            NodeId em = d.addNode(Opcode::Load, Operand::input(s),
+                                  Operand::none(), Operand::none(),
+                                  "emit");
+            NodeId m2 = d.addNode(Opcode::Add, Operand::node(m1),
+                                  Operand::node(em), Operand::none(),
+                                  "metric");
+            d.addOutput("metric", m2);
+        }
+        {
+            Dfg &d = b.dfg(minif);
+            int m = d.addInput("metric");
+            int best = d.addInput("best");
+            NodeId lt = d.addNode(Opcode::CmpLt, Operand::input(m),
+                                  Operand::input(best));
+            d.addNode(Opcode::Branch, Operand::node(lt));
+            d.addOutput("lt", lt);
+        }
+        {
+            Dfg &d = b.dfg(minupd);
+            int m = d.addInput("metric");
+            int p = d.addInput("prev");
+            NodeId nb = d.addNode(Opcode::Copy, Operand::input(m),
+                                  Operand::none(), Operand::none(),
+                                  "best'");
+            NodeId na = d.addNode(Opcode::Copy, Operand::input(p),
+                                  Operand::none(), Operand::none(),
+                                  "arg'");
+            d.addOutput("best", nb);
+            d.addOutput("arg", na);
+        }
+        copyBlock(minskip);
+        copyBlock(platch);
+        {   // store new path metric and backpointer.
+            Dfg &d = b.dfg(store);
+            int s = d.addInput("state");
+            int best = d.addInput("best");
+            int arg = d.addInput("arg");
+            d.addNode(Opcode::Store, Operand::input(s),
+                      Operand::input(best));
+            d.addNode(Opcode::Store, Operand::input(s),
+                      Operand::input(arg));
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(s));
+            d.addOutput("x", c);
+        }
+        copyBlock(slatch);
+        copyBlock(olatch);
+        {   // backtrace body: state = bp[t][state].
+            Dfg &d = b.dfg(backb);
+            int s = d.addInput("state");
+            NodeId bp = d.addNode(Opcode::Load, Operand::input(s));
+            d.addNode(Opcode::Store, Operand::input(s),
+                      Operand::node(bp));
+            d.addOutput("state", bp);
+        }
+        copyBlock(done);
+
+        b.fall(init, obs);
+        b.fall(obs, state);
+        b.fall(state, seed);
+        b.fall(seed, prev);
+        b.fall(prev, score);
+        b.fall(score, minif);
+        b.branch(minif, minupd, minskip);
+        b.fall(minupd, platch);
+        b.fall(minskip, platch);
+        b.loopBack(platch, prev);
+        b.loopExit(prev, store);
+        b.fall(store, slatch);
+        b.loopBack(slatch, state);
+        b.loopExit(state, olatch);
+        b.loopBack(olatch, obs);
+        b.loopExit(obs, back);
+        b.fall(back, backb);
+        b.loopBack(backb, back);
+        b.loopExit(back, done);
+        return b.finish();
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        Rng rng(0x5eed0003);
+        std::vector<Word> trans(
+            static_cast<std::size_t>(kStates * kStates));
+        std::vector<Word> emit(
+            static_cast<std::size_t>(kStates * kTokens));
+        std::vector<int> observations(
+            static_cast<std::size_t>(kObs));
+        for (Word &v : trans)
+            v = static_cast<Word>(rng.nextRange(1, 100));
+        for (Word &v : emit)
+            v = static_cast<Word>(rng.nextRange(1, 100));
+        for (int &o : observations)
+            o = static_cast<int>(rng.nextBounded(kTokens));
+
+        std::vector<Word> path(static_cast<std::size_t>(kStates),
+                               0);
+        std::vector<Word> next(static_cast<std::size_t>(kStates));
+        std::vector<std::vector<int>> bp(
+            static_cast<std::size_t>(kObs),
+            std::vector<int>(static_cast<std::size_t>(kStates),
+                             0));
+
+        rec.block(bInit);
+        rec.round(bObsLoop);
+        for (int t = 0; t < kObs; ++t) {
+            rec.iteration(bObsLoop);
+            rec.round(bStateLoop);
+            for (int s = 0; s < kStates; ++s) {
+                rec.iteration(bStateLoop);
+                rec.block(bSeed);
+                Word best = 0x7fffffff;
+                int arg = 0;
+                rec.round(bPrevLoop);
+                for (int p = 0; p < kStates; ++p) {
+                    rec.iteration(bPrevLoop);
+                    rec.block(bScore);
+                    Word metric =
+                        path[static_cast<std::size_t>(p)] +
+                        trans[static_cast<std::size_t>(
+                            p * kStates + s)] +
+                        emit[static_cast<std::size_t>(
+                            s * kTokens +
+                            observations[static_cast<std::size_t>(
+                                t)])];
+                    rec.block(bMinIf);
+                    if (metric < best) {
+                        rec.block(bMinUpd);
+                        best = metric;
+                        arg = p;
+                    } else {
+                        rec.block(bMinSkip);
+                    }
+                    rec.block(bPrevLatch);
+                }
+                rec.block(bStore);
+                next[static_cast<std::size_t>(s)] = best;
+                bp[static_cast<std::size_t>(t)]
+                  [static_cast<std::size_t>(s)] = arg;
+                rec.block(bStateLatch);
+            }
+            path.swap(next);
+            rec.block(bObsLatch);
+        }
+
+        // Backtrace.
+        int state = 0;
+        for (int s = 1; s < kStates; ++s)
+            if (path[static_cast<std::size_t>(s)] <
+                path[static_cast<std::size_t>(state)])
+                state = s;
+        std::uint64_t sum =
+            static_cast<std::uint64_t>(static_cast<UWord>(
+                path[static_cast<std::size_t>(state)]));
+        rec.round(bBackLoop);
+        for (int t = kObs - 1; t >= 0; --t) {
+            rec.iteration(bBackLoop);
+            rec.block(bBackBody);
+            state = bp[static_cast<std::size_t>(t)]
+                      [static_cast<std::size_t>(state)];
+            sum = sum * 31 + static_cast<std::uint64_t>(state);
+        }
+        rec.block(bDone);
+        return sum;
+    }
+};
+
+} // namespace
+
+const Workload &
+viterbiWorkload()
+{
+    static ViterbiWorkload instance;
+    return instance;
+}
+
+} // namespace marionette

@@ -1,0 +1,48 @@
+#include "workloads/workload.h"
+
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+
+WorkloadProfile
+Workload::profile() const
+{
+    WorkloadProfile p;
+    p.name = name();
+    p.sizeDesc = sizeDesc();
+    p.cdfg = buildCdfg();
+    p.loops = LoopInfo::analyze(p.cdfg);
+    KernelRecorder rec;
+    runGolden(rec);
+    p.trace = rec.trace();
+    p.loopRounds = rec.allRounds();
+    p.loopIterations = rec.allIterations();
+    p.controlFlow = analyzeControlFlow(p.cdfg, p.loops);
+    p.intensive = intensiveControlFlow();
+    return p;
+}
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<const Workload *> registry = {
+        &mergeSortWorkload(), &fftWorkload(),     &viterbiWorkload(),
+        &nwWorkload(),        &houghWorkload(),   &crcWorkload(),
+        &adpcmWorkload(),     &scDecodeWorkload(), &ldpcWorkload(),
+        &gemmWorkload(),      &conv1dWorkload(),  &sigmoidWorkload(),
+        &grayWorkload(),
+    };
+    return registry;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload *w : allWorkloads())
+        if (w->name() == name || w->fullName() == name)
+            return w;
+    return nullptr;
+}
+
+} // namespace marionette

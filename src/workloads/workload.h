@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Benchmark workloads (paper Table 5 / Sec. 6.2).
+ *
+ * Every workload provides (a) its CDFG — the graph the paper's
+ * modified-Clang flow would extract from the annotated C source —
+ * and (b) a *golden* C++ implementation instrumented to record the
+ * dynamic basic-block trace (loop rounds, iterations, branch
+ * directions).  The trace-driven performance models replay those
+ * traces under each architecture's execution model; the functional
+ * machine runs a subset end to end.
+ *
+ * All data is 32-bit, with the exact sizes of Table 5; inputs are
+ * generated with the deterministic RNG so every run is reproducible.
+ */
+
+#ifndef MARIONETTE_WORKLOADS_WORKLOAD_H
+#define MARIONETTE_WORKLOADS_WORKLOAD_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/analysis.h"
+#include "ir/cdfg.h"
+#include "ir/loop_info.h"
+#include "ir/trace.h"
+
+namespace marionette
+{
+
+/**
+ * Trace hooks the instrumented golden implementations call.
+ * round()/iteration() keep exact loop statistics (the analytic
+ * models need rounds and trip counts, not just block counts);
+ * block() records ordinary body-block executions including branch
+ * directions.
+ */
+class KernelRecorder
+{
+  public:
+    /** A loop header begins a new round (entry from outside). */
+    void
+    round(BlockId header)
+    {
+        ++rounds_[header];
+        trace_.record(header);
+    }
+
+    /** One iteration of the loop owning @p header. */
+    void
+    iteration(BlockId header)
+    {
+        ++iterations_[header];
+    }
+
+    /** One execution of a non-header block. */
+    void block(BlockId b) { trace_.record(b); }
+
+    const BlockTrace &trace() const { return trace_; }
+
+    std::uint64_t
+    rounds(BlockId header) const
+    {
+        auto it = rounds_.find(header);
+        return it == rounds_.end() ? 0 : it->second;
+    }
+
+    std::uint64_t
+    iterations(BlockId header) const
+    {
+        auto it = iterations_.find(header);
+        return it == iterations_.end() ? 0 : it->second;
+    }
+
+    const std::map<BlockId, std::uint64_t> &allRounds() const
+    { return rounds_; }
+    const std::map<BlockId, std::uint64_t> &allIterations() const
+    { return iterations_; }
+
+  private:
+    BlockTrace trace_;
+    std::map<BlockId, std::uint64_t> rounds_;
+    std::map<BlockId, std::uint64_t> iterations_;
+};
+
+/** Everything the models need to know about one benchmark run. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::string sizeDesc;
+    Cdfg cdfg;
+    LoopInfo loops;
+    BlockTrace trace;
+    std::map<BlockId, std::uint64_t> loopRounds;
+    std::map<BlockId, std::uint64_t> loopIterations;
+    ControlFlowProfile controlFlow;
+    /** Paper grouping: the 10 intensive vs. CO/SI/GP. */
+    bool intensive = false;
+
+    std::uint64_t
+    roundsOf(BlockId header) const
+    {
+        auto it = loopRounds.find(header);
+        return it == loopRounds.end() ? 0 : it->second;
+    }
+
+    std::uint64_t
+    iterationsOf(BlockId header) const
+    {
+        auto it = loopIterations.find(header);
+        return it == loopIterations.end() ? 0 : it->second;
+    }
+};
+
+/** Base class of the 13 benchmarks. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Paper abbreviation (MS, FFT, VI, ...). */
+    virtual std::string name() const = 0;
+
+    /** Full name. */
+    virtual std::string fullName() const = 0;
+
+    /** Table 5 data-size string. */
+    virtual std::string sizeDesc() const = 0;
+
+    /** Build the kernel's CDFG. */
+    virtual Cdfg buildCdfg() const = 0;
+
+    /** Run the golden implementation, recording the trace.
+     *  @return a checksum of the computed outputs (regression
+     *  anchor for the golden implementations themselves). */
+    virtual std::uint64_t runGolden(KernelRecorder &rec) const = 0;
+
+    /** Paper grouping (Sec. 6.2). */
+    virtual bool intensiveControlFlow() const { return true; }
+
+    /** Assemble the full profile (CDFG + analysis + trace). */
+    WorkloadProfile profile() const;
+};
+
+/** The 13 workloads in the paper's plot order:
+ *  MS FFT VI NW HT CRC ADPCM SCD LDPC GEMM CO SI GP. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Lookup by abbreviation; nullptr when unknown. */
+const Workload *findWorkload(const std::string &name);
+
+} // namespace marionette
+
+#endif // MARIONETTE_WORKLOADS_WORKLOAD_H

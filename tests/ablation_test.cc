@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Ablation / sensitivity invariants over the performance models:
+ * what must happen when fabric parameters change (the studies
+ * behind bench_ablation_scaling and bench_ablation_latency).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/arch_model.h"
+#include "model/eval.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+namespace
+{
+
+class ArraySize : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ArraySize, BiggerArraysNeverSlower)
+{
+    int pes = GetParam();
+    ModelParams small_p, big_p;
+    small_p.numPes = pes;
+    big_p.numPes = pes * 4;
+    Features full;
+    auto small_m = makeMarionette(small_p, full);
+    auto big_m = makeMarionette(big_p, full);
+    for (const WorkloadProfile &p : allProfiles()) {
+        EXPECT_LE(big_m->run(p).cycles,
+                  small_m->run(p).cycles * 1.0001)
+            << p.name << " at " << pes << " PEs";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArraySize,
+                         ::testing::Values(4, 9, 16));
+
+TEST(ArraySizeSweep, MarionetteAdvantagePersistsAcrossSizes)
+{
+    Features full;
+    for (int pes : {4, 16, 64}) {
+        ModelParams params;
+        params.numPes = pes;
+        auto mar = makeMarionette(params, full);
+        auto sb = makeSoftbrain(params);
+        std::vector<double> gains;
+        for (const WorkloadProfile &p : intensiveProfiles())
+            gains.push_back(sb->run(p).cycles /
+                            mar->run(p).cycles);
+        EXPECT_GT(geomean(gains), 1.5) << pes << " PEs";
+    }
+}
+
+TEST(LatencySensitivity, SlowerMeshIncreasesNetworkBenefit)
+{
+    Features base_f;
+    base_f.controlNetwork = false;
+    base_f.agileAssignment = false;
+    Features net_f = base_f;
+    net_f.controlNetwork = true;
+
+    double prev_gain = 0.0;
+    for (double mesh : {2.0, 6.0, 12.0}) {
+        ModelParams params;
+        params.dataNetLat = mesh;
+        auto base = makeMarionette(params, base_f);
+        auto net = makeMarionette(params, net_f);
+        std::vector<double> gains;
+        for (const WorkloadProfile &p : intensiveProfiles())
+            gains.push_back(base->run(p).cycles /
+                            net->run(p).cycles);
+        double gain = geomean(gains);
+        EXPECT_GE(gain, prev_gain - 1e-9)
+            << "mesh latency " << mesh;
+        prev_gain = gain;
+    }
+    EXPECT_GT(prev_gain, 1.2); // 12-cycle mesh: big win.
+}
+
+TEST(LatencySensitivity, SlowerDedicatedNetworkShrinksBenefit)
+{
+    Features base_f;
+    base_f.controlNetwork = false;
+    base_f.agileAssignment = false;
+    Features net_f = base_f;
+    net_f.controlNetwork = true;
+
+    double prev_gain = 1e9;
+    for (double net_lat : {1.0, 3.0, 6.0}) {
+        ModelParams params;
+        params.ctrlNetLat = net_lat;
+        auto base = makeMarionette(params, base_f);
+        auto net = makeMarionette(params, net_f);
+        std::vector<double> gains;
+        for (const WorkloadProfile &p : intensiveProfiles())
+            gains.push_back(base->run(p).cycles /
+                            net->run(p).cycles);
+        double gain = geomean(gains);
+        EXPECT_LE(gain, prev_gain + 1e-9)
+            << "net latency " << net_lat;
+        prev_gain = gain;
+    }
+    // A network as slow as the mesh is worthless.
+    EXPECT_NEAR(prev_gain, 1.0, 0.05);
+}
+
+TEST(LatencySensitivity, CcuCostHurtsVonNeumannMost)
+{
+    for (double ccu : {4.0, 8.0, 16.0}) {
+        ModelParams params;
+        params.ccuRoundTrip = ccu;
+        auto vn = makeVonNeumannPe(params);
+        Features full;
+        auto mar = makeMarionette(params, full);
+        double vn_total = 0, mar_total = 0;
+        for (const WorkloadProfile &p : intensiveProfiles()) {
+            vn_total += vn->run(p).cycles;
+            mar_total += mar->run(p).cycles;
+        }
+        // Marionette's cost must not track the CCU price.
+        SCOPED_TRACE(ccu);
+        static double mar_at_4 = 0;
+        if (ccu == 4.0)
+            mar_at_4 = mar_total;
+        else
+            EXPECT_NEAR(mar_total, mar_at_4, mar_at_4 * 0.001);
+        EXPECT_GT(vn_total, mar_total);
+    }
+}
+
+TEST(ExecLatency, LongerExecuteNeverHelps)
+{
+    // In a pipelined spatial fabric a longer execute latency only
+    // lengthens fills and dependence chains (II of II=1 pipelines
+    // is unaffected), so cycles must be non-decreasing — and must
+    // strictly grow on dependence-limited kernels.
+    ModelParams fast, slow;
+    fast.execLat = 2.0;
+    slow.execLat = 4.0;
+    Features full;
+    auto m_fast = makeMarionette(fast, full);
+    auto m_slow = makeMarionette(slow, full);
+    for (const WorkloadProfile &p : intensiveProfiles()) {
+        EXPECT_GE(m_slow->run(p).cycles,
+                  m_fast->run(p).cycles * 0.999)
+            << p.name;
+    }
+    // CRC's bit loop is a branch recurrence: strictly slower.
+    for (const WorkloadProfile &p : intensiveProfiles()) {
+        if (p.name != "CRC")
+            continue;
+        EXPECT_GT(m_slow->run(p).cycles,
+                  m_fast->run(p).cycles * 1.2);
+    }
+}
+
+} // namespace
+} // namespace marionette

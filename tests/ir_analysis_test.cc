@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Control-flow characterization tests: the Table 1 classification
+ * of every paper benchmark must come out right.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+namespace
+{
+
+ControlFlowProfile
+profileOf(const Workload &w)
+{
+    Cdfg g = w.buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    return analyzeControlFlow(g, li);
+}
+
+struct Table1Case
+{
+    const Workload *workload;
+    LoopForm loopForm;
+    bool hasBranches;
+    bool intensive;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Case>
+{
+};
+
+TEST_P(Table1, ClassificationMatchesPaper)
+{
+    const Table1Case &t = GetParam();
+    ControlFlowProfile p = profileOf(*t.workload);
+    EXPECT_EQ(p.loopForm, t.loopForm) << p.kernel;
+    EXPECT_EQ(p.numBranches > 0, t.hasBranches) << p.kernel;
+    EXPECT_EQ(p.intensiveControlFlow, t.intensive) << p.kernel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, Table1,
+    ::testing::Values(
+        // Table 1 rows (loop forms) + Sec. 6.2 grouping.
+        Table1Case{&mergeSortWorkload(),
+                   LoopForm::ImperfectNested, true, true},
+        Table1Case{&fftWorkload(), LoopForm::ImperfectNested,
+                   true, true},
+        Table1Case{&viterbiWorkload(), LoopForm::ImperfectNested,
+                   true, true},
+        // Table 1 lists NW's loops as plain "Nested": the DP body
+        // is all in the innermost loop.
+        Table1Case{&nwWorkload(), LoopForm::PerfectNested, true,
+                   true},
+        Table1Case{&houghWorkload(), LoopForm::ImperfectNested,
+                   true, true},
+        Table1Case{&crcWorkload(), LoopForm::ImperfectNested,
+                   true, true},
+        Table1Case{&adpcmWorkload(), LoopForm::Single, true,
+                   true},
+        Table1Case{&scDecodeWorkload(),
+                   LoopForm::ImperfectNested, true, true},
+        Table1Case{&ldpcWorkload(), LoopForm::ImperfectNested,
+                   true, true},
+        Table1Case{&gemmWorkload(), LoopForm::ImperfectNested,
+                   false, true},
+        Table1Case{&conv1dWorkload(), LoopForm::Single, false,
+                   false},
+        Table1Case{&sigmoidWorkload(), LoopForm::Single, false,
+                   false},
+        Table1Case{&grayWorkload(), LoopForm::Single, false,
+                   false}),
+    [](const auto &info) {
+        return info.param.workload->name();
+    });
+
+TEST(Analysis, NwHasNestedBranches)
+{
+    ControlFlowProfile p = profileOf(nwWorkload());
+    EXPECT_EQ(p.branchForm, BranchForm::Nested);
+}
+
+TEST(Analysis, LdpcHasNestedBranches)
+{
+    ControlFlowProfile p = profileOf(ldpcWorkload());
+    EXPECT_EQ(p.branchForm, BranchForm::Nested);
+}
+
+TEST(Analysis, GemmHasNoBranch)
+{
+    ControlFlowProfile p = profileOf(gemmWorkload());
+    EXPECT_EQ(p.branchForm, BranchForm::None);
+    EXPECT_DOUBLE_EQ(p.opsUnderBranch, 0.0);
+}
+
+TEST(Analysis, CrcAndMergeSortAlsoHaveSerialLoops)
+{
+    EXPECT_TRUE(profileOf(crcWorkload()).alsoSerialLoops);
+    EXPECT_TRUE(profileOf(mergeSortWorkload()).alsoSerialLoops);
+}
+
+TEST(Analysis, BranchyKernelsHaveOpsUnderBranch)
+{
+    for (const Workload *w :
+         {&mergeSortWorkload(), &nwWorkload(), &adpcmWorkload(),
+          &ldpcWorkload()}) {
+        ControlFlowProfile p = profileOf(*w);
+        EXPECT_GT(p.opsUnderBranch, 0.05) << p.kernel;
+        EXPECT_LT(p.opsUnderBranch, 0.8) << p.kernel;
+    }
+}
+
+TEST(Analysis, VocabularyRendering)
+{
+    EXPECT_EQ(branchFormName(BranchForm::Nested),
+              "Nested branches");
+    EXPECT_EQ(loopFormName(LoopForm::ImperfectNested),
+              "Imperfect nested");
+    ControlFlowProfile p = profileOf(gemmWorkload());
+    std::string s = toString(p);
+    EXPECT_NE(s.find("gemm"), std::string::npos);
+    EXPECT_NE(s.find("Imperfect nested"), std::string::npos);
+}
+
+TEST(Analysis, MaxCriticalPathIsPositive)
+{
+    for (const Workload *w : allWorkloads()) {
+        ControlFlowProfile p = profileOf(*w);
+        EXPECT_GE(p.maxCriticalPath, 1) << p.kernel;
+    }
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * CDFG structure tests: blocks, edges, the ops-under-branch metric
+ * and structural validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/cdfg.h"
+
+namespace marionette
+{
+namespace
+{
+
+/** init -> branch -> (t | f) -> join, with a counted loop around
+ *  the branch region. */
+Cdfg
+makeBranchLoop()
+{
+    CdfgBuilder b("branchy");
+    BlockId init = b.addBlock("init");
+    BlockId hdr = b.addLoopHeader("hdr");
+    BlockId br = b.addBranchBlock("br");
+    BlockId t = b.addBlock("t");
+    BlockId f = b.addBlock("f");
+    BlockId join = b.addBlock("join");
+    BlockId done = b.addBlock("done");
+
+    {
+        Dfg &d = b.dfg(init);
+        NodeId c = d.addNode(Opcode::Const, Operand::imm(0));
+        d.addOutput("i", c);
+    }
+    {
+        Dfg &d = b.dfg(hdr);
+        dfg_patterns::addCountedLoop(d, 0, 1, "n");
+    }
+    {
+        Dfg &d = b.dfg(br);
+        int i = d.addInput("i");
+        NodeId odd = d.addNode(Opcode::And, Operand::input(i),
+                               Operand::imm(1));
+        d.addNode(Opcode::Branch, Operand::node(odd));
+        d.addOutput("odd", odd);
+    }
+    for (BlockId lane : {t, f}) {
+        Dfg &d = b.dfg(lane);
+        int i = d.addInput("i");
+        NodeId v = d.addNode(Opcode::Add, Operand::input(i),
+                             Operand::imm(lane));
+        d.addOutput("v", v);
+    }
+    for (BlockId blk : {join, done}) {
+        Dfg &d = b.dfg(blk);
+        int x = d.addInput("x");
+        NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+        d.addOutput("x", c);
+    }
+
+    b.fall(init, hdr);
+    b.fall(hdr, br);
+    b.branch(br, t, f);
+    b.fall(t, join);
+    b.fall(f, join);
+    b.loopBack(join, hdr);
+    b.loopExit(hdr, done);
+    return b.finish();
+}
+
+TEST(Cdfg, BlockCountAndNames)
+{
+    Cdfg g = makeBranchLoop();
+    EXPECT_EQ(g.numBlocks(), 7);
+    EXPECT_EQ(g.block(0).name, "init");
+    EXPECT_EQ(g.block(2).kind, BlockKind::Branch);
+}
+
+TEST(Cdfg, SuccessorsAndPredecessors)
+{
+    Cdfg g = makeBranchLoop();
+    auto succs = g.successors(2); // branch block.
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0].kind, EdgeKind::Taken);
+    EXPECT_EQ(succs[1].kind, EdgeKind::NotTaken);
+
+    auto preds = g.predecessors(1); // loop header.
+    ASSERT_EQ(preds.size(), 2u); // fall from init + loopback.
+}
+
+TEST(Cdfg, TotalOpsSumsBlocks)
+{
+    Cdfg g = makeBranchLoop();
+    int total = 0;
+    for (const BasicBlock &bb : g.blocks())
+        total += bb.dfg.numNodes();
+    EXPECT_EQ(g.totalOps(), total);
+    EXPECT_GT(total, 0);
+}
+
+TEST(Cdfg, OpsUnderBranchCountsOnlyConditionalTargets)
+{
+    Cdfg g = makeBranchLoop();
+    // Blocks 3 and 4 (one Add each) are the only branch targets.
+    double expected = 2.0 / g.totalOps();
+    EXPECT_DOUBLE_EQ(g.opsUnderBranchFraction(), expected);
+}
+
+TEST(Cdfg, NoBranchesMeansZeroUnderBranch)
+{
+    CdfgBuilder b("plain");
+    BlockId x = b.addBlock("x");
+    Dfg &d = b.dfg(x);
+    NodeId c = d.addNode(Opcode::Const, Operand::imm(1));
+    d.addOutput("c", c);
+    Cdfg g = b.finish();
+    EXPECT_DOUBLE_EQ(g.opsUnderBranchFraction(), 0.0);
+}
+
+TEST(Cdfg, ToStringListsEdges)
+{
+    std::string s = makeBranchLoop().toString();
+    EXPECT_NE(s.find("taken"), std::string::npos);
+    EXPECT_NE(s.find("loopback"), std::string::npos);
+    EXPECT_NE(s.find("loopexit"), std::string::npos);
+}
+
+TEST(CdfgDeath, BranchBlockNeedsBothEdges)
+{
+    Cdfg g("bad");
+    BlockId br = g.addBlock("br", BlockKind::Branch);
+    BlockId t = g.addBlock("t", BlockKind::Plain);
+    g.addEdge(br, t, EdgeKind::Taken); // missing NotTaken.
+    EXPECT_DEATH(g.validate(), "taken");
+}
+
+TEST(CdfgDeath, PlainBlockRejectsConditionalEdges)
+{
+    Cdfg g("bad");
+    BlockId a = g.addBlock("a", BlockKind::Plain);
+    BlockId b = g.addBlock("b", BlockKind::Plain);
+    g.addEdge(a, b, EdgeKind::Taken);
+    g.addEdge(a, b, EdgeKind::NotTaken);
+    EXPECT_DEATH(g.validate(), "conditional");
+}
+
+TEST(CdfgDeath, LoopHeaderNeedsBackEdge)
+{
+    Cdfg g("bad");
+    BlockId hdr = g.addBlock("hdr", BlockKind::LoopHeader);
+    BlockId out = g.addBlock("out", BlockKind::Plain);
+    g.addEdge(hdr, out, EdgeKind::LoopExit);
+    EXPECT_DEATH(g.validate(), "LoopBack");
+}
+
+TEST(CdfgDeath, EdgeToUnknownBlockPanics)
+{
+    Cdfg g("bad");
+    g.addBlock("a", BlockKind::Plain);
+    EXPECT_DEATH(g.addEdge(0, 9, EdgeKind::Fall), "out of range");
+}
+
+} // namespace
+} // namespace marionette

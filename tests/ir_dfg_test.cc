@@ -1,0 +1,172 @@
+/**
+ * @file
+ * DFG construction, validation and analysis tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/dfg.h"
+
+namespace marionette
+{
+namespace
+{
+
+Dfg
+makeDiamond()
+{
+    // in0 -> a, b -> c  (a and b both feed c).
+    Dfg d;
+    int in = d.addInput("x");
+    NodeId a = d.addNode(Opcode::Add, Operand::input(in),
+                         Operand::imm(1));
+    NodeId b = d.addNode(Opcode::Mul, Operand::input(in),
+                         Operand::imm(2));
+    NodeId c = d.addNode(Opcode::Sub, Operand::node(a),
+                         Operand::node(b));
+    d.addOutput("y", c);
+    return d;
+}
+
+TEST(Dfg, NodeCountAndLookup)
+{
+    Dfg d = makeDiamond();
+    EXPECT_EQ(d.numNodes(), 3);
+    EXPECT_EQ(d.node(0).op, Opcode::Add);
+    EXPECT_EQ(d.node(2).op, Opcode::Sub);
+}
+
+TEST(Dfg, ValidatePassesOnWellFormedGraph)
+{
+    makeDiamond().validate();
+}
+
+TEST(Dfg, CriticalPathOfDiamondIsTwo)
+{
+    EXPECT_EQ(makeDiamond().criticalPathLength(), 2);
+}
+
+TEST(Dfg, CriticalPathOfChainIsLength)
+{
+    Dfg d;
+    int in = d.addInput("x");
+    Operand prev = Operand::input(in);
+    for (int i = 0; i < 7; ++i)
+        prev = Operand::node(
+            d.addNode(Opcode::Add, prev, Operand::imm(1)));
+    d.addOutput("y", prev.ref);
+    EXPECT_EQ(d.criticalPathLength(), 7);
+}
+
+TEST(Dfg, EmptyGraphHasZeroCriticalPath)
+{
+    Dfg d;
+    EXPECT_EQ(d.criticalPathLength(), 0);
+}
+
+TEST(Dfg, ConsumersOfSharedValue)
+{
+    Dfg d = makeDiamond();
+    auto consumers_in0 = d.consumersOf(0);
+    ASSERT_EQ(consumers_in0.size(), 1u);
+    EXPECT_EQ(consumers_in0[0], 2);
+}
+
+TEST(Dfg, MemoryOpCount)
+{
+    Dfg d;
+    int in = d.addInput("i");
+    NodeId v = d.addNode(Opcode::Load, Operand::input(in));
+    d.addNode(Opcode::Store, Operand::input(in),
+              Operand::node(v));
+    d.addOutput("v", v);
+    EXPECT_EQ(d.numMemoryOps(), 2);
+}
+
+TEST(Dfg, OpsInClassCountsCorrectly)
+{
+    Dfg d = makeDiamond();
+    EXPECT_EQ(d.numOpsInClass(OpClass::IntAlu), 2); // add, sub.
+    EXPECT_EQ(d.numOpsInClass(OpClass::IntMul), 1);
+    EXPECT_EQ(d.numOpsInClass(OpClass::Memory), 0);
+}
+
+TEST(Dfg, FindPortsByName)
+{
+    Dfg d = makeDiamond();
+    EXPECT_EQ(d.findInput("x"), 0);
+    EXPECT_EQ(d.findInput("nope"), -1);
+    EXPECT_EQ(d.findOutput("y"), 0);
+    EXPECT_EQ(d.findOutput("nope"), -1);
+}
+
+TEST(Dfg, ToStringMentionsEveryNode)
+{
+    std::string s = makeDiamond().toString();
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("mul"), std::string::npos);
+    EXPECT_NE(s.find("sub"), std::string::npos);
+    EXPECT_NE(s.find("out y"), std::string::npos);
+}
+
+TEST(DfgDeath, ForwardReferencePanics)
+{
+    Dfg d;
+    d.addNode(Opcode::Add, Operand::node(5), Operand::imm(1));
+    EXPECT_DEATH(d.validate(), "DAG construction order");
+}
+
+TEST(DfgDeath, BadInputPortPanics)
+{
+    Dfg d;
+    d.addNode(Opcode::Copy, Operand::input(3));
+    EXPECT_DEATH(d.validate(), "bad input port");
+}
+
+TEST(DfgDeath, MissingOperandPanics)
+{
+    Dfg d;
+    d.addInput("x");
+    d.addNode(Opcode::Add, Operand::input(0)); // needs 2 operands.
+    EXPECT_DEATH(d.validate(), "needs");
+}
+
+TEST(DfgDeath, OutputToUnknownNodePanics)
+{
+    Dfg d;
+    EXPECT_DEATH(d.addOutput("y", 3), "bad node");
+}
+
+TEST(DfgPatterns, ReduceTreeSumsAllInputs)
+{
+    Dfg d;
+    dfg_patterns::reduceTree(d, 8);
+    d.validate();
+    // 8 leaves need 7 adders.
+    EXPECT_EQ(d.numNodes(), 7);
+    EXPECT_EQ(d.criticalPathLength(), 3); // log2(8).
+    EXPECT_EQ(d.findOutput("sum"), 0);
+}
+
+TEST(DfgPatterns, ReduceTreeSingleInputCopies)
+{
+    Dfg d;
+    dfg_patterns::reduceTree(d, 1);
+    d.validate();
+    EXPECT_EQ(d.numNodes(), 1);
+    EXPECT_EQ(d.node(0).op, Opcode::Copy);
+}
+
+TEST(DfgPatterns, CountedLoopHasLoopOperator)
+{
+    Dfg d;
+    auto vars = dfg_patterns::addCountedLoop(d, 0, 1, "n");
+    d.validate();
+    EXPECT_EQ(d.node(vars.condition).op, Opcode::Loop);
+    EXPECT_GE(d.findOutput("iv"), 0);
+    EXPECT_GE(d.findOutput("continue"), 0);
+}
+
+} // namespace
+} // namespace marionette

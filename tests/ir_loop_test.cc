@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Loop-nest analysis tests: nesting depth, imperfect-loop
+ * classification (Sec. 3.1) and serial-loop detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/loop_info.h"
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+namespace
+{
+
+/** Three-deep GEMM-like nest with outer-body work. */
+Cdfg
+makeTripleNest(bool outer_work)
+{
+    CdfgBuilder b("nest");
+    BlockId init = b.addBlock("init");
+    BlockId l1 = b.addLoopHeader("l1");
+    BlockId l2 = b.addLoopHeader("l2");
+    BlockId mid = b.addBlock("mid");
+    BlockId l3 = b.addLoopHeader("l3");
+    BlockId body = b.addBlock("body");
+    BlockId latch2 = b.addBlock("latch2");
+    BlockId latch1 = b.addBlock("latch1");
+    BlockId done = b.addBlock("done");
+
+    auto fill = [&](BlockId id, bool compute) {
+        Dfg &d = b.dfg(id);
+        int x = d.addInput("x");
+        NodeId n =
+            compute ? d.addNode(Opcode::Add, Operand::input(x),
+                                Operand::imm(1))
+                    : d.addNode(Opcode::Copy, Operand::input(x));
+        d.addOutput("x", n);
+    };
+    fill(init, false);
+    for (BlockId hdr : {l1, l2, l3}) {
+        Dfg &d = b.dfg(hdr);
+        dfg_patterns::addCountedLoop(d, 0, 1, "n");
+    }
+    fill(mid, outer_work); // computation at depth 2 => imperfect.
+    fill(body, true);
+    fill(latch2, false);
+    fill(latch1, false);
+    fill(done, false);
+
+    b.fall(init, l1);
+    b.fall(l1, l2);
+    b.fall(l2, mid);
+    b.fall(mid, l3);
+    b.fall(l3, body);
+    b.loopBack(body, l3);
+    b.loopExit(l3, latch2);
+    b.loopBack(latch2, l2);
+    b.loopExit(l2, latch1);
+    b.loopBack(latch1, l1);
+    b.loopExit(l1, done);
+    return b.finish();
+}
+
+TEST(LoopInfo, FindsAllThreeLoops)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo li = LoopInfo::analyze(g);
+    EXPECT_EQ(li.numLoops(), 3);
+    EXPECT_EQ(li.maxDepth(), 3);
+}
+
+TEST(LoopInfo, DepthsAreNested)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo li = LoopInfo::analyze(g);
+    int depths[4] = {0, 0, 0, 0};
+    for (const Loop &l : li.loops())
+        ++depths[l.depth];
+    EXPECT_EQ(depths[1], 1);
+    EXPECT_EQ(depths[2], 1);
+    EXPECT_EQ(depths[3], 1);
+}
+
+TEST(LoopInfo, BlockDepthAnnotation)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo::analyze(g);
+    EXPECT_EQ(g.block(0).loopDepth, 0); // init.
+    EXPECT_EQ(g.block(3).loopDepth, 2); // mid.
+    EXPECT_EQ(g.block(5).loopDepth, 3); // body.
+    EXPECT_EQ(g.block(8).loopDepth, 0); // done.
+}
+
+TEST(LoopInfo, ImperfectWhenOuterBodyComputes)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo li = LoopInfo::analyze(g);
+    EXPECT_TRUE(li.hasImperfectLoop(g));
+}
+
+TEST(LoopInfo, PerfectWhenOuterBodyOnlyCopies)
+{
+    Cdfg g = makeTripleNest(false);
+    LoopInfo li = LoopInfo::analyze(g);
+    // The mid block only copies; latches only copy: perfect nest.
+    EXPECT_FALSE(li.hasImperfectLoop(g));
+}
+
+TEST(LoopInfo, InnermostFirstOrderIsDeepestFirst)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo li = LoopInfo::analyze(g);
+    auto order = li.innermostFirstOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(order[0])].depth,
+              3);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(order[2])].depth,
+              1);
+}
+
+TEST(LoopInfo, LoopOfMapsBodyToInnermost)
+{
+    Cdfg g = makeTripleNest(true);
+    LoopInfo li = LoopInfo::analyze(g);
+    int inner = li.loopOf(5); // body block.
+    ASSERT_GE(inner, 0);
+    EXPECT_EQ(li.loops()[static_cast<std::size_t>(inner)].depth, 3);
+    EXPECT_EQ(li.loopOf(0), -1); // init outside loops.
+}
+
+TEST(LoopInfo, SerialLoopsDetected)
+{
+    CdfgBuilder b("serial");
+    BlockId init = b.addBlock("init");
+    BlockId l1 = b.addLoopHeader("l1");
+    BlockId b1 = b.addBlock("b1");
+    BlockId l2 = b.addLoopHeader("l2");
+    BlockId b2 = b.addBlock("b2");
+    BlockId done = b.addBlock("done");
+    auto fill = [&](BlockId id) {
+        Dfg &d = b.dfg(id);
+        int x = d.addInput("x");
+        NodeId n = d.addNode(Opcode::Copy, Operand::input(x));
+        d.addOutput("x", n);
+    };
+    fill(init);
+    fill(b1);
+    fill(b2);
+    fill(done);
+    for (BlockId hdr : {l1, l2}) {
+        Dfg &d = b.dfg(hdr);
+        dfg_patterns::addCountedLoop(d, 0, 1, "n");
+    }
+    b.fall(init, l1);
+    b.fall(l1, b1);
+    b.loopBack(b1, l1);
+    b.loopExit(l1, l2);
+    b.fall(l2, b2);
+    b.loopBack(b2, l2);
+    b.loopExit(l2, done);
+    Cdfg g = b.finish();
+    LoopInfo li = LoopInfo::analyze(g);
+    EXPECT_EQ(li.numLoops(), 2);
+    EXPECT_EQ(li.maxDepth(), 1);
+    EXPECT_EQ(li.serialLoopGroups(), 1);
+}
+
+TEST(LoopInfo, GemmNestMatchesExpectation)
+{
+    Cdfg g = gemmWorkload().buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    EXPECT_EQ(li.numLoops(), 3);
+    EXPECT_EQ(li.maxDepth(), 3);
+    EXPECT_TRUE(li.hasImperfectLoop(g)); // zero/store at depth 2.
+}
+
+TEST(LoopInfo, MergeSortHasImperfectAndSerialStructure)
+{
+    Cdfg g = mergeSortWorkload().buildCdfg();
+    LoopInfo li = LoopInfo::analyze(g);
+    EXPECT_GE(li.numLoops(), 4);
+    EXPECT_EQ(li.maxDepth(), 3);
+    EXPECT_TRUE(li.hasImperfectLoop(g));
+    // merge_while and drain_loop are siblings -> serial group.
+    EXPECT_GE(li.serialLoopGroups(), 1);
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Block-trace tests: run-length encoding, execution counts and
+ * pipeline-entry counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/trace.h"
+
+namespace marionette
+{
+namespace
+{
+
+TEST(Trace, EmptyTrace)
+{
+    BlockTrace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.totalEvents(), 0u);
+    EXPECT_EQ(t.transitions(), 0u);
+}
+
+TEST(Trace, ConsecutiveRecordsCompress)
+{
+    BlockTrace t;
+    for (int i = 0; i < 1000; ++i)
+        t.record(3);
+    EXPECT_EQ(t.runs().size(), 1u);
+    EXPECT_EQ(t.totalEvents(), 1000u);
+    EXPECT_EQ(t.executions(3), 1000u);
+}
+
+TEST(Trace, AlternatingBlocksDoNotCompress)
+{
+    BlockTrace t;
+    for (int i = 0; i < 10; ++i) {
+        t.record(1);
+        t.record(2);
+    }
+    EXPECT_EQ(t.runs().size(), 20u);
+    EXPECT_EQ(t.transitions(), 19u);
+}
+
+TEST(Trace, RecordRunMergesWithTail)
+{
+    BlockTrace t;
+    t.record(5);
+    t.recordRun(5, 99);
+    t.recordRun(6, 3);
+    EXPECT_EQ(t.runs().size(), 2u);
+    EXPECT_EQ(t.executions(5), 100u);
+    EXPECT_EQ(t.executions(6), 3u);
+}
+
+TEST(Trace, ZeroCountRunIgnored)
+{
+    BlockTrace t;
+    t.recordRun(4, 0);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, EntriesCountsPipelineStarts)
+{
+    BlockTrace t;
+    // Block 7 entered three separate times.
+    t.recordRun(7, 10);
+    t.record(1);
+    t.recordRun(7, 5);
+    t.record(2);
+    t.record(7);
+    EXPECT_EQ(t.entries(7), 3u);
+    EXPECT_EQ(t.executions(7), 16u);
+}
+
+TEST(Trace, ClearResets)
+{
+    BlockTrace t;
+    t.recordRun(1, 5);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.totalEvents(), 0u);
+}
+
+TEST(Trace, ToStringTruncatesLongTraces)
+{
+    BlockTrace t;
+    for (int i = 0; i < 100; ++i) {
+        t.record(i);
+    }
+    std::string s = t.toString(8);
+    EXPECT_NE(s.find("100 runs total"), std::string::npos);
+}
+
+TEST(TraceDeath, NegativeBlockPanics)
+{
+    BlockTrace t;
+    EXPECT_DEATH(t.record(-1), "invalid block");
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * ISA tests: instruction disassembly and binary-configuration
+ * encode/decode round-trips (including a randomized property
+ * sweep, since the decoder must accept everything the encoder can
+ * produce).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+Instruction
+sampleBranch()
+{
+    Instruction in;
+    in.mode = SenderMode::BranchOp;
+    in.op = Opcode::CmpGt;
+    in.a = OperandSel::channel(0);
+    in.b = OperandSel::immediate(50);
+    in.takenAddr = 1;
+    in.notTakenAddr = 2;
+    in.ctrlDests = {3, 4};
+    return in;
+}
+
+TEST(Disassemble, BranchShowsTargets)
+{
+    std::string s = disassemble(sampleBranch());
+    EXPECT_NE(s.find("[branch]"), std::string::npos);
+    EXPECT_NE(s.find("cmpgt"), std::string::npos);
+    EXPECT_NE(s.find("taken=@1"), std::string::npos);
+    EXPECT_NE(s.find("else=@2"), std::string::npos);
+    EXPECT_NE(s.find("pe3"), std::string::npos);
+}
+
+TEST(Disassemble, LoopShowsBoundsAndII)
+{
+    Instruction in;
+    in.mode = SenderMode::LoopOp;
+    in.op = Opcode::Loop;
+    in.loopStart = 2;
+    in.loopBound = 10;
+    in.loopStep = 2;
+    in.pipelineII = 3;
+    std::string s = disassemble(in);
+    EXPECT_NE(s.find("loop[2:10:+2]"), std::string::npos);
+    EXPECT_NE(s.find("II=3"), std::string::npos);
+}
+
+TEST(Disassemble, FifoFedLoopNamesFifos)
+{
+    Instruction in;
+    in.mode = SenderMode::LoopOp;
+    in.op = Opcode::Loop;
+    in.startFifo = 0;
+    in.boundFifo = 1;
+    std::string s = disassemble(in);
+    EXPECT_NE(s.find("fifo0"), std::string::npos);
+    EXPECT_NE(s.find("fifo1"), std::string::npos);
+}
+
+TEST(Disassemble, GatedFlagShown)
+{
+    Instruction in;
+    in.mode = SenderMode::Dfg;
+    in.op = Opcode::Add;
+    in.ctrlGated = true;
+    EXPECT_NE(disassemble(in).find("gated"), std::string::npos);
+}
+
+TEST(Encoding, EmptyProgramRoundTrips)
+{
+    Program p;
+    p.name = "empty";
+    Program q = decodeProgram(encodeProgram(p));
+    EXPECT_EQ(q.name, "empty");
+    EXPECT_TRUE(q.pes.empty());
+}
+
+TEST(Encoding, SingleInstructionRoundTrips)
+{
+    Program p;
+    p.name = "one";
+    p.numAddrs = 3;
+    p.numOutputs = 2;
+    PeProgram pe;
+    pe.pe = 5;
+    pe.entry = 0;
+    pe.instrs.push_back(sampleBranch());
+    p.pes.push_back(pe);
+
+    Program q = decodeProgram(encodeProgram(p));
+    ASSERT_EQ(q.pes.size(), 1u);
+    EXPECT_EQ(q.pes[0].pe, 5);
+    EXPECT_EQ(q.pes[0].entry, 0);
+    EXPECT_EQ(q.numAddrs, 3);
+    EXPECT_EQ(q.numOutputs, 2);
+    EXPECT_EQ(q.pes[0].instrs[0], sampleBranch());
+}
+
+TEST(Encoding, LongNameRoundTrips)
+{
+    Program p;
+    p.name = "a_quite_long_kernel_name_with_1234_digits";
+    Program q = decodeProgram(encodeProgram(p));
+    EXPECT_EQ(q.name, p.name);
+}
+
+TEST(EncodingDeath, BadMagicRejected)
+{
+    std::vector<std::uint32_t> words{0xdeadbeef, 1, 0, 0, 0, 0};
+    EXPECT_DEATH(decodeProgram(words), "magic");
+}
+
+TEST(EncodingDeath, TruncatedStreamRejected)
+{
+    Program p;
+    p.name = "x";
+    PeProgram pe;
+    pe.pe = 0;
+    pe.instrs.push_back(sampleBranch());
+    p.pes.push_back(pe);
+    auto words = encodeProgram(p);
+    words.resize(words.size() / 2);
+    EXPECT_DEATH(decodeProgram(words), "truncated");
+}
+
+TEST(EncodingDeath, TrailingGarbageRejected)
+{
+    Program p;
+    p.name = "x";
+    auto words = encodeProgram(p);
+    words.push_back(7);
+    EXPECT_DEATH(decodeProgram(words), "trailing");
+}
+
+/** Random-program property: encode/decode is the identity. */
+class EncodingProperty : public ::testing::TestWithParam<int>
+{
+};
+
+Instruction
+randomInstruction(Rng &rng)
+{
+    Instruction in;
+    in.mode = static_cast<SenderMode>(rng.nextBounded(4));
+    in.op = static_cast<Opcode>(rng.nextBounded(
+        static_cast<std::uint64_t>(Opcode::NumOpcodes)));
+    auto rand_operand = [&rng] {
+        OperandSel s;
+        s.kind = static_cast<OperandSel::Kind>(rng.nextBounded(4));
+        s.index = static_cast<std::int8_t>(rng.nextBounded(4));
+        s.imm = static_cast<Word>(rng.next64());
+        return s;
+    };
+    in.a = rand_operand();
+    in.b = rand_operand();
+    in.c = rand_operand();
+    in.memBase = static_cast<Word>(rng.next64());
+    for (std::uint64_t i = 0; i < rng.nextBounded(4); ++i) {
+        DestSel d;
+        d.kind =
+            static_cast<DestSel::Kind>(1 + rng.nextBounded(3));
+        d.pe = static_cast<PeId>(rng.nextBounded(16));
+        d.channel = static_cast<std::int8_t>(rng.nextBounded(4));
+        in.dests.push_back(d);
+    }
+    for (std::uint64_t i = 0; i < rng.nextBounded(3); ++i)
+        in.ctrlDests.push_back(
+            static_cast<PeId>(rng.nextBounded(16)));
+    for (std::uint64_t i = 0; i < rng.nextBounded(3); ++i)
+        in.alsoPop.push_back(
+            static_cast<std::int8_t>(rng.nextBounded(4)));
+    in.emitAddr = static_cast<InstrAddr>(rng.nextRange(-1, 30));
+    in.takenAddr = static_cast<InstrAddr>(rng.nextRange(-1, 30));
+    in.notTakenAddr =
+        static_cast<InstrAddr>(rng.nextRange(-1, 30));
+    in.loopStart = static_cast<Word>(rng.next64());
+    in.loopStep = static_cast<Word>(rng.nextRange(1, 8));
+    in.loopBound = static_cast<Word>(rng.next64());
+    in.startFifo = static_cast<int>(rng.nextRange(-1, 15));
+    in.boundFifo = static_cast<int>(rng.nextRange(-1, 15));
+    in.pipelineII = static_cast<int>(rng.nextRange(1, 8));
+    in.loopExitAddr =
+        static_cast<InstrAddr>(rng.nextRange(-1, 30));
+    in.pushFifo = static_cast<int>(rng.nextRange(-1, 15));
+    in.ctrlGated = rng.nextBool();
+    return in;
+}
+
+TEST_P(EncodingProperty, RandomProgramRoundTrips)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    Program p;
+    p.name = "rand" + std::to_string(GetParam());
+    p.numAddrs = static_cast<int>(rng.nextRange(1, 32));
+    p.numOutputs = static_cast<int>(rng.nextRange(1, 4));
+    for (std::uint64_t k = 0; k < 1 + rng.nextBounded(8); ++k) {
+        PeProgram pe;
+        pe.pe = static_cast<PeId>(k);
+        pe.entry = static_cast<InstrAddr>(rng.nextRange(-1, 8));
+        for (std::uint64_t i = 0; i < rng.nextBounded(9); ++i)
+            pe.instrs.push_back(randomInstruction(rng));
+        p.pes.push_back(std::move(pe));
+    }
+
+    Program q = decodeProgram(encodeProgram(p));
+    ASSERT_EQ(q.pes.size(), p.pes.size());
+    EXPECT_EQ(q.name, p.name);
+    EXPECT_EQ(q.numAddrs, p.numAddrs);
+    EXPECT_EQ(q.numOutputs, p.numOutputs);
+    for (std::size_t k = 0; k < p.pes.size(); ++k) {
+        EXPECT_EQ(q.pes[k].pe, p.pes[k].pe);
+        EXPECT_EQ(q.pes[k].entry, p.pes[k].entry);
+        ASSERT_EQ(q.pes[k].instrs.size(), p.pes[k].instrs.size());
+        for (std::size_t i = 0; i < p.pes[k].instrs.size(); ++i)
+            EXPECT_EQ(q.pes[k].instrs[i], p.pes[k].instrs[i])
+                << "pe " << k << " instr " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingProperty,
+                         ::testing::Range(0, 20));
+
+TEST(ConfigFile, WriteReadRoundTrip)
+{
+    Program p;
+    p.name = "filetrip";
+    p.numAddrs = 2;
+    PeProgram pe;
+    pe.pe = 1;
+    pe.entry = 0;
+    pe.instrs.push_back(sampleBranch());
+    p.pes.push_back(pe);
+
+    std::string path =
+        ::testing::TempDir() + "marionette_cfg_test.bin";
+    writeConfigFile(p, path);
+    Program q = readConfigFile(path);
+    EXPECT_EQ(q.name, "filetrip");
+    ASSERT_EQ(q.pes.size(), 1u);
+    EXPECT_EQ(q.pes[0].instrs[0], sampleBranch());
+    std::remove(path.c_str());
+}
+
+TEST(ConfigFileDeath, MissingFileRejected)
+{
+    EXPECT_EXIT(readConfigFile("/nonexistent/dir/x.bin"),
+                ::testing::ExitedWithCode(1), "cannot read");
+}
+
+TEST(ConfigFileDeath, UnwritablePathRejected)
+{
+    Program p;
+    p.name = "x";
+    EXPECT_EXIT(writeConfigFile(p, "/nonexistent/dir/x.bin"),
+                ::testing::ExitedWithCode(1), "cannot write");
+}
+
+TEST(Program, ForPeFindsProgram)
+{
+    Program p;
+    PeProgram pe;
+    pe.pe = 3;
+    p.pes.push_back(pe);
+    EXPECT_NE(p.forPe(3), nullptr);
+    EXPECT_EQ(p.forPe(4), nullptr);
+}
+
+TEST(Program, DisassembleSkipsIdleSlots)
+{
+    Program p;
+    p.name = "d";
+    p.numAddrs = 2;
+    PeProgram pe;
+    pe.pe = 0;
+    pe.instrs.resize(2);
+    pe.instrs[1].mode = SenderMode::Dfg;
+    pe.instrs[1].op = Opcode::Add;
+    pe.instrs[1].a = OperandSel::channel(0);
+    pe.instrs[1].b = OperandSel::immediate(1);
+    p.pes.push_back(pe);
+    std::string s = p.disassemble();
+    EXPECT_EQ(s.find("@0:"), std::string::npos); // idle hidden.
+    EXPECT_NE(s.find("@1:"), std::string::npos);
+}
+
+} // namespace
+} // namespace marionette

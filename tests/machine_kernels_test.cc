@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Paper-kernel integration tests on the functional machine:
+ * miniature versions of the benchmark kernels exercising the
+ * control flow plane end to end — the CRC bit loop's branch
+ * recurrence (the Fig. 12 "serial" pattern), a GEMM-style
+ * FIFO-decoupled reduction nest, proactive-configuration timing,
+ * larger arrays, and memory-bank pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "compiler/nest_mapper.h"
+#include "compiler/program_builder.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+/**
+ * CRC-8-step kernel: the loop-carried recurrence crosses a branch
+ * every iteration (Fig. 3's Branch Divergence in its serial form).
+ *
+ *   PE0 ticks the 8 bit-steps into the branch's gate channel.
+ *   PE1 branch: crc & 1  -> steers PE2 between poly/shift lanes.
+ *   PE2 addr1: (crc >> 1) ^ poly    addr2: crc >> 1
+ *       result loops back into both PE1 (next decision) and PE2
+ *       (next datum), and streams to output FIFO 0.
+ */
+Program
+crcBitKernel(const MachineConfig &config, int steps)
+{
+    ProgramBuilder b("crc_bits", config);
+    b.setNumOutputs(1);
+    Instruction &tick = b.place(0, 0);
+    tick.mode = SenderMode::LoopOp;
+    tick.op = Opcode::Loop;
+    tick.loopStart = 0;
+    tick.loopBound = steps;
+    tick.dests = {DestSel::toPe(1, 1)};
+    b.setEntry(0, 0);
+
+    Instruction &br = b.place(1, 0);
+    br.mode = SenderMode::BranchOp;
+    br.op = Opcode::And;
+    br.a = OperandSel::channel(0); // current crc.
+    br.b = OperandSel::immediate(1);
+    br.alsoPop = {1}; // one decision per tick: bounds the loop.
+    br.takenAddr = 1;
+    br.notTakenAddr = 2;
+    br.ctrlDests = {2};
+    b.setEntry(1, 0);
+
+    const Word poly = static_cast<Word>(0xedb88320u);
+    for (InstrAddr addr : {1, 2}) {
+        Instruction &lane = b.place(2, addr);
+        lane.mode = SenderMode::Dfg;
+        lane.op = addr == 1 ? Opcode::Xor : Opcode::Or;
+        // shifted = crc >> 1 arrives on channel 0 from PE3.
+        lane.a = OperandSel::channel(0);
+        lane.b = OperandSel::immediate(addr == 1 ? poly : 0);
+        lane.ctrlGated = true;
+        lane.dests = {DestSel::toPe(1, 0), DestSel::toPe(3, 0),
+                      DestSel::toOutput(0)};
+    }
+
+    // PE3 computes crc >> 1 for the next step, feeding PE2.
+    Instruction &shr = b.place(3, 0);
+    shr.mode = SenderMode::Dfg;
+    shr.op = Opcode::Shr;
+    shr.a = OperandSel::channel(0);
+    shr.b = OperandSel::immediate(1);
+    shr.dests = {DestSel::toPe(2, 0)};
+    b.setEntry(3, 0);
+    return b.finish();
+}
+
+TEST(PaperKernels, CrcBitLoopMatchesGoldenRecurrence)
+{
+    MachineConfig config;
+    constexpr int steps = 8;
+    Program prog = crcBitKernel(config, steps);
+
+    UWord crc0 = 0xffffff5au;
+    MarionetteMachine m(config);
+    m.load(prog);
+    // Seed: the branch sees crc0; PE3 already computed crc0 >> 1.
+    m.injectData(1, 0, static_cast<Word>(crc0));
+    m.injectData(2, 0, static_cast<Word>(crc0 >> 1));
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    ASSERT_EQ(r.outputs[0].size(),
+              static_cast<std::size_t>(steps));
+
+    UWord crc = crc0;
+    for (int k = 0; k < steps; ++k) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+        EXPECT_EQ(static_cast<UWord>(
+                      r.outputs[0][static_cast<std::size_t>(k)]),
+                  crc)
+            << "bit step " << k;
+    }
+}
+
+TEST(PaperKernels, GemmStyleReductionNest)
+{
+    // C[i] = sum_k A[i*K + k] for 8 rows of 8 — the GEMM middle/
+    // inner structure with the accumulator reset per outer
+    // iteration folded into the verification.
+    MachineConfig config;
+    Dfg bounds; // start = i*8, bound = i*8 + 8.
+    int i = bounds.addInput("i");
+    NodeId base = bounds.addNode(Opcode::Shl, Operand::input(i),
+                                 Operand::imm(3));
+    NodeId end = bounds.addNode(Opcode::Add, Operand::node(base),
+                                Operand::imm(8));
+    bounds.addOutput("start", base);
+    bounds.addOutput("bound", end);
+
+    Dfg body; // partial = A[j].
+    int j = body.addInput("j");
+    NodeId v = body.addNode(Opcode::Load, Operand::input(j),
+                            Operand::none(), Operand::none(),
+                            "A[j]");
+    body.addOutput("partial", v);
+
+    MappedNest nest = mapImperfectNest(
+        "rowsum", config, LoopSpec{0, 8, 1, 1}, bounds, body);
+
+    Rng rng(9);
+    std::vector<Word> a(64);
+    for (Word &x : a)
+        x = static_cast<Word>(rng.nextRange(-50, 50));
+    Word golden = 0;
+    for (const Word x : a)
+        golden += x;
+
+    MarionetteMachine m(config);
+    m.load(nest.program);
+    m.injectData(nest.accumulatorPe, 1, 0);
+    m.scratchpad().load(0, a);
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    EXPECT_EQ(r.outputs[0].back(), golden);
+    EXPECT_EQ(m.peStats(nest.innerLoopPe).value("loop_rounds"),
+              8u);
+    EXPECT_EQ(
+        m.peStats(nest.innerLoopPe).value("loop_iterations"),
+        64u);
+}
+
+TEST(PaperKernels, ProactiveConfigurationSavesCycles)
+{
+    // The Fig. 4b property on real hardware state machines: with
+    // proactive configuration the downstream PE is configured
+    // before its data arrives; without it, every element of a
+    // branch stream exposes configuration latency.
+    auto build = [](const MachineConfig &config) {
+        ProgramBuilder b("pro", config);
+        Instruction &gen = b.place(0, 0);
+        gen.mode = SenderMode::LoopOp;
+        gen.op = Opcode::Loop;
+        gen.loopStart = 0;
+        gen.loopBound = 64;
+        gen.dests = {DestSel::toPe(1, 0)};
+        b.setEntry(0, 0);
+        // A two-stage chain whose second stage is configured by
+        // the first stage's proactive emit.
+        Instruction &first = b.place(1, 0);
+        first.mode = SenderMode::Dfg;
+        first.op = Opcode::Add;
+        first.a = OperandSel::channel(0);
+        first.b = OperandSel::immediate(1);
+        first.emitAddr = 1;
+        first.ctrlDests = {2};
+        first.dests = {DestSel::toPe(2, 0)};
+        b.setEntry(1, 0);
+        Instruction &second = b.place(2, 1);
+        second.mode = SenderMode::Dfg;
+        second.op = Opcode::Mul;
+        second.a = OperandSel::channel(0);
+        second.b = OperandSel::immediate(3);
+        second.dests = {DestSel::toOutput(0)};
+        // No entry: PE2 is configured by PE1's control emission.
+        return b.finish();
+    };
+
+    MachineConfig pro;
+    pro.features.proactiveConfig = true;
+    MarionetteMachine m1(pro);
+    m1.load(build(pro));
+    RunResult r1 = m1.run();
+
+    MachineConfig lazy;
+    lazy.features.proactiveConfig = false;
+    MarionetteMachine m2(lazy);
+    m2.load(build(lazy));
+    RunResult r2 = m2.run();
+
+    ASSERT_TRUE(r1.finished);
+    ASSERT_TRUE(r2.finished);
+    EXPECT_EQ(r1.outputs[0], r2.outputs[0]); // same results.
+    EXPECT_LE(r1.cycles, r2.cycles);         // never slower.
+    EXPECT_EQ(m1.peStats(1).value("proactive_emits"), 1u);
+    EXPECT_EQ(m2.peStats(1).value("proactive_emits"), 0u);
+}
+
+TEST(PaperKernels, EightByEightArrayRunsWiderPipelines)
+{
+    MachineConfig config;
+    config.rows = 8;
+    config.cols = 8;
+    config.nonlinearPes = 8;
+    // A 64-PE instance carries a proportionally larger instruction
+    // scratchpad than the 4x4 prototype's 2 KiB.
+    config.instrMemBytes = 8 * 1024;
+    ProgramBuilder b("wide", config);
+    b.setNumOutputs(1);
+    // A 20-stage chain across the bigger array.
+    Instruction &gen = b.place(0, 0);
+    gen.mode = SenderMode::LoopOp;
+    gen.op = Opcode::Loop;
+    gen.loopStart = 0;
+    gen.loopBound = 32;
+    gen.dests = {DestSel::toPe(1, 0)};
+    b.setEntry(0, 0);
+    for (PeId pe = 1; pe <= 20; ++pe) {
+        Instruction &in = b.place(pe, 0);
+        in.mode = SenderMode::Dfg;
+        in.op = Opcode::Add;
+        in.a = OperandSel::channel(0);
+        in.b = OperandSel::immediate(1);
+        in.dests = {pe == 20 ? DestSel::toOutput(0)
+                             : DestSel::toPe(pe + 1, 0)};
+        b.setEntry(pe, 0);
+    }
+    MarionetteMachine m(config);
+    m.load(b.finish());
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    ASSERT_EQ(r.outputs[0].size(), 32u);
+    for (int k = 0; k < 32; ++k)
+        EXPECT_EQ(r.outputs[0][static_cast<std::size_t>(k)],
+                  k + 20);
+}
+
+TEST(PaperKernels, BankConflictsThrottleParallelLoads)
+{
+    // Two load pipelines hammering the same bank (stride = bank
+    // count) finish slower than the same pipelines on different
+    // banks, and the conflicts are visible in the stats.
+    auto build = [](const MachineConfig &config, Word base_b) {
+        ProgramBuilder b("banks", config);
+        b.setNumOutputs(2);
+        for (int lane = 0; lane < 2; ++lane) {
+            PeId gen_pe = lane * 2;
+            PeId load_pe = lane * 2 + 1;
+            Instruction &gen = b.place(gen_pe, 0);
+            gen.mode = SenderMode::LoopOp;
+            gen.op = Opcode::Loop;
+            gen.loopStart = 0;
+            gen.loopBound = 64;
+            gen.dests = {DestSel::toPe(load_pe, 0)};
+            b.setEntry(gen_pe, 0);
+            Instruction &ld = b.place(load_pe, 0);
+            ld.mode = SenderMode::Dfg;
+            ld.op = Opcode::Load;
+            ld.a = OperandSel::channel(0);
+            ld.memBase = lane == 0 ? 0 : base_b;
+            ld.dests = {DestSel::toOutput(lane)};
+            b.setEntry(load_pe, 0);
+        }
+        return b.finish();
+    };
+
+    MachineConfig config;
+    config.scratchpadBanks = 4;
+    // Single-ported banks make the conflict visible.
+    // (The machine uses 2 ports by default; emulate pressure by
+    // overlapping address streams on one bank via stride-4 bases.)
+    MarionetteMachine same(config);
+    same.load(build(config, 4)); // both lanes hit banks 0..3
+                                 // in phase: conflicts.
+    RunResult r_same = same.run();
+
+    MarionetteMachine offset(config);
+    offset.load(build(config, 2)); // lanes out of phase.
+    RunResult r_off = offset.run();
+
+    ASSERT_TRUE(r_same.finished);
+    ASSERT_TRUE(r_off.finished);
+    EXPECT_EQ(r_same.outputs[0].size(), 64u);
+    EXPECT_EQ(r_off.outputs[0].size(), 64u);
+    // In-phase streams contend for the same bank every cycle.
+    EXPECT_GE(same.scratchpad().stats().value("bank_conflicts"),
+              offset.scratchpad().stats().value("bank_conflicts"));
+}
+
+TEST(PaperKernels, OutputStreamsKeepProgramOrder)
+{
+    // The producer/consumer pipeline must deliver outputs in
+    // iteration order even with multi-hop mesh paths.
+    MachineConfig config;
+    ProgramBuilder b("order", config);
+    b.setNumOutputs(1);
+    Instruction &gen = b.place(0, 0);
+    gen.mode = SenderMode::LoopOp;
+    gen.op = Opcode::Loop;
+    gen.loopStart = 0;
+    gen.loopBound = 100;
+    gen.dests = {DestSel::toPe(15, 0)}; // far corner.
+    b.setEntry(0, 0);
+    Instruction &id = b.place(15, 0);
+    id.mode = SenderMode::Dfg;
+    id.op = Opcode::Copy;
+    id.a = OperandSel::channel(0);
+    id.dests = {DestSel::toOutput(0)};
+    b.setEntry(15, 0);
+    MarionetteMachine m(config);
+    m.load(b.finish());
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    ASSERT_EQ(r.outputs[0].size(), 100u);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_EQ(r.outputs[0][static_cast<std::size_t>(k)], k);
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of the imperfect-nest auto-compiler and the nonlinear-op
+ * placement policy of the DFG mapper, verified end to end on the
+ * functional machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.h"
+#include "compiler/dfg_mapper.h"
+#include "compiler/nest_mapper.h"
+#include "isa/encoding.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+/** bounds: start = rD[i], bound = rD[i+1]. */
+Dfg
+rowBounds()
+{
+    Dfg bounds;
+    int i = bounds.addInput("i");
+    NodeId start = bounds.addNode(Opcode::Load, Operand::input(i));
+    NodeId ip1 = bounds.addNode(Opcode::Add, Operand::input(i),
+                                Operand::imm(1));
+    NodeId bound = bounds.addNode(Opcode::Load,
+                                  Operand::node(ip1));
+    bounds.addOutput("start", start);
+    bounds.addOutput("bound", bound);
+    return bounds;
+}
+
+/** body: partial = data[j] (with a named base binding). */
+Dfg
+sumBody()
+{
+    Dfg body;
+    int j = body.addInput("j");
+    int base = body.addInput("base");
+    NodeId addr = body.addNode(Opcode::Add, Operand::input(j),
+                               Operand::input(base));
+    NodeId v = body.addNode(Opcode::Load, Operand::node(addr));
+    body.addOutput("partial", v);
+    return body;
+}
+
+TEST(NestMapper, SegmentedSumMatchesGolden)
+{
+    MachineConfig config;
+    constexpr int rows = 8;
+    constexpr Word base_rd = 0, base_data = 16;
+
+    MappedNest nest = mapImperfectNest(
+        "segsum", config, LoopSpec{0, rows, 1, 1}, rowBounds(),
+        sumBody(), {{"base", base_data}});
+    ASSERT_NE(nest.accumulatorPe, invalidPe);
+    ASSERT_NE(nest.innerLoopPe, invalidPe);
+
+    // Variable-length segments: rD = 0,3,3,7,8,12,12,15,20.
+    std::vector<Word> rd{0, 3, 3, 7, 8, 12, 12, 15, 20};
+    std::vector<Word> data(20);
+    Rng rng(5);
+    for (Word &v : data)
+        v = static_cast<Word>(rng.nextRange(-20, 20));
+    Word golden = 0;
+    for (const Word v : data)
+        golden += v;
+
+    MarionetteMachine m(config);
+    m.load(nest.program);
+    m.injectData(nest.accumulatorPe, 1, 0);
+    m.scratchpad().load(base_rd, rd);
+    m.scratchpad().load(base_data, data);
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    ASSERT_FALSE(r.outputs[0].empty());
+    EXPECT_EQ(r.outputs[0].back(), golden);
+    // One FIFO-fed round per outer row.
+    EXPECT_EQ(m.peStats(nest.innerLoopPe).value("loop_rounds"),
+              static_cast<std::uint64_t>(rows));
+}
+
+TEST(NestMapper, EmptyRoundsAreSkipped)
+{
+    // Rows 1 and 5 are empty (rD repeats); the inner loop must
+    // consume their FIFO entries without emitting.
+    MachineConfig config;
+    MappedNest nest = mapImperfectNest(
+        "empties", config, LoopSpec{0, 4, 1, 1}, rowBounds(),
+        sumBody(), {{"base", 16}});
+    std::vector<Word> rd{0, 0, 2, 2, 4};
+    std::vector<Word> data{10, 20, 30, 40};
+
+    MarionetteMachine m(config);
+    m.load(nest.program);
+    m.injectData(nest.accumulatorPe, 1, 0);
+    m.scratchpad().load(0, rd);
+    m.scratchpad().load(16, data);
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    EXPECT_EQ(r.outputs[0].back(), 100);
+    EXPECT_EQ(m.peStats(nest.innerLoopPe).value("loop_rounds"),
+              4u);
+    EXPECT_EQ(
+        m.peStats(nest.innerLoopPe).value("loop_iterations"), 4u);
+}
+
+TEST(NestMapper, NoPartialMeansNoAccumulator)
+{
+    MachineConfig config;
+    Dfg body;
+    int j = body.addInput("j");
+    NodeId v = body.addNode(Opcode::Load, Operand::input(j));
+    body.addNode(Opcode::Store, Operand::input(j),
+                 Operand::node(v));
+    body.addOutput("copy", v);
+
+    MappedNest nest = mapImperfectNest(
+        "noacc", config, LoopSpec{0, 2, 1, 1}, rowBounds(), body);
+    EXPECT_EQ(nest.accumulatorPe, invalidPe);
+}
+
+TEST(NestMapperDeath, MissingBoundOutputsRejected)
+{
+    MachineConfig config;
+    Dfg bad;
+    int i = bad.addInput("i");
+    NodeId n = bad.addNode(Opcode::Copy, Operand::input(i));
+    bad.addOutput("start", n); // no "bound".
+    EXPECT_EXIT(mapImperfectNest("bad", config,
+                                 LoopSpec{0, 2, 1, 1}, bad,
+                                 sumBody(), {{"base", 0}}),
+                ::testing::ExitedWithCode(1), "bound");
+}
+
+TEST(NestMapperDeath, OversizedNestRejected)
+{
+    MachineConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    config.nonlinearPes = 0;
+    EXPECT_EXIT(mapImperfectNest("big", config,
+                                 LoopSpec{0, 2, 1, 1},
+                                 rowBounds(), sumBody(),
+                                 {{"base", 0}}),
+                ::testing::ExitedWithCode(1), "fit|outside");
+}
+
+TEST(NonlinearPlacement, SigmoidLandsOnCapablePe)
+{
+    MachineConfig config;
+    Dfg dfg;
+    int iv = dfg.addInput("i");
+    NodeId x = dfg.addNode(Opcode::Load, Operand::input(iv));
+    NodeId y = dfg.addNode(Opcode::SigmoidFix, Operand::node(x));
+    dfg.addNode(Opcode::Store, Operand::input(iv),
+                Operand::node(y));
+    dfg.addOutput("y", y);
+
+    Program p = mapLoopedDfg("act", config, dfg,
+                             LoopSpec{0, 4, 1, 1});
+    PeId sigmoid_pe = invalidPe;
+    for (const PeProgram &pe : p.pes)
+        for (const Instruction &in : pe.instrs)
+            if (in.op == Opcode::SigmoidFix)
+                sigmoid_pe = pe.pe;
+    ASSERT_NE(sigmoid_pe, invalidPe);
+    EXPECT_GE(sigmoid_pe,
+              config.numPes() - config.nonlinearPes);
+
+    // And it runs.
+    MarionetteMachine m(config);
+    m.load(p);
+    m.scratchpad().load(0, {0, 1 << 16, -(1 << 16), 5 << 16});
+    RunResult r = m.run();
+    ASSERT_TRUE(r.finished);
+    EXPECT_EQ(m.scratchpad().read(0),
+              evalOp(Opcode::SigmoidFix, 0));
+}
+
+TEST(NonlinearPlacementDeath, NoCapablePesRejected)
+{
+    MachineConfig config;
+    config.nonlinearPes = 0;
+    Dfg dfg;
+    int iv = dfg.addInput("i");
+    NodeId y = dfg.addNode(Opcode::SigmoidFix,
+                           Operand::input(iv));
+    dfg.addOutput("y", y);
+    EXPECT_EXIT(mapLoopedDfg("act", config, dfg,
+                             LoopSpec{0, 4, 1, 1}),
+                ::testing::ExitedWithCode(1), "nonlinear");
+}
+
+TEST(NestMapper, BinaryConfigurationRoundTrips)
+{
+    MachineConfig config;
+    MappedNest nest = mapImperfectNest(
+        "rt", config, LoopSpec{0, 4, 1, 1}, rowBounds(),
+        sumBody(), {{"base", 16}});
+    Program decoded =
+        decodeProgram(encodeProgram(nest.program));
+    ASSERT_EQ(decoded.pes.size(), nest.program.pes.size());
+    for (std::size_t k = 0; k < decoded.pes.size(); ++k)
+        EXPECT_EQ(decoded.pes[k].instrs,
+                  nest.program.pes[k].instrs);
+}
+
+} // namespace
+} // namespace marionette

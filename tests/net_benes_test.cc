@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Benes network tests: the rearrangeable non-blocking property —
+ * *every* permutation must route conflict-free (Benes 1962) — is
+ * checked exhaustively for small networks and stochastically for
+ * larger ones, including partial permutations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "net/benes.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+std::vector<Word>
+identityInputs(int n)
+{
+    std::vector<Word> v(static_cast<std::size_t>(n));
+    std::iota(v.begin(), v.end(), 100);
+    return v;
+}
+
+void
+expectRealizes(const BenesNetwork &net, const std::vector<int> &perm)
+{
+    BenesRouting routing = net.route(perm);
+    auto out = net.apply(routing, identityInputs(
+        net.numTerminals()));
+    for (int i = 0; i < net.numTerminals(); ++i) {
+        int o = perm[static_cast<std::size_t>(i)];
+        if (o < 0)
+            continue;
+        EXPECT_EQ(out[static_cast<std::size_t>(o)], 100 + i)
+            << "input " << i << " -> output " << o;
+    }
+}
+
+TEST(Benes, StageAndSwitchCounts)
+{
+    EXPECT_EQ(BenesNetwork(2).numStages(), 1);
+    EXPECT_EQ(BenesNetwork(4).numStages(), 3);
+    EXPECT_EQ(BenesNetwork(8).numStages(), 5);
+    EXPECT_EQ(BenesNetwork(64).numStages(), 11);
+    EXPECT_EQ(BenesNetwork(64).totalSwitches(), 11 * 32);
+}
+
+TEST(Benes, TwoTerminalStraightAndCross)
+{
+    BenesNetwork net(2);
+    expectRealizes(net, {0, 1});
+    expectRealizes(net, {1, 0});
+}
+
+TEST(Benes, FourTerminalExhaustive)
+{
+    BenesNetwork net(4);
+    std::vector<int> perm{0, 1, 2, 3};
+    do {
+        expectRealizes(net, perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Benes, EightTerminalExhaustive)
+{
+    BenesNetwork net(8);
+    std::vector<int> perm{0, 1, 2, 3, 4, 5, 6, 7};
+    do {
+        expectRealizes(net, perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+class BenesRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BenesRandom, RandomPermutationsRealize)
+{
+    const int n = GetParam();
+    BenesNetwork net(n);
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Fisher-Yates shuffle.
+        for (int i = n - 1; i > 0; --i) {
+            int j = static_cast<int>(rng.nextBounded(
+                static_cast<std::uint64_t>(i + 1)));
+            std::swap(perm[static_cast<std::size_t>(i)],
+                      perm[static_cast<std::size_t>(j)]);
+        }
+        expectRealizes(net, perm);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenesRandom,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(Benes, PartialPermutationsRealize)
+{
+    BenesNetwork net(16);
+    Rng rng(99);
+    for (int trial = 0; trial < 300; ++trial) {
+        // Random partial: ~half the inputs used.
+        std::vector<int> outputs(16);
+        std::iota(outputs.begin(), outputs.end(), 0);
+        for (int i = 15; i > 0; --i) {
+            int j = static_cast<int>(rng.nextBounded(
+                static_cast<std::uint64_t>(i + 1)));
+            std::swap(outputs[static_cast<std::size_t>(i)],
+                      outputs[static_cast<std::size_t>(j)]);
+        }
+        std::vector<int> perm(16, -1);
+        for (int i = 0; i < 16; ++i)
+            if (rng.nextBool())
+                perm[static_cast<std::size_t>(i)] =
+                    outputs[static_cast<std::size_t>(i)];
+        expectRealizes(net, perm);
+    }
+}
+
+TEST(Benes, SingleConnectionRoutes)
+{
+    BenesNetwork net(64);
+    for (int i = 0; i < 64; i += 7) {
+        std::vector<int> perm(64, -1);
+        perm[static_cast<std::size_t>(i)] = 63 - i;
+        expectRealizes(net, perm);
+    }
+}
+
+TEST(BenesDeath, NonPowerOfTwoRejected)
+{
+    EXPECT_DEATH(BenesNetwork(6), "power of two");
+    EXPECT_DEATH(BenesNetwork(0), "power of two");
+}
+
+TEST(BenesDeath, DuplicateOutputRejected)
+{
+    BenesNetwork net(4);
+    EXPECT_DEATH(net.route({0, 0, -1, -1}), "twice");
+}
+
+TEST(BenesDeath, OutOfRangeTargetRejected)
+{
+    BenesNetwork net(4);
+    EXPECT_DEATH(net.route({4, -1, -1, -1}), "out of range");
+}
+
+TEST(BenesDeath, WrongPermSizeRejected)
+{
+    BenesNetwork net(4);
+    EXPECT_DEATH(net.route({0, 1}), "size");
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * CS-Benes control network tests: static configuration of
+ * multicast routes, word transfer through the real switched
+ * datapath, capacity rejection, and the Fig. 4d latency property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/control_network.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+TEST(ControlNetwork, SizedLikeFig6c)
+{
+    ControlNetwork net(16, 18);
+    EXPECT_EQ(net.width(), 64); // the 64x64 Benes core.
+    EXPECT_EQ(net.latency(), 1u);
+    EXPECT_EQ(net.benesSwitches(), 11 * 32);
+    EXPECT_EQ(net.csMuxes(), 2 * 6 * 64);
+}
+
+TEST(ControlNetwork, UnicastDelivers)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{0, {5}}}));
+    auto deliveries = net.transfer({{0, 42}});
+    ASSERT_EQ(deliveries.size(), 1u);
+    EXPECT_EQ(deliveries[0].destPort, 5);
+    EXPECT_EQ(deliveries[0].value, 42);
+}
+
+TEST(ControlNetwork, MulticastToConsecutiveRun)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(
+        net.configure({ControlRoute{2, {4, 5, 6, 7}}}));
+    auto deliveries = net.transfer({{2, 99}});
+    ASSERT_EQ(deliveries.size(), 4u);
+    for (const ControlDelivery &d : deliveries)
+        EXPECT_EQ(d.value, 99);
+}
+
+TEST(ControlNetwork, MulticastToScatteredDests)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{0, {3, 8, 12}}}));
+    auto deliveries = net.transfer({{0, -7}});
+    ASSERT_EQ(deliveries.size(), 3u);
+    std::vector<int> ports;
+    for (const ControlDelivery &d : deliveries) {
+        EXPECT_EQ(d.value, -7);
+        ports.push_back(d.destPort);
+    }
+    std::sort(ports.begin(), ports.end());
+    EXPECT_EQ(ports, (std::vector<int>{3, 8, 12}));
+}
+
+TEST(ControlNetwork, MultipleSimultaneousSources)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({
+        ControlRoute{0, {8, 9}},
+        ControlRoute{3, {10, 11, 12}},
+        ControlRoute{6, {13}},
+    }));
+    auto deliveries =
+        net.transfer({{0, 100}, {3, 200}, {6, 300}});
+    EXPECT_EQ(deliveries.size(), 6u);
+    for (const ControlDelivery &d : deliveries) {
+        if (d.destPort <= 9)
+            EXPECT_EQ(d.value, 100);
+        else if (d.destPort <= 12)
+            EXPECT_EQ(d.value, 200);
+        else
+            EXPECT_EQ(d.value, 300);
+    }
+}
+
+TEST(ControlNetwork, FifoAndControllerPortsReachable)
+{
+    ControlNetwork net(16, 4); // ports 16..19 are extra ports.
+    ASSERT_TRUE(net.configure({ControlRoute{1, {17, 19}}}));
+    auto deliveries = net.transfer({{1, 55}});
+    ASSERT_EQ(deliveries.size(), 2u);
+}
+
+TEST(ControlNetwork, DestinationsOfReportsRoutes)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{4, {1, 2}}}));
+    EXPECT_EQ(net.destinationsOf(4),
+              (std::vector<int>{1, 2}));
+    EXPECT_TRUE(net.destinationsOf(5).empty());
+}
+
+TEST(ControlNetwork, ReconfigurationReplacesRoutes)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{0, {1}}}));
+    ASSERT_TRUE(net.configure({ControlRoute{0, {2}}}));
+    auto deliveries = net.transfer({{0, 1}});
+    ASSERT_EQ(deliveries.size(), 1u);
+    EXPECT_EQ(deliveries[0].destPort, 2);
+}
+
+TEST(ControlNetwork, RandomRouteSetsDeliver)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 100; ++trial) {
+        ControlNetwork net(16, 4);
+        // Random disjoint destination sets over a few sources.
+        std::vector<int> dests(20);
+        for (int i = 0; i < 20; ++i)
+            dests[static_cast<std::size_t>(i)] = i;
+        for (int i = 19; i > 0; --i) {
+            int j = static_cast<int>(rng.nextBounded(
+                static_cast<std::uint64_t>(i + 1)));
+            std::swap(dests[static_cast<std::size_t>(i)],
+                      dests[static_cast<std::size_t>(j)]);
+        }
+        std::vector<ControlRoute> routes;
+        std::size_t cursor = 0;
+        for (int src = 0; src < 6 && cursor < 18; ++src) {
+            ControlRoute r;
+            r.srcPort = src;
+            std::uint64_t fanout = 1 + rng.nextBounded(3);
+            for (std::uint64_t k = 0;
+                 k < fanout && cursor < dests.size(); ++k)
+                r.destPorts.push_back(dests[cursor++]);
+            routes.push_back(std::move(r));
+        }
+        if (!net.configure(routes))
+            continue; // corridor capacity exceeded: legal outcome.
+        std::vector<std::pair<int, Word>> sends;
+        for (const ControlRoute &r : routes)
+            sends.emplace_back(r.srcPort,
+                               static_cast<Word>(r.srcPort * 11));
+        auto deliveries = net.transfer(sends);
+        std::size_t expected = 0;
+        for (const ControlRoute &r : routes)
+            expected += r.destPorts.size();
+        EXPECT_EQ(deliveries.size(), expected);
+    }
+}
+
+TEST(ControlNetworkDeath, OverlappingDestinationsRejected)
+{
+    ControlNetwork net(16, 2);
+    EXPECT_EXIT(net.configure({ControlRoute{0, {3}},
+                               ControlRoute{1, {3}}}),
+                ::testing::ExitedWithCode(1), "two sources");
+}
+
+TEST(ControlNetworkDeath, EmptyRouteRejected)
+{
+    ControlNetwork net(16, 2);
+    EXPECT_EXIT(net.configure({ControlRoute{0, {}}}),
+                ::testing::ExitedWithCode(1), "no destinations");
+}
+
+TEST(ControlNetworkDeath, TransferWithoutConfigPanics)
+{
+    ControlNetwork net(16, 2);
+    EXPECT_DEATH(net.transfer({{0, 1}}), "unconfigured");
+}
+
+TEST(ControlNetworkDeath, SendFromUnroutedPortPanics)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{0, {1}}}));
+    EXPECT_DEATH(net.transfer({{7, 1}}), "without a configured");
+}
+
+TEST(ControlNetwork, StatsCountTransfers)
+{
+    ControlNetwork net(16, 2);
+    ASSERT_TRUE(net.configure({ControlRoute{0, {1, 2}}}));
+    net.transfer({{0, 5}});
+    net.transfer({{0, 6}});
+    EXPECT_EQ(net.stats().value("transfers"), 2u);
+    EXPECT_EQ(net.stats().value("words_delivered"), 4u);
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Consecutive-Spreading network tests.  The key property (used by
+ * the control network's broadcast capability, Fig. 6b): a value at
+ * position s can replicate to EVERY consecutive range [lo, hi]
+ * with s <= lo — checked exhaustively for the deployed sizes —
+ * and disjoint-corridor spread sets never conflict.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/cs_network.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+void
+expectSpreads(const CsNetwork &net,
+              const std::vector<CsSpread> &spreads)
+{
+    CsRouting routing = net.route(spreads);
+    std::vector<Word> in(
+        static_cast<std::size_t>(net.numTerminals()), -1);
+    for (std::size_t k = 0; k < spreads.size(); ++k)
+        in[static_cast<std::size_t>(spreads[k].src)] =
+            static_cast<Word>(1000 + k);
+    auto out = net.apply(routing, in);
+    for (std::size_t k = 0; k < spreads.size(); ++k) {
+        for (int p = spreads[k].lo; p <= spreads[k].hi; ++p) {
+            EXPECT_EQ(out[static_cast<std::size_t>(p)],
+                      static_cast<Word>(1000 + k))
+                << "spread " << k << " from " << spreads[k].src
+                << " at position " << p;
+        }
+    }
+}
+
+TEST(CsNetwork, StageAndMuxCounts)
+{
+    EXPECT_EQ(CsNetwork(16).numStages(), 4);
+    EXPECT_EQ(CsNetwork(64).numStages(), 6);
+    EXPECT_EQ(CsNetwork(64).totalMuxes(), 6 * 64);
+}
+
+TEST(CsNetwork, SingleSpreadExhaustive16)
+{
+    CsNetwork net(16);
+    for (int src = 0; src < 16; ++src)
+        for (int lo = src; lo < 16; ++lo)
+            for (int hi = lo; hi < 16; ++hi)
+                expectSpreads(net, {CsSpread{src, lo, hi}});
+}
+
+TEST(CsNetwork, SingleSpreadExhaustive64)
+{
+    CsNetwork net(64);
+    for (int src = 0; src < 64; src += 3)
+        for (int lo = src; lo < 64; lo += 5)
+            for (int hi = lo; hi < 64; hi += 4)
+                expectSpreads(net, {CsSpread{src, lo, hi}});
+}
+
+TEST(CsNetwork, FullBroadcastFromZero)
+{
+    for (int n : {2, 4, 8, 16, 32, 64, 128}) {
+        CsNetwork net(n);
+        expectSpreads(net, {CsSpread{0, 0, n - 1}});
+    }
+}
+
+TEST(CsNetwork, DisjointCorridorPairs)
+{
+    CsNetwork net(32);
+    expectSpreads(net, {CsSpread{0, 2, 7}, CsSpread{8, 9, 15}});
+    expectSpreads(net, {CsSpread{0, 0, 0}, CsSpread{1, 1, 30}});
+    expectSpreads(net,
+                  {CsSpread{3, 5, 9}, CsSpread{10, 10, 12},
+                   CsSpread{13, 20, 31}});
+}
+
+TEST(CsNetwork, RandomDisjointCorridorSets)
+{
+    CsNetwork net(64);
+    Rng rng(321);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<CsSpread> spreads;
+        int pos = 0;
+        while (pos < 60) {
+            int src = pos + static_cast<int>(rng.nextBounded(3));
+            if (src >= 62)
+                break;
+            int lo =
+                src + static_cast<int>(rng.nextBounded(4));
+            if (lo >= 63)
+                break;
+            int hi = lo + static_cast<int>(rng.nextBounded(
+                static_cast<std::uint64_t>(64 - lo)));
+            spreads.push_back(CsSpread{src, lo, hi});
+            pos = hi + 1;
+        }
+        if (spreads.empty())
+            continue;
+        ASSERT_TRUE(CsNetwork::routable(spreads, 64));
+        expectSpreads(net, spreads);
+    }
+}
+
+TEST(CsNetwork, RoutableRejectsOverlappingCorridors)
+{
+    // Corridor [src,hi] of the first overlaps the second's source.
+    EXPECT_FALSE(CsNetwork::routable(
+        {CsSpread{0, 0, 10}, CsSpread{5, 11, 12}}, 16));
+    // Source after range start.
+    EXPECT_FALSE(
+        CsNetwork::routable({CsSpread{5, 3, 6}}, 16));
+    // Out of bounds.
+    EXPECT_FALSE(
+        CsNetwork::routable({CsSpread{0, 0, 16}}, 16));
+    // Inverted range.
+    EXPECT_FALSE(
+        CsNetwork::routable({CsSpread{0, 5, 3}}, 16));
+}
+
+TEST(CsNetwork, RoutableAcceptsTouchingCorridors)
+{
+    EXPECT_TRUE(CsNetwork::routable(
+        {CsSpread{0, 0, 7}, CsSpread{8, 8, 15}}, 16));
+}
+
+TEST(CsNetworkDeath, RouteEnforcesContract)
+{
+    CsNetwork net(16);
+    EXPECT_EXIT(net.route({CsSpread{5, 3, 6}}),
+                ::testing::ExitedWithCode(1), "corridor");
+}
+
+TEST(CsNetworkDeath, NonPowerOfTwoRejected)
+{
+    EXPECT_DEATH(CsNetwork(10), "power of two");
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Area and delay model tests: the Table 4 calibration point must
+ * reproduce the paper's silicon numbers, Table 6's network-area
+ * ratio must land near 11.5%, and the Fig. 13 timing trends must
+ * hold (more stages / higher frequency -> more latency cycles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/area_model.h"
+#include "net/delay_model.h"
+#include "sim/config.h"
+
+namespace marionette
+{
+namespace
+{
+
+TEST(AreaModel, Table4ReferencePointMatchesPaper)
+{
+    MachineConfig config; // the 4x4 prototype.
+    AreaBreakdown bd = marionetteAreaBreakdown(config);
+    // Paper Table 4 row sums: 0.1495 mm^2 (the paper's printed
+    // total of 0.151 includes its own rounding) and 152.09 mW.
+    EXPECT_NEAR(bd.totalAreaMm2, 0.1495, 0.002);
+    EXPECT_NEAR(bd.totalPowerMw, 152.09, 0.5);
+}
+
+TEST(AreaModel, Table4RowsMatchPaper)
+{
+    MachineConfig config;
+    AreaBreakdown bd = marionetteAreaBreakdown(config);
+    auto rowArea = [&bd](const std::string &needle) {
+        for (const AreaRow &r : bd.rows)
+            if (r.component.find(needle) != std::string::npos)
+                return r.areaMm2;
+        return -1.0;
+    };
+    EXPECT_NEAR(rowArea("12 ordinary"), 0.059, 1e-6);
+    EXPECT_NEAR(rowArea("nonlinear"), 0.032, 1e-6);
+    EXPECT_NEAR(rowArea("Data Network"), 0.0063, 1e-6);
+    EXPECT_NEAR(rowArea("Control Network"), 0.0022, 1e-4);
+    EXPECT_NEAR(rowArea("Scratchpad (16KB)"), 0.033, 1e-6);
+    EXPECT_NEAR(rowArea("Control FIFOs"), 0.001, 1e-6);
+}
+
+TEST(AreaModel, AreaScalesWithArraySize)
+{
+    MachineConfig small; // 4x4.
+    MachineConfig big;
+    big.rows = 8;
+    big.cols = 8;
+    big.nonlinearPes = 16;
+    double a_small = marionetteAreaBreakdown(small).totalAreaMm2;
+    double a_big = marionetteAreaBreakdown(big).totalAreaMm2;
+    EXPECT_GT(a_big, 2.5 * a_small);
+}
+
+TEST(AreaModel, Table6RatioNearPaper)
+{
+    MachineConfig config;
+    auto table = networkAreaComparison(config);
+    const NetworkAreaEntry *us = nullptr;
+    for (const NetworkAreaEntry &e : table)
+        if (e.architecture == "Marionette")
+            us = &e;
+    ASSERT_NE(us, nullptr);
+    // Paper: 0.0118 mm^2 network, 11.5% of the computing fabric.
+    EXPECT_NEAR(us->networkAreaMm2, 0.0118, 0.0008);
+    EXPECT_NEAR(us->networkRatio, 0.115, 0.01);
+}
+
+TEST(AreaModel, MarionetteHasLowestNetworkRatio)
+{
+    MachineConfig config;
+    auto table = networkAreaComparison(config);
+    double marionette_ratio = 0;
+    for (const NetworkAreaEntry &e : table)
+        if (e.architecture == "Marionette")
+            marionette_ratio = e.networkRatio;
+    for (const NetworkAreaEntry &e : table) {
+        if (e.architecture == "Marionette")
+            continue;
+        EXPECT_GT(e.networkRatio, marionette_ratio)
+            << e.architecture;
+    }
+}
+
+TEST(AreaModel, LiteratureRowsQuotedVerbatim)
+{
+    MachineConfig config;
+    auto table = networkAreaComparison(config);
+    ASSERT_GE(table.size(), 6u);
+    EXPECT_EQ(table[0].architecture, "Softbrain");
+    EXPECT_DOUBLE_EQ(table[0].peAreaMm2, 0.0041);
+    EXPECT_DOUBLE_EQ(table[0].networkAreaMm2, 0.0130);
+    EXPECT_TRUE(table[0].fromLiterature);
+}
+
+TEST(AreaModel, RenderContainsEveryArchitecture)
+{
+    MachineConfig config;
+    std::string s = toString(networkAreaComparison(config));
+    for (const char *arch : {"Softbrain", "REVEL", "DySER",
+                             "Plasticine", "SPU", "Marionette"})
+        EXPECT_NE(s.find(arch), std::string::npos) << arch;
+}
+
+TEST(DelayModel, StagesGrowWithPeCount)
+{
+    EXPECT_LT(controlNetworkStages(4),
+              controlNetworkStages(16));
+    EXPECT_LT(controlNetworkStages(16),
+              controlNetworkStages(256));
+}
+
+TEST(DelayModel, SixteenPeInstanceStages)
+{
+    // 16 PEs -> 64-wide: 2*6 CS stages + 11 Benes stages.
+    EXPECT_EQ(controlNetworkStages(16), 23);
+}
+
+TEST(DelayModel, HigherFrequencyNeedsMoreCycles)
+{
+    auto slow = timeControlNetwork(16, 0.5);
+    auto fast = timeControlNetwork(16, 2.0);
+    EXPECT_GE(fast.latencyCycles, slow.latencyCycles);
+    EXPECT_GT(fast.latencyCycles, 1);
+}
+
+TEST(DelayModel, BiggerFabricNeedsMoreCycles)
+{
+    auto small = timeControlNetwork(4, 1.0);
+    auto big = timeControlNetwork(256, 1.0);
+    EXPECT_GT(big.latencyCycles, small.latencyCycles);
+    EXPECT_GT(big.pathNs, small.pathNs);
+}
+
+TEST(DelayModel, PrototypeMeetsTimingAt500MHz)
+{
+    // The paper's prototype synthesized at 500 MHz (Sec. 5).
+    auto t = timeControlNetwork(16, 0.5);
+    EXPECT_TRUE(t.meetsTiming);
+    EXPECT_LE(t.criticalPathNs, 2.0);
+}
+
+TEST(DelayModel, CriticalPathNeverExceedsUnpipelinedPath)
+{
+    for (const NetworkTiming &t : delaySweep())
+        EXPECT_LE(t.criticalPathNs, t.pathNs + 0.2)
+            << t.numPes << "@" << t.freqGhz;
+}
+
+TEST(DelayModel, SweepCoversSizesAndFrequencies)
+{
+    auto sweep = delaySweep();
+    EXPECT_EQ(sweep.size(), 4u * 5u);
+    std::string s = toString(sweep);
+    EXPECT_NE(s.find("Stages"), std::string::npos);
+}
+
+} // namespace
+} // namespace marionette

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Network scaling properties: the CS-Benes composition at larger
+ * fabric sizes (Sec. 7.2's "We reserve many extensible
+ * interfaces"), Benes routing at the 256-terminal scale, and
+ * mesh-latency geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/benes.h"
+#include "net/control_network.h"
+#include "net/mesh.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+namespace
+{
+
+class ControlNetworkScale : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ControlNetworkScale, WidthIsFourTimesPePorts)
+{
+    int pes = GetParam();
+    ControlNetwork net(pes, pes / 2);
+    EXPECT_GE(net.width(), 4 * pes);
+    EXPECT_LT(net.width(), 8 * pes);
+}
+
+TEST_P(ControlNetworkScale, UnicastsRouteAtEveryScale)
+{
+    int pes = GetParam();
+    ControlNetwork net(pes, 2);
+    std::vector<ControlRoute> routes;
+    for (int src = 0; src < pes; src += 4)
+        routes.push_back(
+            ControlRoute{src, {(src + pes / 2) % pes}});
+    ASSERT_TRUE(net.configure(routes));
+    std::vector<std::pair<int, Word>> sends;
+    for (const ControlRoute &r : routes)
+        sends.emplace_back(r.srcPort, r.srcPort * 3 + 1);
+    auto deliveries = net.transfer(sends);
+    EXPECT_EQ(deliveries.size(), routes.size());
+}
+
+TEST_P(ControlNetworkScale, BroadcastToEveryPeRoutes)
+{
+    int pes = GetParam();
+    ControlNetwork net(pes, 2);
+    ControlRoute all;
+    all.srcPort = 0;
+    for (int d = 1; d < pes; ++d)
+        all.destPorts.push_back(d);
+    ASSERT_TRUE(net.configure({all}));
+    auto deliveries = net.transfer({{0, 77}});
+    EXPECT_EQ(deliveries.size(),
+              static_cast<std::size_t>(pes - 1));
+    for (const ControlDelivery &d : deliveries)
+        EXPECT_EQ(d.value, 77);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ControlNetworkScale,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(BenesScale, TwoFiftySixTerminalRandomPermutations)
+{
+    BenesNetwork net(256);
+    EXPECT_EQ(net.numStages(), 15);
+    Rng rng(13);
+    std::vector<int> perm(256);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 20; ++trial) {
+        for (int i = 255; i > 0; --i) {
+            int j = static_cast<int>(rng.nextBounded(
+                static_cast<std::uint64_t>(i + 1)));
+            std::swap(perm[static_cast<std::size_t>(i)],
+                      perm[static_cast<std::size_t>(j)]);
+        }
+        BenesRouting routing = net.route(perm);
+        std::vector<Word> in(256);
+        std::iota(in.begin(), in.end(), 0);
+        auto out = net.apply(routing, in);
+        for (int i = 0; i < 256; ++i)
+            ASSERT_EQ(out[static_cast<std::size_t>(
+                          perm[static_cast<std::size_t>(i)])],
+                      i);
+    }
+}
+
+TEST(BenesScale, SwitchCountGrowsNLogN)
+{
+    // n/2 switches per stage x (2 log2 n - 1) stages.
+    for (int n : {16, 64, 256}) {
+        BenesNetwork net(n);
+        int k = 0;
+        while ((1 << k) < n)
+            ++k;
+        EXPECT_EQ(net.totalSwitches(), (2 * k - 1) * n / 2) << n;
+    }
+}
+
+TEST(MeshScale, LatencyIsAMetric)
+{
+    DataMesh mesh(8, 8, 1);
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        PeId a = static_cast<PeId>(rng.nextBounded(64));
+        PeId b = static_cast<PeId>(rng.nextBounded(64));
+        PeId c = static_cast<PeId>(rng.nextBounded(64));
+        // Symmetry.
+        EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+        // Triangle inequality on hop counts.
+        EXPECT_LE(mesh.hops(a, c),
+                  mesh.hops(a, b) + mesh.hops(b, c));
+    }
+}
+
+TEST(MeshScale, RectangularMeshesWork)
+{
+    DataMesh mesh(2, 8, 1);
+    EXPECT_EQ(mesh.maxLatency(), 8u); // (2-1)+(8-1).
+    EXPECT_EQ(mesh.hops(0, 15), 8);   // corner to corner.
+}
+
+} // namespace
+} // namespace marionette

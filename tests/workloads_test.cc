@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Workload tests: golden-implementation regression checksums
+ * (deterministic seeds make them exact), trace/loop-statistic
+ * consistency, and Table 5 data sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/kernels.h"
+
+namespace marionette
+{
+namespace
+{
+
+struct GoldenCase
+{
+    const char *name;
+    std::uint64_t checksum;
+    std::uint64_t traceEvents;
+    std::uint64_t traceRuns;
+};
+
+class Golden : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(Golden, ChecksumAndTraceShapeStable)
+{
+    const GoldenCase &t = GetParam();
+    const Workload *w = findWorkload(t.name);
+    ASSERT_NE(w, nullptr);
+    KernelRecorder rec;
+    std::uint64_t sum = w->runGolden(rec);
+    EXPECT_EQ(sum, t.checksum) << t.name;
+    EXPECT_EQ(rec.trace().totalEvents(), t.traceEvents) << t.name;
+    EXPECT_EQ(rec.trace().runs().size(), t.traceRuns) << t.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, Golden,
+    ::testing::Values(
+        GoldenCase{"MS", 0xe9edcffa08b717e2ull, 32239, 31964},
+        GoldenCase{"FFT", 0xc62a189c22c95047ull, 11285, 7188},
+        GoldenCase{"VI", 0x4aa1630e3dac0ff8ull, 2330024, 2329885},
+        GoldenCase{"NW", 0xda06dc76edff3732ull, 82308, 82181},
+        GoldenCase{"HT", 0xe4c59d911f2cb102ull, 352863, 66642},
+        GoldenCase{"CRC", 0xef7c311aull, 1796, 1733},
+        GoldenCase{"ADPCM", 0xca107c06aa1aceaull, 18003, 18003},
+        GoldenCase{"SCD", 0x39250b9d2af0053dull, 44035, 14338},
+        GoldenCase{"LDPC", 0x1e33da8a88441023ull, 49492, 40552},
+        GoldenCase{"GEMM", 0x168ea3609ef5727cull, 274563, 16515},
+        GoldenCase{"CO", 0xc2778c3dfa9280f6ull, 16387, 4},
+        GoldenCase{"SI", 0x9cbcf5a382996821ull, 2051, 4},
+        GoldenCase{"GP", 0x2738e37566fdc9a5ull, 16387, 4}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(Registry, ThirteenWorkloadsInPaperOrder)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 13u);
+    const char *order[] = {"MS",  "FFT",   "VI",  "NW", "HT",
+                           "CRC", "ADPCM", "SCD", "LDPC",
+                           "GEMM", "CO",   "SI",  "GP"};
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), order[i]) << i;
+}
+
+TEST(Registry, LookupByAbbreviationAndFullName)
+{
+    EXPECT_EQ(findWorkload("GEMM"), &gemmWorkload());
+    EXPECT_EQ(findWorkload("Merge Sort"), &mergeSortWorkload());
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+TEST(Registry, Table5SizesQuoted)
+{
+    EXPECT_EQ(mergeSortWorkload().sizeDesc(), "1024");
+    EXPECT_EQ(fftWorkload().sizeDesc(), "1024 points");
+    EXPECT_EQ(viterbiWorkload().sizeDesc(),
+              "64 stages; 140 obs; 64 tokens");
+    EXPECT_EQ(nwWorkload().sizeDesc(), "128 x 128");
+    EXPECT_EQ(houghWorkload().sizeDesc(), "120 x 180");
+    EXPECT_EQ(crcWorkload().sizeDesc(), "64 bytes");
+    EXPECT_EQ(adpcmWorkload().sizeDesc(), "2000 bytes");
+    EXPECT_EQ(scDecodeWorkload().sizeDesc(), "2048 channels");
+    EXPECT_EQ(ldpcWorkload().sizeDesc(),
+              "20 iters; 128 code length");
+    EXPECT_EQ(gemmWorkload().sizeDesc(), "64 x 64");
+    EXPECT_EQ(conv1dWorkload().sizeDesc(), "16384");
+    EXPECT_EQ(sigmoidWorkload().sizeDesc(), "2048");
+    EXPECT_EQ(grayWorkload().sizeDesc(), "16384");
+}
+
+TEST(Registry, IntensiveGroupingMatchesSec62)
+{
+    int intensive = 0;
+    for (const Workload *w : allWorkloads())
+        intensive += w->intensiveControlFlow();
+    EXPECT_EQ(intensive, 10);
+    EXPECT_FALSE(conv1dWorkload().intensiveControlFlow());
+    EXPECT_FALSE(sigmoidWorkload().intensiveControlFlow());
+    EXPECT_FALSE(grayWorkload().intensiveControlFlow());
+}
+
+class ProfileConsistency
+    : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(ProfileConsistency, CdfgValidatesAndMatchesTrace)
+{
+    WorkloadProfile p = GetParam()->profile();
+    p.cdfg.validate();
+    // Every traced block id exists in the CDFG.
+    for (const TraceRun &r : p.trace.runs()) {
+        EXPECT_GE(r.block, 0);
+        EXPECT_LT(r.block, p.cdfg.numBlocks());
+    }
+    // Every loop with recorded rounds is a real loop header.
+    for (const auto &[header, rounds] : p.loopRounds) {
+        EXPECT_EQ(p.cdfg.block(header).kind,
+                  BlockKind::LoopHeader)
+            << p.name << " block " << header;
+        EXPECT_GT(rounds, 0u);
+    }
+}
+
+TEST_P(ProfileConsistency, IterationsAtLeastRounds)
+{
+    WorkloadProfile p = GetParam()->profile();
+    for (const auto &[header, rounds] : p.loopRounds) {
+        auto it = p.loopIterations.find(header);
+        if (it == p.loopIterations.end())
+            continue; // all rounds may be empty.
+        // A round has >= 0 iterations; iterations need at least
+        // one round to happen.
+        EXPECT_GT(rounds, 0u);
+    }
+    for (const auto &[header, iters] : p.loopIterations) {
+        EXPECT_GT(p.roundsOf(header), 0u)
+            << p.name << " header " << header;
+        EXPECT_GT(iters, 0u);
+    }
+}
+
+TEST_P(ProfileConsistency, LoopAnalysisSeesEveryTracedLoop)
+{
+    WorkloadProfile p = GetParam()->profile();
+    for (const auto &[header, rounds] : p.loopRounds) {
+        bool found = false;
+        for (const Loop &l : p.loops.loops())
+            found |= l.header == header;
+        EXPECT_TRUE(found) << p.name << " header " << header;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ProfileConsistency,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name(); });
+
+TEST(KnownCounts, GemmIterationTotals)
+{
+    WorkloadProfile p = gemmWorkload().profile();
+    std::uint64_t total_iters = 0;
+    for (const auto &kv : p.loopIterations)
+        total_iters += kv.second;
+    EXPECT_EQ(total_iters, 64u + 64 * 64 + 64ull * 64 * 64);
+}
+
+TEST(KnownCounts, CrcBitLoopRuns512Iterations)
+{
+    WorkloadProfile p = crcWorkload().profile();
+    std::uint64_t max_iters = 0;
+    for (const auto &kv : p.loopIterations)
+        max_iters = std::max(max_iters, kv.second);
+    EXPECT_EQ(max_iters, 512u); // 64 bytes x 8 bits.
+}
+
+TEST(KnownCounts, HoughEdgeFractionReasonable)
+{
+    // The synthetic image targets roughly 8-14% edge pixels.
+    WorkloadProfile p = houghWorkload().profile();
+    std::uint64_t theta_rounds = 0;
+    for (const Loop &l : p.loops.loops())
+        if (l.depth == 3)
+            theta_rounds = p.roundsOf(l.header);
+    double frac =
+        static_cast<double>(theta_rounds) / (120.0 * 180.0);
+    EXPECT_GT(frac, 0.05);
+    EXPECT_LT(frac, 0.20);
+}
+
+TEST(KernelRecorder, CountsRoundsAndIterationsIndependently)
+{
+    KernelRecorder rec;
+    rec.round(3);
+    rec.iteration(3);
+    rec.iteration(3);
+    rec.round(3);
+    rec.iteration(3);
+    EXPECT_EQ(rec.rounds(3), 2u);
+    EXPECT_EQ(rec.iterations(3), 3u);
+    EXPECT_EQ(rec.rounds(9), 0u);
+}
+
+} // namespace
+} // namespace marionette
