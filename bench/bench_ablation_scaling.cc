@@ -5,6 +5,11 @@
  * design", Sec. 5).  Sweeps 2x2 .. 16x16 fabrics, all architectures
  * normalized to the same PE count at each point, and reports the
  * intensive-suite geomean advantage.
+ *
+ * The per-array-size evaluations are independent, so the table is
+ * produced through the parallel sweep runner (sim/sweep.h): one job
+ * per array size, results in sweep order regardless of thread
+ * count.
  */
 
 #include "bench_common.h"
@@ -13,6 +18,39 @@ namespace marionette
 {
 namespace
 {
+
+/** One printed row of the scaling table. */
+struct ScalingRow
+{
+    int dim = 0;
+    double vsSoftbrain = 0.0;
+    double vsRevel = 0.0;
+    double agileGain = 0.0;
+};
+
+ScalingRow
+evalScalingPoint(int dim,
+                 const std::vector<WorkloadProfile> &intensive)
+{
+    ModelParams params;
+    params.numPes = dim * dim;
+    Features full_f;
+    Features net_f;
+    net_f.agileAssignment = false;
+    auto mar = makeMarionette(params, full_f);
+    auto mar_net = makeMarionette(params, net_f);
+    auto sb = makeSoftbrain(params);
+    auto revel = makeRevel(params);
+    std::vector<double> vs_sb, vs_revel, agile;
+    for (const WorkloadProfile &p : intensive) {
+        double m = mar->run(p).cycles;
+        vs_sb.push_back(sb->run(p).cycles / m);
+        vs_revel.push_back(revel->run(p).cycles / m);
+        agile.push_back(mar_net->run(p).cycles / m);
+    }
+    return ScalingRow{dim, geomean(vs_sb), geomean(vs_revel),
+                      geomean(agile)};
+}
 
 void
 printScaling()
@@ -23,29 +61,22 @@ printScaling()
         "advantage persists across fabric sizes, growing where "
         "static partitions fragment");
     auto intensive = intensiveProfiles();
+    const std::vector<int> dims{2, 3, 4, 6, 8};
+
+    // One sweep job per array size; rows come back in dims order.
+    SweepRunner runner;
+    std::vector<ScalingRow> rows = runner.map<ScalingRow>(
+        static_cast<int>(dims.size()), [&](int i) {
+            return evalScalingPoint(
+                dims[static_cast<std::size_t>(i)], intensive);
+        });
+
     std::printf("%-8s %14s %14s %14s\n", "Array", "vs Softbrain",
                 "vs REVEL", "agile gain");
-    for (int dim : {2, 3, 4, 6, 8}) {
-        ModelParams params;
-        params.numPes = dim * dim;
-        Features full_f;
-        Features net_f;
-        net_f.agileAssignment = false;
-        auto mar = makeMarionette(params, full_f);
-        auto mar_net = makeMarionette(params, net_f);
-        auto sb = makeSoftbrain(params);
-        auto revel = makeRevel(params);
-        std::vector<double> vs_sb, vs_revel, agile;
-        for (const WorkloadProfile &p : intensive) {
-            double m = mar->run(p).cycles;
-            vs_sb.push_back(sb->run(p).cycles / m);
-            vs_revel.push_back(revel->run(p).cycles / m);
-            agile.push_back(mar_net->run(p).cycles / m);
-        }
-        std::printf("%dx%-6d %13.2fx %13.2fx %13.2fx\n", dim, dim,
-                    geomean(vs_sb), geomean(vs_revel),
-                    geomean(agile));
-    }
+    for (const ScalingRow &row : rows)
+        std::printf("%dx%-6d %13.2fx %13.2fx %13.2fx\n", row.dim,
+                    row.dim, row.vsSoftbrain, row.vsRevel,
+                    row.agileGain);
     std::printf("\n");
 }
 
@@ -65,6 +96,25 @@ BM_ScalingPoint(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ScalingPoint)->Arg(4)->Arg(16)->Arg(64);
+
+/** Wall-clock of the whole scaling sweep, serial vs pooled. */
+void
+BM_ScalingSweep(benchmark::State &state)
+{
+    auto intensive = intensiveProfiles();
+    const std::vector<int> dims{2, 3, 4, 6, 8};
+    SweepRunner runner(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto rows = runner.map<ScalingRow>(
+            static_cast<int>(dims.size()), [&](int i) {
+                return evalScalingPoint(
+                    dims[static_cast<std::size_t>(i)], intensive);
+            });
+        benchmark::DoNotOptimize(rows.data());
+    }
+}
+BENCHMARK(BM_ScalingSweep)->Arg(1)->Arg(4)->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace marionette

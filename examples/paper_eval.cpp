@@ -4,6 +4,11 @@
  * the paper's evaluation section from this repository's models.
  * (The bench/ binaries regenerate the same artifacts one at a time
  * with benchmark timing; this example is the human-readable tour.)
+ *
+ * The model x workload grid behind the tables is evaluated through
+ * the parallel sweep runner (sim/sweep.h); results are keyed by
+ * (model, workload), so the artifact is identical on any thread
+ * count.
  */
 
 #include <cstdio>
@@ -39,7 +44,8 @@ main()
         vn.get(),  df.get(),    mar_base.get(),
         mar_net.get(), mar.get(), sb.get(),
         tia.get(), revel.get(), riptide.get()};
-    CycleTable table = runSuite(models, profiles);
+    SweepRunner runner;
+    CycleTable table = runSuiteParallel(models, profiles, runner);
 
     std::printf("== Table 1: control flow forms ==\n");
     for (const WorkloadProfile &p : profiles)

@@ -14,7 +14,10 @@ MarionetteMachine::MarionetteMachine(const MachineConfig &config)
     : config_(config),
       mesh_(config.rows, config.cols, config.meshHopLatency),
       ctrlNet_(config.numPes(), config.controlFifoCount + 2),
-      stats_("machine")
+      stats_("machine"),
+      statCtrlWords_(stats_.stat("ctrl_words")),
+      statCycles_(stats_.stat("cycles")),
+      statTotalFires_(stats_.stat("total_fires"))
 {
     config_.validate();
     scratchpad_ = std::make_unique<Scratchpad>(
@@ -37,6 +40,13 @@ MarionetteMachine::MarionetteMachine(const MachineConfig &config)
         std::vector<int>(Pe::numChannels, 0));
     fifoInflight_.assign(
         static_cast<std::size_t>(config_.controlFifoCount), 0);
+    awake_.assign(static_cast<std::size_t>(config_.numPes()), 1);
+    lastTick_.assign(static_cast<std::size_t>(config_.numPes()), 0);
+    idleTicks_.assign(static_cast<std::size_t>(config_.numPes()), 0);
+    wakeOnProgress_.assign(
+        static_cast<std::size_t>(config_.numPes()), {});
+    wakeOnFifoPush_.assign(
+        static_cast<std::size_t>(config_.controlFifoCount), {});
 }
 
 void
@@ -65,6 +75,7 @@ MarionetteMachine::load(const Program &program)
     now_ = 0;
     pendingCtrl_.clear();
     pendingPush_.clear();
+    mesh_.clearInFlight();
     for (auto &row : meshInflight_)
         std::fill(row.begin(), row.end(), 0);
     std::fill(fifoInflight_.begin(), fifoInflight_.end(), 0);
@@ -77,11 +88,61 @@ MarionetteMachine::load(const Program &program)
         fifo->clear();
     for (const PeProgram &p : program.pes)
         pes_[static_cast<std::size_t>(p.pe)]->loadProgram(p);
+    buildWakeLists();
 
     if (config_.features.controlNetwork) {
         if (!configureControlNetwork(program))
             MARIONETTE_FATAL("kernel '%s' exceeds control network "
                              "capacity", program.name.c_str());
+    }
+}
+
+void
+MarionetteMachine::buildWakeLists()
+{
+    // Static wake topology of the loaded kernel: who can unblock
+    // whom.  Spurious entries are harmless (a woken PE that has
+    // nothing to do re-captures its idle profile and drops off
+    // again); missing entries would stall the fast path, so every
+    // list is the union over all of a PE's instructions.
+    const std::size_t num_pes =
+        static_cast<std::size_t>(config_.numPes());
+    std::vector<std::set<PeId>> producers_of(num_pes);
+    std::vector<std::set<PeId>> pushers_of(fifos_.size());
+    std::vector<std::set<int>> fifos_popped_by(num_pes);
+
+    for (const PeProgram &p : program_.pes) {
+        for (const Instruction &in : p.instrs) {
+            for (const DestSel &d : in.dests)
+                if (d.kind == DestSel::Kind::PeChannel &&
+                    d.pe >= 0 &&
+                    d.pe < static_cast<PeId>(num_pes))
+                    producers_of[static_cast<std::size_t>(d.pe)]
+                        .insert(p.pe);
+            if (in.pushFifo >= 0 &&
+                in.pushFifo < static_cast<int>(fifos_.size()))
+                pushers_of[static_cast<std::size_t>(in.pushFifo)]
+                    .insert(p.pe);
+            for (int f : {in.startFifo, in.boundFifo})
+                if (f >= 0 && f < static_cast<int>(fifos_.size()))
+                    fifos_popped_by[static_cast<std::size_t>(p.pe)]
+                        .insert(f);
+        }
+    }
+
+    for (std::size_t f = 0; f < fifos_.size(); ++f)
+        wakeOnFifoPush_[f].clear();
+    for (std::size_t p = 0; p < num_pes; ++p) {
+        for (int f : fifos_popped_by[p])
+            wakeOnFifoPush_[static_cast<std::size_t>(f)].push_back(
+                static_cast<PeId>(p));
+        std::set<PeId> on_progress = producers_of[p];
+        for (int f : fifos_popped_by[p])
+            on_progress.insert(
+                pushers_of[static_cast<std::size_t>(f)].begin(),
+                pushers_of[static_cast<std::size_t>(f)].end());
+        wakeOnProgress_[p].assign(on_progress.begin(),
+                                  on_progress.end());
     }
 }
 
@@ -163,10 +224,17 @@ MarionetteMachine::scheduleCtrl(Cycle now, const CtrlSend &send,
             lat = std::max<Cycles>(mesh_.latency(src, dst),
                                    config_.controlNetLatency);
         }
-        pendingCtrl_.push_back(
-            PendingCtrl{now + lat, dst, send.addr});
-        stats_.stat("ctrl_words").inc();
+        pendingCtrl_.schedule(now + lat,
+                              PendingCtrl{dst, send.addr});
+        statCtrlWords_.inc();
     }
+}
+
+void
+MarionetteMachine::wake(PeId pe)
+{
+    awake_[static_cast<std::size_t>(pe)] = 1;
+    idleTicks_[static_cast<std::size_t>(pe)] = 0;
 }
 
 RunResult
@@ -175,70 +243,80 @@ MarionetteMachine::run(Cycle max_cycles)
     MARIONETTE_ASSERT(loaded_, "run() before load()");
     bootPes();
 
+    const bool event_driven = config_.eventDrivenSim;
     const Cycle grace = config_.dataNetLatency +
                         config_.executeLatency +
                         config_.configLatency + 8;
+    const int num_pes = config_.numPes();
     Cycle idle_streak = 0;
     RunResult result;
 
+    // Everyone starts on the worklist; PEs prove themselves idle.
+    std::fill(awake_.begin(), awake_.end(), 1);
+    std::fill(lastTick_.begin(), lastTick_.end(), 0);
+    std::fill(idleTicks_.begin(), idleTicks_.end(), 0);
+    bool ran_any_cycle = false;
+
     for (now_ = 0; now_ < max_cycles; ++now_) {
+        ran_any_cycle = true;
         bool progressed = false;
         scratchpad_->beginCycle();
 
         // Deliver data packets that arrive this cycle.
-        for (int p = 0; p < config_.numPes(); ++p) {
-            auto arrived = mesh_.deliver(now_, p);
-            for (const MeshPacket &pkt : arrived) {
-                pes_[static_cast<std::size_t>(p)]->acceptData(
-                    pkt.channel, pkt.value);
-                --meshInflight_[static_cast<std::size_t>(p)]
-                               [static_cast<std::size_t>(
-                                   pkt.channel)];
-                progressed = true;
-            }
-        }
+        mesh_.deliverArrivals(now_, [&](const MeshPacket &pkt) {
+            pes_[static_cast<std::size_t>(pkt.dst)]->acceptData(
+                pkt.channel, pkt.value);
+            --meshInflight_[static_cast<std::size_t>(pkt.dst)]
+                           [static_cast<std::size_t>(pkt.channel)];
+            wake(pkt.dst);
+            progressed = true;
+        });
 
         // Deliver control words that arrive this cycle.
-        for (auto it = pendingCtrl_.begin();
-             it != pendingCtrl_.end();) {
-            if (it->arrival <= now_) {
-                pes_[static_cast<std::size_t>(it->dst)]
-                    ->acceptControl(now_, it->addr);
-                progressed = true;
-                it = pendingCtrl_.erase(it);
-            } else {
-                ++it;
-            }
-        }
+        pendingCtrl_.drain(now_, [&](const PendingCtrl &c) {
+            pes_[static_cast<std::size_t>(c.dst)]->acceptControl(
+                now_, c.addr);
+            wake(c.dst);
+            progressed = true;
+        });
 
         // Apply FIFO pushes that arrive this cycle.
-        for (auto it = pendingPush_.begin();
-             it != pendingPush_.end();) {
-            if (it->arrival <= now_) {
-                ControlFifo &fifo =
-                    *fifos_[static_cast<std::size_t>(it->fifo)];
-                if (!fifo.push(it->value))
-                    MARIONETTE_FATAL("control FIFO %d overflow "
-                                     "(credit protocol bug)",
-                                     it->fifo);
-                --fifoInflight_[static_cast<std::size_t>(
-                    it->fifo)];
-                progressed = true;
-                it = pendingPush_.erase(it);
-            } else {
-                ++it;
-            }
-        }
+        pendingPush_.drain(now_, [&](const PendingPush &p) {
+            ControlFifo &fifo =
+                *fifos_[static_cast<std::size_t>(p.fifo)];
+            if (!fifo.push(p.value))
+                MARIONETTE_FATAL("control FIFO %d overflow "
+                                 "(credit protocol bug)", p.fifo);
+            --fifoInflight_[static_cast<std::size_t>(p.fifo)];
+            for (PeId q :
+                 wakeOnFifoPush_[static_cast<std::size_t>(p.fifo)])
+                wake(q);
+            progressed = true;
+        });
 
-        // Tick every PE.
-        for (auto &pe : pes_) {
-            PeTickResult r = pe->tick(now_, *this);
-            progressed |= r.progressed;
+        // Tick the active worklist in PE-id order (id order is
+        // architectural: it decides same-cycle arbitration for
+        // scratchpad ports and FIFO pops).  A wake raised by PE p
+        // for a higher-id PE q takes effect this very cycle — q is
+        // reached later in this same sweep, exactly as in the
+        // reference loop where q ticks after p unconditionally.
+        for (PeId p = 0; p < num_pes; ++p) {
+            const std::size_t pi = static_cast<std::size_t>(p);
+            if (!awake_[pi])
+                continue;
+            Pe &pe = *pes_[pi];
+            // Replay the stall statistics of the cycles this PE
+            // slept through (its state was frozen, so each skipped
+            // tick repeats the last real one).
+            if (lastTick_[pi] + 1 < now_)
+                pe.backfillIdle(now_ - 1 - lastTick_[pi]);
+            PeTickResult r = pe.tick(now_, *this);
+            lastTick_[pi] = now_;
             for (const DataSend &s : r.dataSends) {
                 MARIONETTE_ASSERT(s.dstPe >= 0 &&
                                       s.dstPe < config_.numPes(),
                                   "data send to bad PE %d", s.dstPe);
-                mesh_.send(now_, pe->id(), s.dstPe, s.value,
+                mesh_.send(now_, pe.id(), s.dstPe, s.value,
                            s.channel);
                 progressed = true;
             }
@@ -253,7 +331,7 @@ MarionetteMachine::run(Cycle max_cycles)
                 progressed = true;
             }
             for (const CtrlSend &s : r.ctrlSends) {
-                scheduleCtrl(now_, s, pe->id());
+                scheduleCtrl(now_, s, pe.id());
                 progressed = true;
             }
             for (const FifoPush &push : r.fifoPushes) {
@@ -261,10 +339,25 @@ MarionetteMachine::run(Cycle max_cycles)
                     push.fifo >= 0 &&
                         push.fifo < config_.controlFifoCount,
                     "push to bad FIFO %d", push.fifo);
-                pendingPush_.push_back(PendingPush{
-                    now_ + ctrlNet_.latency(), push.fifo,
-                    push.value});
+                pendingPush_.schedule(
+                    now_ + ctrlNet_.latency(),
+                    PendingPush{push.fifo, push.value});
                 progressed = true;
+            }
+            if (r.progressed) {
+                progressed = true;
+                idleTicks_[pi] = 0;
+                // This PE may have freed channel space or FIFO
+                // slots: put its upstream back on the worklist.
+                for (PeId q : wakeOnProgress_[pi])
+                    wake(q);
+            } else if (event_driven && pe.sleepEligible()) {
+                // Quiescent grace window: a few no-progress ticks
+                // in a row before leaving the worklist.
+                if (++idleTicks_[pi] > kPeSleepGrace)
+                    awake_[pi] = 0;
+            } else {
+                idleTicks_[pi] = 0;
             }
         }
 
@@ -273,6 +366,23 @@ MarionetteMachine::run(Cycle max_cycles)
         } else if (++idle_streak >= grace) {
             result.finished = true;
             break;
+        }
+    }
+
+    // PEs that missed ticks up to the final simulated cycle settle
+    // their books so stat dumps match the reference loop.  This
+    // includes PEs woken during the final cycle's sweep after their
+    // own slot had passed (awake again, but never ticked): their
+    // state stayed frozen through the cutoff, so the same replay
+    // applies.  PEs that ticked in the final cycle have
+    // lastTick_ == last_cycle and backfill zero.
+    if (ran_any_cycle) {
+        const Cycle last_cycle =
+            result.finished ? now_ : max_cycles - 1;
+        for (PeId p = 0; p < num_pes; ++p) {
+            const std::size_t pi = static_cast<std::size_t>(p);
+            if (lastTick_[pi] < last_cycle)
+                pes_[pi]->backfillIdle(last_cycle - lastTick_[pi]);
         }
     }
 
@@ -289,8 +399,8 @@ MarionetteMachine::run(Cycle max_cycles)
             (static_cast<double>(config_.numPes()) *
              static_cast<double>(result.cycles));
     }
-    stats_.stat("cycles").set(result.cycles);
-    stats_.stat("total_fires").set(result.totalFires);
+    statCycles_.set(result.cycles);
+    statTotalFires_.set(result.totalFires);
     return result;
 }
 

@@ -11,6 +11,24 @@
  * through the controller, advances cycle by cycle, and reports both
  * functional results (output FIFOs, scratchpad contents) and
  * performance statistics.
+ *
+ * run() has two implementations selected by
+ * MachineConfig::eventDrivenSim and guaranteed bit-identical:
+ *
+ *  - the *reference* loop ticks every PE every cycle (the original
+ *    simulator), and
+ *  - the *activity-driven* hot path keeps an active worklist — a PE
+ *    whose last tick made no progress and whose stall can only be
+ *    resolved by an external event drops off after a short grace
+ *    window, and is woken by exactly those events (mesh arrival,
+ *    control delivery, FIFO traffic, downstream consumption).  The
+ *    per-cycle statistics the skipped ticks would have recorded are
+ *    replayed on wake-up (see Pe::backfillIdle), so stat dumps
+ *    match the reference loop to the byte.
+ *
+ * In-flight control words and FIFO pushes live in calendar queues
+ * (sim/event_queue.h) bucketed by arrival cycle, as does the data
+ * mesh's traffic, making delivery O(arrivals) per cycle.
  */
 
 #ifndef MARIONETTE_ARCH_MACHINE_H
@@ -27,6 +45,7 @@
 #include "net/mesh.h"
 #include "pe/pe.h"
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/stats.h"
 
 namespace marionette
@@ -111,21 +130,26 @@ class MarionetteMachine : public FabricIface
   private:
     struct PendingCtrl
     {
-        Cycle arrival = 0;
         PeId dst = invalidPe;
         InstrAddr addr = invalidInstr;
     };
 
     struct PendingPush
     {
-        Cycle arrival = 0;
         int fifo = -1;
         Word value = 0;
     };
 
+    /** Ticks a sleeping PE stays tick-eligible after its last
+     *  activity before leaving the worklist (the quiescent grace
+     *  window of the activity-driven hot path). */
+    static constexpr Cycles kPeSleepGrace = 2;
+
     void bootPes();
     bool configureControlNetwork(const Program &program);
     void scheduleCtrl(Cycle now, const CtrlSend &send, PeId src);
+    void buildWakeLists();
+    void wake(PeId pe);
 
     MachineConfig config_;
     std::vector<std::unique_ptr<Pe>> pes_;
@@ -138,8 +162,8 @@ class MarionetteMachine : public FabricIface
     bool loaded_ = false;
 
     Cycle now_ = 0;
-    std::vector<PendingCtrl> pendingCtrl_;
-    std::vector<PendingPush> pendingPush_;
+    CalendarQueue<PendingCtrl> pendingCtrl_;
+    CalendarQueue<PendingPush> pendingPush_;
     /** Claimed-but-undelivered words per (pe, channel): reserved at
      *  issue, released when the word lands in the channel. */
     std::vector<std::vector<int>> meshInflight_;
@@ -147,7 +171,28 @@ class MarionetteMachine : public FabricIface
     std::vector<int> fifoInflight_;
     std::vector<std::vector<Word>> outputs_;
 
+    // ---- activity-driven worklist state (hot path only) ----
+    /** PE is on the active worklist (ticks every cycle). */
+    std::vector<std::uint8_t> awake_;
+    /** Last cycle the PE actually ticked (backfill anchor). */
+    std::vector<Cycle> lastTick_;
+    /** Consecutive sleep-eligible no-progress ticks. */
+    std::vector<Cycles> idleTicks_;
+    /**
+     * wakeOnProgress_[p]: PEs to put back on the worklist whenever
+     * PE p makes progress — p's data producers (p may have freed
+     * channel space) and the pushers of every control FIFO p pops
+     * (p may have freed a slot).  Built from the loaded program.
+     */
+    std::vector<std::vector<PeId>> wakeOnProgress_;
+    /** wakeOnFifoPush_[f]: PEs that pop FIFO f (woken when a push
+     *  lands, i.e. new control data is available). */
+    std::vector<std::vector<PeId>> wakeOnFifoPush_;
+
     StatGroup stats_;
+    Stat &statCtrlWords_;
+    Stat &statCycles_;
+    Stat &statTotalFires_;
 };
 
 } // namespace marionette

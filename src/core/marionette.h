@@ -53,9 +53,11 @@
 #include "net/mesh.h"
 #include "pe/pe.h"
 #include "sim/config.h"
+#include "sim/event_queue.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
+#include "sim/sweep.h"
 #include "workloads/kernels.h"
 #include "workloads/workload.h"
 

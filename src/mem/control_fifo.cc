@@ -6,7 +6,12 @@ namespace marionette
 {
 
 ControlFifo::ControlFifo(int depth, const std::string &name)
-    : depth_(depth), stats_(name)
+    : depth_(depth),
+      stats_(name),
+      statPushes_(stats_.stat("pushes")),
+      statPops_(stats_.stat("pops")),
+      statPushBlocked_(stats_.stat("push_blocked")),
+      statMaxOccupancy_(stats_.stat("max_occupancy"))
 {
     MARIONETTE_ASSERT(depth > 0, "FIFO depth must be positive");
 }
@@ -15,12 +20,12 @@ bool
 ControlFifo::push(Word value)
 {
     if (full()) {
-        stats_.stat("push_blocked").inc();
+        statPushBlocked_.inc();
         return false;
     }
     entries_.push_back(value);
-    stats_.stat("pushes").inc();
-    stats_.stat("max_occupancy").max(
+    statPushes_.inc();
+    statMaxOccupancy_.max(
         static_cast<std::uint64_t>(occupancy()));
     return true;
 }
@@ -31,7 +36,7 @@ ControlFifo::pop()
     MARIONETTE_ASSERT(!empty(), "pop from empty control FIFO");
     Word v = entries_.front();
     entries_.pop_front();
-    stats_.stat("pops").inc();
+    statPops_.inc();
     return v;
 }
 

@@ -56,6 +56,10 @@ class ControlFifo
     int depth_;
     std::deque<Word> entries_;
     StatGroup stats_;
+    Stat &statPushes_;
+    Stat &statPops_;
+    Stat &statPushBlocked_;
+    Stat &statMaxOccupancy_;
 };
 
 } // namespace marionette

@@ -10,7 +10,9 @@ Scratchpad::Scratchpad(int bytes, int banks, int ports_per_bank)
       banks_(banks),
       portsPerBank_(ports_per_bank),
       portsUsed_(static_cast<std::size_t>(banks), 0),
-      stats_("scratchpad")
+      stats_("scratchpad"),
+      statAccesses_(stats_.stat("accesses")),
+      statBankConflicts_(stats_.stat("bank_conflicts"))
 {
     MARIONETTE_ASSERT(bytes > 0 && bytes % 4 == 0,
                       "scratchpad bytes %d must be a positive "
@@ -30,7 +32,10 @@ Scratchpad::bankOf(Word addr) const
 void
 Scratchpad::beginCycle()
 {
+    if (!portsDirty_)
+        return;
     std::fill(portsUsed_.begin(), portsUsed_.end(), 0);
+    portsDirty_ = false;
 }
 
 bool
@@ -39,11 +44,12 @@ Scratchpad::tryAccess(Word addr)
     int bank = bankOf(addr);
     if (portsUsed_[static_cast<std::size_t>(bank)] >=
         portsPerBank_) {
-        stats_.stat("bank_conflicts").inc();
+        statBankConflicts_.inc();
         return false;
     }
     ++portsUsed_[static_cast<std::size_t>(bank)];
-    stats_.stat("accesses").inc();
+    portsDirty_ = true;
+    statAccesses_.inc();
     return true;
 }
 

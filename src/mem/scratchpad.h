@@ -69,7 +69,12 @@ class Scratchpad
     int banks_;
     int portsPerBank_;
     std::vector<int> portsUsed_;
+    /** True when some port was claimed since the last beginCycle()
+     *  (lets the reset skip untouched cycles). */
+    bool portsDirty_ = false;
     StatGroup stats_;
+    Stat &statAccesses_;
+    Stat &statBankConflicts_;
 };
 
 } // namespace marionette

@@ -35,7 +35,10 @@ ControlNetwork::ControlNetwork(int num_pes, int num_extra)
       csIn_(width_),
       benes_(width_),
       csOut_(width_),
-      stats_("ctrlnet")
+      stats_("ctrlnet"),
+      statConfigurations_(stats_.stat("configurations")),
+      statTransfers_(stats_.stat("transfers")),
+      statWordsDelivered_(stats_.stat("words_delivered"))
 {
     MARIONETTE_ASSERT(num_pes > 0, "control network needs PE ports");
     MARIONETTE_ASSERT(num_extra >= 0, "negative extra ports");
@@ -154,7 +157,7 @@ ControlNetwork::configure(const std::vector<ControlRoute> &routes)
         routeOfPort_[static_cast<std::size_t>(routes[k].srcPort)] =
             static_cast<int>(k);
     configured_ = true;
-    stats_.stat("configurations").inc();
+    statConfigurations_.inc();
     return true;
 }
 
@@ -194,9 +197,9 @@ ControlNetwork::transfer(
                               "(port %d -> %d)", port, dest);
             out.push_back(ControlDelivery{dest, delivered});
         }
-        stats_.stat("transfers").inc();
+        statTransfers_.inc();
     }
-    stats_.stat("words_delivered").inc(out.size());
+    statWordsDelivered_.inc(out.size());
     return out;
 }
 

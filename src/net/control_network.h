@@ -139,6 +139,9 @@ class ControlNetwork
     std::vector<int> routeOfPort_;
 
     StatGroup stats_;
+    Stat &statConfigurations_;
+    Stat &statTransfers_;
+    Stat &statWordsDelivered_;
 };
 
 } // namespace marionette

@@ -12,7 +12,10 @@ DataMesh::DataMesh(int rows, int cols, Cycles hop_latency)
     : rows_(rows),
       cols_(cols),
       hopLatency_(hop_latency),
-      stats_("datamesh")
+      stats_("datamesh"),
+      flight_(static_cast<Cycles>(rows + cols) * hop_latency + 2),
+      statPackets_(stats_.stat("packets")),
+      statHopTraversals_(stats_.stat("hop_traversals"))
 {
     MARIONETTE_ASSERT(rows > 0 && cols > 0,
                       "mesh dimensions must be positive");
@@ -55,24 +58,18 @@ DataMesh::send(Cycle now, PeId src, PeId dst, Word value,
     pkt.value = value;
     pkt.channel = channel;
     pkt.arrival = now + latency(src, dst);
-    flight_.push_back(pkt);
-    stats_.stat("packets").inc();
-    stats_.stat("hop_traversals").inc(
-        static_cast<std::uint64_t>(hops(src, dst)));
+    flight_.schedule(pkt.arrival, pkt);
+    statPackets_.inc();
+    statHopTraversals_.inc(static_cast<std::uint64_t>(hops(src, dst)));
 }
 
 std::vector<MeshPacket>
 DataMesh::deliver(Cycle now, PeId dst)
 {
-    std::vector<MeshPacket> out;
-    for (auto it = flight_.begin(); it != flight_.end();) {
-        if (it->dst == dst && it->arrival <= now) {
-            out.push_back(*it);
-            it = flight_.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    std::vector<MeshPacket> out =
+        flight_.extractIf([&](const MeshPacket &pkt) {
+            return pkt.dst == dst && pkt.arrival <= now;
+        });
     std::sort(out.begin(), out.end(),
               [](const MeshPacket &a, const MeshPacket &b) {
                   return a.arrival < b.arrival;

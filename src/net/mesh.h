@@ -8,14 +8,18 @@
  * The functional machine uses it for producer/consumer transfers
  * between non-adjacent PEs; the performance models query hop
  * latencies from it.
+ *
+ * In-flight words live in a calendar queue bucketed by arrival
+ * cycle, so the machine drains exactly the packets landing this
+ * cycle instead of scanning everything pending.
  */
 
 #ifndef MARIONETTE_NET_MESH_H
 #define MARIONETTE_NET_MESH_H
 
-#include <deque>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -65,12 +69,31 @@ class DataMesh
               int channel = 0);
 
     /**
+     * Deliver every packet arriving at cycle @p now (all
+     * destinations) by calling @p fn(packet), in send order.  The
+     * machine's hot path; O(arrivals this cycle).  Per-destination,
+     * per-channel packets arrive in send order, which preserves the
+     * fabric's FIFO channel ordering.
+     */
+    template <typename F>
+    void
+    deliverArrivals(Cycle now, F &&fn)
+    {
+        flight_.drain(now, std::forward<F>(fn));
+    }
+
+    /**
      * Pop every packet that has arrived at @p dst by cycle @p now.
+     * Compatibility scan for tests; the machine uses
+     * deliverArrivals().
      */
     std::vector<MeshPacket> deliver(Cycle now, PeId dst);
 
     /** Packets still in flight (for drain/quiesce checks). */
     std::size_t inFlight() const { return flight_.size(); }
+
+    /** Drop all in-flight packets (kernel-boundary reset). */
+    void clearInFlight() { flight_.clear(); }
 
     const StatGroup &stats() const { return stats_; }
 
@@ -78,8 +101,10 @@ class DataMesh
     int rows_;
     int cols_;
     Cycles hopLatency_;
-    std::deque<MeshPacket> flight_;
     StatGroup stats_;
+    CalendarQueue<MeshPacket> flight_;
+    Stat &statPackets_;
+    Stat &statHopTraversals_;
 };
 
 } // namespace marionette

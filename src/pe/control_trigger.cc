@@ -5,20 +5,20 @@ namespace marionette
 
 bool
 ControlFlowTrigger::checkPhase(Cycle now, InstrAddr addr,
-                               StatGroup &stats)
+                               Stat &sustained, Stat &switches)
 {
     if (addr == current_ && pending_ == invalidInstr) {
         // Sustained configuration: nothing to do, no cost.
-        stats.stat("ctrl_sustained").inc();
+        sustained.inc();
         return false;
     }
     if (addr == pending_) {
-        stats.stat("ctrl_sustained").inc();
+        sustained.inc();
         return false;
     }
     pending_ = addr;
     pendingReady_ = now + configLatency_;
-    stats.stat("config_switches").inc();
+    switches.inc();
     return true;
 }
 

@@ -41,9 +41,22 @@ class ControlFlowTrigger
      * sustained-configuration property).  A fresh address begins the
      * configuration phase.
      *
+     * The two counters are passed as pre-resolved handles — the PE
+     * caches them once and the check phase stays lookup-free.
+     *
      * @return true when a (re)configuration was started.
      */
-    bool checkPhase(Cycle now, InstrAddr addr, StatGroup &stats);
+    bool checkPhase(Cycle now, InstrAddr addr, Stat &sustained,
+                    Stat &switches);
+
+    /** Convenience overload resolving the counters by name (tests;
+     *  not for per-cycle code). */
+    bool
+    checkPhase(Cycle now, InstrAddr addr, StatGroup &stats)
+    {
+        return checkPhase(now, addr, stats.stat("ctrl_sustained"),
+                          stats.stat("config_switches"));
+    }
 
     /**
      * Configuration phase: returns the newly-applied address when

@@ -7,6 +7,27 @@
 namespace marionette
 {
 
+Pe::HotStats::HotStats(StatGroup &g)
+    : fires(g.stat("fires")),
+      activeCycles(g.stat("active_cycles")),
+      stallCycles(g.stat("stall_cycles")),
+      stallGate(g.stat("stall_gate")),
+      stallOperand(g.stat("stall_operand")),
+      stallCredit(g.stat("stall_credit")),
+      stallMem(g.stat("stall_mem")),
+      ctrlArbitrations(g.stat("ctrl_arbitrations")),
+      ctrlSustained(g.stat("ctrl_sustained")),
+      configSwitches(g.stat("config_switches")),
+      configsApplied(g.stat("configs_applied")),
+      proactiveEmits(g.stat("proactive_emits")),
+      loopRounds(g.stat("loop_rounds")),
+      loopExits(g.stat("loop_exits")),
+      loopIterations(g.stat("loop_iterations")),
+      stores(g.stat("stores")),
+      branchesResolved(g.stat("branches_resolved"))
+{
+}
+
 Pe::Pe(PeId id, const MachineConfig &config, bool nonlinear_capable)
     : id_(id),
       config_(config),
@@ -14,7 +35,8 @@ Pe::Pe(PeId id, const MachineConfig &config, bool nonlinear_capable)
       trigger_(config.configLatency),
       channels_(numChannels, InputChannel(8)),
       regs_(static_cast<std::size_t>(config.localRegs), 0),
-      stats_("pe" + std::to_string(id))
+      stats_("pe" + std::to_string(id)),
+      hot_(stats_)
 {
 }
 
@@ -51,6 +73,7 @@ Pe::reset()
     loopIter_ = 0;
     loopBound_ = 0;
     loopNextFire_ = 0;
+    lastStall_ = StallKind::None;
 }
 
 void
@@ -61,7 +84,7 @@ Pe::acceptControl(Cycle now, InstrAddr addr)
     // wins; simultaneous distinct words indicate a compiler bug and
     // are counted.
     if (ctrlIn_.has_value() && *ctrlIn_ != addr)
-        stats_.stat("ctrl_arbitrations").inc();
+        hot_.ctrlArbitrations.inc();
     ctrlIn_ = addr;
 }
 
@@ -141,7 +164,7 @@ Pe::applyConfiguration(Cycle now, PeTickResult &out)
     if (applied == invalidInstr)
         return;
     out.progressed = true;
-    stats_.stat("configs_applied").inc();
+    hot_.configsApplied.inc();
 
     const Instruction *in = current();
     if (in == nullptr)
@@ -165,7 +188,7 @@ Pe::applyConfiguration(Cycle now, PeTickResult &out)
         if (config_.features.proactiveConfig) {
             out.ctrlSends.push_back(
                 CtrlSend{in->ctrlDests, in->emitAddr});
-            stats_.stat("proactive_emits").inc();
+            hot_.proactiveEmits.inc();
         } else {
             emitOnData_ = true;
         }
@@ -202,7 +225,7 @@ Pe::tryFireLoop(Cycle now, FabricIface &fabric, PeTickResult &out)
         loopBound_ = bound;
         loopActive_ = true;
         loopNextFire_ = now;
-        stats_.stat("loop_rounds").inc();
+        hot_.loopRounds.inc();
     }
 
     if (now < loopNextFire_)
@@ -217,7 +240,7 @@ Pe::tryFireLoop(Cycle now, FabricIface &fabric, PeTickResult &out)
             !in->ctrlDests.empty()) {
             out.ctrlSends.push_back(
                 CtrlSend{in->ctrlDests, in->loopExitAddr});
-            stats_.stat("loop_exits").inc();
+            hot_.loopExits.inc();
         }
         return true;
     }
@@ -260,8 +283,8 @@ Pe::tryFireLoop(Cycle now, FabricIface &fabric, PeTickResult &out)
     loopIter_ += in->loopStep;
     loopNextFire_ =
         now + static_cast<Cycles>(std::max(1, in->pipelineII));
-    stats_.stat("fires").inc();
-    stats_.stat("loop_iterations").inc();
+    hot_.fires.inc();
+    hot_.loopIterations.inc();
     return true;
 }
 
@@ -277,19 +300,22 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
 
     // Lockstep gating: one firing per received control word.
     if (in->ctrlGated && gateCredits_ <= 0) {
-        stats_.stat("stall_gate").inc();
+        hot_.stallGate.inc();
+        lastStall_ = StallKind::Gate;
         return false;
     }
 
     // Operand readiness.
     if (!operandReady(in->a) || !operandReady(in->b) ||
         !operandReady(in->c)) {
-        stats_.stat("stall_operand").inc();
+        hot_.stallOperand.inc();
+        lastStall_ = StallKind::Operand;
         return false;
     }
     for (std::int8_t ch : in->alsoPop) {
         if (channels_[static_cast<std::size_t>(ch)].empty()) {
-            stats_.stat("stall_operand").inc();
+            hot_.stallOperand.inc();
+            lastStall_ = StallKind::Operand;
             return false;
         }
     }
@@ -298,12 +324,14 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
     for (const DestSel &d : in->dests) {
         if (d.kind == DestSel::Kind::PeChannel &&
             !fabric.dataCredit(d.pe, d.channel)) {
-            stats_.stat("stall_credit").inc();
+            hot_.stallCredit.inc();
+            lastStall_ = StallKind::Credit;
             return false;
         }
     }
     if (in->pushFifo >= 0 && !fabric.fifoHasSpace(in->pushFifo)) {
-        stats_.stat("stall_credit").inc();
+        hot_.stallCredit.inc();
+        lastStall_ = StallKind::Credit;
         return false;
     }
 
@@ -312,7 +340,8 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
     if (isMemoryOp(in->op)) {
         eff_addr = operandValue(in->a) + in->memBase;
         if (!fabric.memPortAvailable(eff_addr)) {
-            stats_.stat("stall_mem").inc();
+            hot_.stallMem.inc();
+            lastStall_ = StallKind::Mem;
             return false;
         }
     }
@@ -350,7 +379,7 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
         // memory order; the value still travels to any data
         // destinations with the normal execute latency.
         fabric.memWrite(av + in->memBase, bv);
-        stats_.stat("stores").inc();
+        hot_.stores.inc();
         op.value = bv;
         break;
       default:
@@ -366,7 +395,7 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
     }
 
     inflight_.push_back(std::move(op));
-    stats_.stat("fires").inc();
+    hot_.fires.inc();
     if (in->ctrlGated)
         --gateCredits_;
 
@@ -382,7 +411,7 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
 }
 
 void
-Pe::retire(Cycle now, FabricIface &fabric, PeTickResult &out)
+Pe::retire(Cycle now, FabricIface & /*fabric*/, PeTickResult &out)
 {
     for (auto it = inflight_.begin(); it != inflight_.end();) {
         if (it->complete > now) {
@@ -419,7 +448,7 @@ Pe::retire(Cycle now, FabricIface &fabric, PeTickResult &out)
             if (it->pushFifo >= 0)
                 out.fifoPushes.push_back(
                     FifoPush{it->pushFifo, target});
-            stats_.stat("branches_resolved").inc();
+            hot_.branchesResolved.inc();
         }
         it = inflight_.erase(it);
     }
@@ -429,6 +458,7 @@ PeTickResult
 Pe::tick(Cycle now, FabricIface &fabric)
 {
     PeTickResult out;
+    lastStall_ = StallKind::None;
 
     // Configuration phase first: apply the configuration whose
     // check phase ran in an earlier cycle, *before* looking at new
@@ -450,7 +480,8 @@ Pe::tick(Cycle now, FabricIface &fabric)
     // Check phase: arbitrated control input delivered this cycle.
     if (ctrlIn_.has_value()) {
         bool reconfig =
-            trigger_.checkPhase(now, *ctrlIn_, stats_);
+            trigger_.checkPhase(now, *ctrlIn_, hot_.ctrlSustained,
+                                hot_.configSwitches);
         if (reconfig)
             ++pendingGateCredits_;
         else
@@ -465,11 +496,11 @@ Pe::tick(Cycle now, FabricIface &fabric)
         out.progressed = true;
     else if (current() != nullptr &&
              current()->mode != SenderMode::Idle)
-        stats_.stat("stall_cycles").inc();
+        hot_.stallCycles.inc();
 
     if (current() != nullptr &&
         current()->mode != SenderMode::Idle)
-        stats_.stat("active_cycles").inc();
+        hot_.activeCycles.inc();
 
     return out;
 }
@@ -487,6 +518,54 @@ Pe::quiescent() const
     if (loopActive_)
         return false;
     return true;
+}
+
+bool
+Pe::sleepEligible() const
+{
+    // A memory-port stall must be retried every cycle: scratchpad
+    // port occupancy resets each cycle, so no external event marks
+    // when the retry will succeed.
+    if (lastStall_ == StallKind::Mem)
+        return false;
+    // In-flight FU ops retire at a fixed future cycle; a pending
+    // configuration applies at a fixed future cycle; an active loop
+    // round is self-paced (pipelineII).  All three progress without
+    // external events, so the PE must keep ticking.
+    if (!inflight_.empty() || trigger_.configuring() || loopActive_)
+        return false;
+    // An unconsumed control word produces progress next tick.
+    if (ctrlIn_.has_value())
+        return false;
+    return true;
+}
+
+void
+Pe::backfillIdle(Cycles cycles)
+{
+    if (cycles == 0)
+        return;
+    // The state is frozen while asleep, so every skipped tick would
+    // have repeated the last real tick's accounting verbatim.
+    const Instruction *in = current();
+    if (in == nullptr || in->mode == SenderMode::Idle)
+        return; // a dormant PE records nothing per cycle.
+    hot_.activeCycles.inc(cycles);
+    hot_.stallCycles.inc(cycles);
+    switch (lastStall_) {
+      case StallKind::Gate:
+        hot_.stallGate.inc(cycles);
+        break;
+      case StallKind::Operand:
+        hot_.stallOperand.inc(cycles);
+        break;
+      case StallKind::Credit:
+        hot_.stallCredit.inc(cycles);
+        break;
+      case StallKind::None:
+      case StallKind::Mem:
+        break; // loop-mode waits record no per-reason counter.
+    }
 }
 
 } // namespace marionette

@@ -97,6 +97,24 @@ struct PeTickResult
     bool progressed = false;
 };
 
+/**
+ * Why a stalled PE fell idle.  The machine's activity-driven hot
+ * path uses this to (a) decide whether the PE may leave the active
+ * worklist — a memory-port stall must retry every cycle because
+ * bank ports reset each cycle, everything else is woken by the
+ * event that unblocks it — and (b) replay the exact per-cycle
+ * stall statistics the reference tick-every-PE loop would have
+ * recorded for the skipped cycles.
+ */
+enum class StallKind : std::uint8_t
+{
+    None,    ///< nothing attempted (no/idle configuration).
+    Gate,    ///< waiting for a firing credit (control word).
+    Operand, ///< waiting for channel data.
+    Credit,  ///< waiting for downstream channel/FIFO space.
+    Mem,     ///< waiting for a scratchpad bank port (per-cycle).
+};
+
 /** One Marionette processing element. */
 class Pe
 {
@@ -141,8 +159,29 @@ class Pe
     /** True when nothing is in flight inside this PE. */
     bool quiescent() const;
 
+    /**
+     * True when the last tick's outcome repeats verbatim every
+     * cycle until an external event (data/control/FIFO arrival,
+     * downstream consumption) reaches this PE: nothing in flight,
+     * no pending configuration or control input, no active loop
+     * round, and the stall (if any) is not a per-cycle memory-port
+     * retry.  Valid after a tick that reported no progress; the
+     * machine uses it to drop the PE from the active worklist.
+     */
+    bool sleepEligible() const;
+
+    /**
+     * Account @p cycles skipped ticks, replaying exactly what the
+     * reference loop would have recorded per cycle given the PE's
+     * (frozen) state: active_cycles/stall_cycles for a configured
+     * non-idle PE plus the one stall-reason counter of the last
+     * attempt.  Call before the wake-up tick (or at end of run)
+     * while the state is still untouched.
+     */
+    void backfillIdle(Cycles cycles);
+
     /** Cumulative FU firings (utilization accounting). */
-    std::uint64_t fires() const { return stats_.value("fires"); }
+    std::uint64_t fires() const { return hot_.fires.value(); }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -176,6 +215,31 @@ class Pe
                      PeTickResult &out);
     void retire(Cycle now, FabricIface &fabric, PeTickResult &out);
     void applyConfiguration(Cycle now, PeTickResult &out);
+
+    /** Pre-resolved handles for every per-cycle/per-event counter:
+     *  one string-map lookup each at construction, none afterwards. */
+    struct HotStats
+    {
+        explicit HotStats(StatGroup &g);
+
+        Stat &fires;
+        Stat &activeCycles;
+        Stat &stallCycles;
+        Stat &stallGate;
+        Stat &stallOperand;
+        Stat &stallCredit;
+        Stat &stallMem;
+        Stat &ctrlArbitrations;
+        Stat &ctrlSustained;
+        Stat &configSwitches;
+        Stat &configsApplied;
+        Stat &proactiveEmits;
+        Stat &loopRounds;
+        Stat &loopExits;
+        Stat &loopIterations;
+        Stat &stores;
+        Stat &branchesResolved;
+    };
 
     PeId id_;
     const MachineConfig &config_;
@@ -216,7 +280,11 @@ class Pe
     Word loopBound_ = 0;
     Cycle loopNextFire_ = 0;
 
+    /** Stall reason of the most recent tick's firing attempt. */
+    StallKind lastStall_ = StallKind::None;
+
     StatGroup stats_;
+    HotStats hot_;
 };
 
 } // namespace marionette

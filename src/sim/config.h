@@ -85,6 +85,17 @@ struct MachineConfig
     /** Feature toggles for ablation studies. */
     Features features;
 
+    /**
+     * Simulator implementation toggle (not an architecture
+     * feature): when true, run() uses the activity-driven hot path
+     * — only PEs with work are ticked, with skipped-cycle
+     * statistics backfilled exactly.  When false, run() ticks every
+     * PE every cycle (the reference loop).  Both paths produce
+     * bit-identical RunResults and stat dumps; the flag exists so
+     * the equivalence can be asserted in tests.
+     */
+    bool eventDrivenSim = true;
+
     /** Total number of PEs. */
     int numPes() const { return rows * cols; }
 

@@ -29,6 +29,8 @@ void
 StatGroup::render(std::vector<std::string> &out) const
 {
     for (const auto &kv : stats_) {
+        if (!kv.second.touched())
+            continue;
         std::ostringstream line;
         line << prefix_ << '.' << kv.first << ' ' << kv.second.value();
         out.push_back(line.str());

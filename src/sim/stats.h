@@ -6,6 +6,14 @@
  * counters in it.  Groups nest by name prefix ("machine.pe03.fu").
  * The registry can render a sorted human-readable dump, which the
  * benches and EXPERIMENTS.md rely on.
+ *
+ * Hot-path contract: stat() returns a *stable* reference, so
+ * components resolve every counter once (at construction or load)
+ * and hold the handle as a member — per-cycle and per-event code
+ * never performs a string-map lookup.  Rendering stays string-keyed
+ * and sorted; a pre-registered stat that was never written is
+ * skipped by render(), so dumps are identical to the historical
+ * create-on-first-write behaviour.
  */
 
 #ifndef MARIONETTE_SIM_STATS_H
@@ -26,22 +34,26 @@ class Stat
     Stat() = default;
 
     /** Add @p delta to the counter. */
-    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void inc(std::uint64_t delta = 1) { value_ += delta; touched_ = true; }
 
     /** Overwrite the value (for gauges such as "max occupancy"). */
-    void set(std::uint64_t v) { value_ = v; }
+    void set(std::uint64_t v) { value_ = v; touched_ = true; }
 
     /** Track a running maximum. */
-    void max(std::uint64_t v) { if (v > value_) value_ = v; }
+    void max(std::uint64_t v) { touched_ = true; if (v > value_) value_ = v; }
 
     /** Current value. */
     std::uint64_t value() const { return value_; }
 
-    /** Reset to zero. */
+    /** Reset to zero (the stat keeps rendering once written). */
     void reset() { value_ = 0; }
+
+    /** True once the stat has ever been written (inc/set/max). */
+    bool touched() const { return touched_; }
 
   private:
     std::uint64_t value_ = 0;
+    bool touched_ = false;
 };
 
 /**
@@ -58,7 +70,8 @@ class StatGroup
 
     /**
      * Look up (creating on first use) the stat named @p name.
-     * References remain valid for the lifetime of the group.
+     * References remain valid for the lifetime of the group — cache
+     * the result; do not call this from per-cycle code.
      */
     Stat &stat(const std::string &name);
 
@@ -71,7 +84,8 @@ class StatGroup
     /** Dotted path prefix. */
     const std::string &prefix() const { return prefix_; }
 
-    /** Append "prefix.name value" lines to @p out, sorted by name. */
+    /** Append "prefix.name value" lines to @p out, sorted by name.
+     *  Stats that were registered but never written are omitted. */
     void render(std::vector<std::string> &out) const;
 
   private:

@@ -1,0 +1,86 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace marionette
+{
+
+SweepRunner::SweepRunner(int num_threads)
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    numThreads_ = num_threads;
+}
+
+void
+SweepRunner::dispatch(int n, const std::function<void(int)> &fn)
+    const
+{
+    if (n <= 0)
+        return;
+    int workers = std::min(numThreads_, n);
+    if (workers <= 1) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<int> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+SweepRunner::forEach(int n, const std::function<void(int)> &fn)
+    const
+{
+    dispatch(n, fn);
+}
+
+std::vector<SweepResult>
+SweepRunner::runMachines(const std::vector<MachineJob> &jobs) const
+{
+    std::vector<SweepResult> results(jobs.size());
+    dispatch(static_cast<int>(jobs.size()), [&](int i) {
+        const MachineJob &job =
+            jobs[static_cast<std::size_t>(i)];
+        // A machine is private to its job (and therefore to the
+        // worker thread running it); nothing is shared.
+        MarionetteMachine machine(job.config);
+        machine.load(job.program);
+        if (job.setup)
+            job.setup(machine);
+        SweepResult &out = results[static_cast<std::size_t>(i)];
+        out.run = machine.run(job.maxCycles);
+        out.stats = machine.renderAllStats();
+    });
+    return results;
+}
+
+} // namespace marionette

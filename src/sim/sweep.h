@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Parallel sweep runner.
+ *
+ * The paper's evaluation is thousands of independent (machine
+ * configuration, kernel) simulations — ablation grids, scaling
+ * sweeps, per-figure series.  This subsystem fans such job sets out
+ * across a thread pool while keeping everything deterministic:
+ *
+ *  - results come back indexed by job, independent of scheduling;
+ *  - every job runs on its own MarionetteMachine instance (machines
+ *    are not thread-safe and are never shared across jobs);
+ *  - a SweepRunner with one thread degrades to the plain serial
+ *    loop, so single-core CI produces the same artifacts.
+ *
+ * The generic map() underlies the machine sweep and is also what
+ * the model-zoo drivers (examples/paper_eval.cpp,
+ * bench/bench_ablation_scaling.cc) use to parallelize their
+ * model x workload grids.
+ */
+
+#ifndef MARIONETTE_SIM_SWEEP_H
+#define MARIONETTE_SIM_SWEEP_H
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "arch/machine.h"
+#include "sim/config.h"
+
+namespace marionette
+{
+
+/** One (machine configuration, kernel) simulation of a sweep. */
+struct MachineJob
+{
+    MachineConfig config;
+    Program program;
+    /**
+     * Optional pre-run hook called after load() on the job's
+     * private machine — scratchpad contents, injected seeds.
+     * Must only touch the machine it is handed.
+     */
+    std::function<void(MarionetteMachine &)> setup;
+    /** Cycle limit handed to run(). */
+    Cycle maxCycles = 2'000'000;
+};
+
+/** Everything a sweep reports per job. */
+struct SweepResult
+{
+    RunResult run;
+    /** Full stat dump of the job's machine after the run. */
+    std::string stats;
+};
+
+/** Deterministic thread-pool runner for independent jobs. */
+class SweepRunner
+{
+  public:
+    /** @param num_threads worker count; 0 picks the hardware
+     *  concurrency (at least 1). */
+    explicit SweepRunner(int num_threads = 0);
+
+    int numThreads() const { return numThreads_; }
+
+    /**
+     * Evaluate @p fn(0) .. @p fn(n - 1) across the pool and return
+     * the results in index order.  @p fn must be safe to call
+     * concurrently from several threads for distinct indices.  The
+     * first exception thrown by any job is rethrown on the calling
+     * thread after the pool drains.
+     */
+    template <typename R>
+    std::vector<R>
+    map(int n, const std::function<R(int)> &fn) const
+    {
+        std::vector<R> results(static_cast<std::size_t>(n));
+        dispatch(n, [&](int i) {
+            results[static_cast<std::size_t>(i)] = fn(i);
+        });
+        return results;
+    }
+
+    /** map() without results, for side-effecting jobs. */
+    void forEach(int n, const std::function<void(int)> &fn) const;
+
+    /**
+     * Run every job on a per-thread-instantiated machine and return
+     * the RunResults (and stat dumps) in job order.  Bit-identical
+     * to running the jobs serially: each job's machine sees exactly
+     * load() -> setup -> run().
+     */
+    std::vector<SweepResult>
+    runMachines(const std::vector<MachineJob> &jobs) const;
+
+  private:
+    /** Pull-model worker pool over [0, n) with index-order claims. */
+    void dispatch(int n, const std::function<void(int)> &fn) const;
+
+    int numThreads_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_SWEEP_H
