@@ -1,7 +1,9 @@
 /**
  * @file
  * One-shot reproduction driver: prints every table and figure of
- * the paper's evaluation section from this repository's models.
+ * the paper's evaluation section from this repository's models,
+ * then compiles the supported kernels through the CDFG->Program
+ * pipeline and cross-validates them on the cycle-accurate machine.
  * (The bench/ binaries regenerate the same artifacts one at a time
  * with benchmark timing; this example is the human-readable tour.)
  *
@@ -9,17 +11,160 @@
  * the parallel sweep runner (sim/sweep.h); results are keyed by
  * (model, workload), so the artifact is identical on any thread
  * count.
+ *
+ * Flags:
+ *   --list         print the 13 workload abbreviations and exit.
+ *   --kernels=a,b  restrict the grid (and the machine validation)
+ *                  to the named kernels.
+ *   --jobs=N       sweep-runner thread count (default: hardware).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "compiler/program_cache.h"
 #include "core/marionette.h"
 
 using namespace marionette;
 
-int
-main()
+namespace
 {
+
+struct Options
+{
+    bool list = false;
+    int jobs = 0;
+    std::vector<std::string> kernels; ///< empty = all 13.
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list") == 0) {
+            opts.list = true;
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = std::atoi(arg + 7);
+        } else if (std::strncmp(arg, "--kernels=", 10) == 0) {
+            std::string rest = arg + 10;
+            std::size_t pos = 0;
+            while (pos < rest.size()) {
+                std::size_t comma = rest.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = rest.size();
+                std::string name = rest.substr(pos, comma - pos);
+                if (!name.empty()) {
+                    if (findWorkload(name) == nullptr) {
+                        std::fprintf(stderr,
+                                     "unknown kernel '%s' (see "
+                                     "--list)\n",
+                                     name.c_str());
+                        return false;
+                    }
+                    opts.kernels.push_back(name);
+                }
+                pos = comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: paper_eval [--list] "
+                         "[--kernels=a,b,c] [--jobs=N]\n");
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+selected(const Options &opts, const std::string &name)
+{
+    if (opts.kernels.empty())
+        return true;
+    for (const std::string &k : opts.kernels)
+        if (k == name || findWorkload(k)->name() == name)
+            return true;
+    return false;
+}
+
+/** Compile the selected kernels on two fabrics through the shared
+ *  program cache and run them on the cycle-accurate machine. */
+void
+machineValidation(const Options &opts, const SweepRunner &runner)
+{
+    MachineConfig big;
+    big.rows = 8;
+    big.cols = 8;
+    big.scratchpadBytes = 512 * 1024;
+    big.instrMemBytes = 64 * 1024;
+    MachineConfig alt = big;
+    alt.meshHopLatency = 2;
+    alt.dataNetLatency = 12;
+    alt.scratchpadBanks = 8;
+
+    std::vector<KernelSweepJob> jobs;
+    std::vector<std::string> labels;
+    for (const Workload *w : allWorkloads()) {
+        if (!selected(opts, w->name()))
+            continue;
+        for (const MachineConfig &config : {big, alt}) {
+            jobs.push_back(KernelSweepJob{w, config});
+            labels.push_back(w->name());
+        }
+    }
+
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+
+    std::printf("\n== Compiler pipeline: Table-5 kernels on the "
+                "cycle-accurate machine ==\n");
+    std::printf("  %-6s %-5s %10s %10s  %s\n", "kernel", "cfg",
+                "cycles", "model", "result");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const KernelSweepResult &r = results[i];
+        const char *cfg = (i % 2 == 0) ? "8x8" : "8x8s";
+        if (!r.compiled) {
+            if (i % 2 == 0) // report each kernel's rejection once.
+                std::printf("  %-6s %-5s %10s %10s  rejected: %s\n",
+                            labels[i].c_str(), "-", "-", "-",
+                            r.diagnostic.c_str());
+            continue;
+        }
+        std::printf("  %-6s %-5s %10llu %10.0f  %s\n",
+                    labels[i].c_str(), cfg,
+                    static_cast<unsigned long long>(r.run.cycles),
+                    r.modelEstimate,
+                    r.validated
+                        ? "bit-exact vs golden"
+                        : r.validationError.c_str());
+    }
+    std::printf("  program cache: %llu compile(s), %llu hit(s) "
+                "across %zu jobs\n",
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.hits()),
+                jobs.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return 1;
+    if (opts.list) {
+        for (const Workload *w : allWorkloads())
+            std::printf("%-6s %s (%s)\n", w->name().c_str(),
+                        w->fullName().c_str(),
+                        w->sizeDesc().c_str());
+        return 0;
+    }
+
     ModelParams params;
     Features base_f;
     base_f.controlNetwork = false;
@@ -38,13 +183,19 @@ main()
     auto revel = makeRevel(params);
     auto riptide = makeRiptide(params);
 
-    const auto &profiles = allProfiles();
-    auto intensive = intensiveProfiles();
+    std::vector<WorkloadProfile> profiles;
+    for (const WorkloadProfile &p : allProfiles())
+        if (selected(opts, p.name))
+            profiles.push_back(p);
+    std::vector<WorkloadProfile> intensive;
+    for (const WorkloadProfile &p : intensiveProfiles())
+        if (selected(opts, p.name))
+            intensive.push_back(p);
     std::vector<const ArchModel *> models{
         vn.get(),  df.get(),    mar_base.get(),
         mar_net.get(), mar.get(), sb.get(),
         tia.get(), revel.get(), riptide.get()};
-    SweepRunner runner;
+    SweepRunner runner(opts.jobs);
     CycleTable table = runSuiteParallel(models, profiles, runner);
 
     std::printf("== Table 1: control flow forms ==\n");
@@ -119,33 +270,39 @@ main()
                                    profiles)
                     .c_str());
 
-    std::printf("\nMarionette geomean speedups (intensive): "
-                "Softbrain %.2fx, TIA %.2fx, REVEL %.2fx, "
-                "RipTide %.2fx\n",
-                speedups(table, sb->name(), mar->name(),
-                         intensive).back(),
-                speedups(table, tia->name(), mar->name(),
-                         intensive).back(),
-                speedups(table, revel->name(), mar->name(),
-                         intensive).back(),
-                speedups(table, riptide->name(), mar->name(),
-                         intensive).back());
+    if (!intensive.empty()) {
+        std::printf("\nMarionette geomean speedups (intensive): "
+                    "Softbrain %.2fx, TIA %.2fx, REVEL %.2fx, "
+                    "RipTide %.2fx\n",
+                    speedups(table, sb->name(), mar->name(),
+                             intensive).back(),
+                    speedups(table, tia->name(), mar->name(),
+                             intensive).back(),
+                    speedups(table, revel->name(), mar->name(),
+                             intensive).back(),
+                    speedups(table, riptide->name(), mar->name(),
+                             intensive).back());
+    }
 
     // Full-LDPC composite (Fig. 17 note): intensive LDPC decode
     // plus a non-intensive front end (Gray-processing-like).
-    auto composite = [&](const char *arch) {
-        return table.at(arch).at("LDPC").cycles +
-               table.at(arch).at("GP").cycles;
-    };
-    std::printf("Full LDPC application: Softbrain %.2fx, TIA "
-                "%.2fx, REVEL %.2fx, RipTide %.2fx\n",
-                composite(sb->name().c_str()) /
-                    composite(mar->name().c_str()),
-                composite(tia->name().c_str()) /
-                    composite(mar->name().c_str()),
-                composite(revel->name().c_str()) /
-                    composite(mar->name().c_str()),
-                composite(riptide->name().c_str()) /
-                    composite(mar->name().c_str()));
+    if (selected(opts, "LDPC") && selected(opts, "GP")) {
+        auto composite = [&](const char *arch) {
+            return table.at(arch).at("LDPC").cycles +
+                   table.at(arch).at("GP").cycles;
+        };
+        std::printf("Full LDPC application: Softbrain %.2fx, TIA "
+                    "%.2fx, REVEL %.2fx, RipTide %.2fx\n",
+                    composite(sb->name().c_str()) /
+                        composite(mar->name().c_str()),
+                    composite(tia->name().c_str()) /
+                        composite(mar->name().c_str()),
+                    composite(revel->name().c_str()) /
+                        composite(mar->name().c_str()),
+                    composite(riptide->name().c_str()) /
+                        composite(mar->name().c_str()));
+    }
+
+    machineValidation(opts, runner);
     return 0;
 }

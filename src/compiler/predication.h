@@ -51,6 +51,46 @@ PredicationResult predicate(const Cdfg &cdfg);
  */
 std::map<BlockId, int> predicatedOpCounts(const Cdfg &cdfg);
 
+/**
+ * Predication as a compiler *lowering* pass (used by the
+ * CDFG->Program pipeline), generalizing predicate() in the ways an
+ * executable result needs:
+ *
+ *  - iterates to a fixpoint, so nested diamonds whose lanes become
+ *    plain after an inner merge (NW's three-way max) flatten too;
+ *  - Branch operator nodes are dropped from merged blocks (the
+ *    select steers the value; there is no branch left to place);
+ *  - asymmetric lanes are legal: an output present in one lane
+ *    selects against the *incoming* value of the same name on the
+ *    other path, or against a caller-provided default immediate
+ *    (the zero-initialized local of the original C source);
+ *  - pure pass-through lanes ({x, Copy, x} — the builder's
+ *    copyBlock idiom for "nothing happens on this path") contribute
+ *    no outputs of their own;
+ *  - lane inputs are de-duplicated by name into the merged block.
+ *
+ * Returns the rewritten graph plus one note per merged region.  A
+ * branch whose lanes are not flattenable (a lane contains a loop or
+ * another unmerged branch) is left in place; the structure pass
+ * reports it.
+ */
+struct LoweringPredication
+{
+    Cdfg cdfg;
+    /** Human-readable note per merged region. */
+    std::vector<std::string> notes;
+    /** Names selected against a default for lack of any reaching
+     *  definition; empty entries mean the merge FAILED for that
+     *  region (reported via `unresolved`). */
+    std::vector<std::string> defaultedPorts;
+    /** Output names with no lane value, no pass-through and no
+     *  default — each makes the caller reject the kernel. */
+    std::vector<std::string> unresolved;
+};
+LoweringPredication
+predicateForLowering(const Cdfg &cdfg,
+                     const std::map<std::string, Word> &defaults);
+
 } // namespace marionette
 
 #endif // MARIONETTE_COMPILER_PREDICATION_H

@@ -28,10 +28,12 @@
 
 #include "arch/machine.h"
 #include "compiler/assignment.h"
+#include "compiler/compiler.h"
 #include "compiler/dfg_mapper.h"
 #include "compiler/nest_mapper.h"
 #include "compiler/predication.h"
 #include "compiler/program_builder.h"
+#include "compiler/program_cache.h"
 #include "ir/analysis.h"
 #include "ir/builder.h"
 #include "ir/cdfg.h"

@@ -47,4 +47,37 @@ MachineConfig::summary() const
     return out.str();
 }
 
+std::uint64_t
+configHash(const MachineConfig &config)
+{
+    // FNV-1a over the architectural fields, mixed field by field so
+    // reordered values cannot collide by concatenation.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(config.rows));
+    mix(static_cast<std::uint64_t>(config.cols));
+    mix(config.configLatency);
+    mix(config.executeLatency);
+    mix(config.controlNetLatency);
+    mix(config.dataNetLatency);
+    mix(config.meshHopLatency);
+    mix(config.ccuRoundTrip);
+    mix(static_cast<std::uint64_t>(config.controlFifoDepth));
+    mix(static_cast<std::uint64_t>(config.controlFifoCount));
+    mix(static_cast<std::uint64_t>(config.scratchpadBytes));
+    mix(static_cast<std::uint64_t>(config.scratchpadBanks));
+    mix(static_cast<std::uint64_t>(config.instrMemBytes));
+    mix(static_cast<std::uint64_t>(config.instrBufferEntries));
+    mix(static_cast<std::uint64_t>(config.localRegs));
+    mix(static_cast<std::uint64_t>(config.nonlinearPes));
+    mix(static_cast<std::uint64_t>(config.clockHz));
+    mix(config.features.proactiveConfig ? 1 : 0);
+    mix(config.features.controlNetwork ? 2 : 0);
+    mix(config.features.agileAssignment ? 4 : 0);
+    return h;
+}
+
 } // namespace marionette

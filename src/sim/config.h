@@ -106,6 +106,15 @@ struct MachineConfig
     std::string summary() const;
 };
 
+/**
+ * Stable hash over every *architectural* field of a configuration —
+ * the compiled-program cache key (compiler/program_cache.h).  The
+ * simulator-implementation toggle (eventDrivenSim) is deliberately
+ * excluded: it cannot change what the compiler emits, so both
+ * hot-path variants of a config share one cache entry.
+ */
+std::uint64_t configHash(const MachineConfig &config);
+
 } // namespace marionette
 
 #endif // MARIONETTE_SIM_CONFIG_H

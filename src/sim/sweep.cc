@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <mutex>
 
+#include "compiler/program_cache.h"
+#include "workloads/workload.h"
+
 namespace marionette
 {
 
@@ -79,6 +82,38 @@ SweepRunner::runMachines(const std::vector<MachineJob> &jobs) const
         SweepResult &out = results[static_cast<std::size_t>(i)];
         out.run = machine.run(job.maxCycles);
         out.stats = machine.renderAllStats();
+    });
+    return results;
+}
+
+std::vector<KernelSweepResult>
+SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
+                        ProgramCache &cache) const
+{
+    std::vector<KernelSweepResult> results(jobs.size());
+    dispatch(static_cast<int>(jobs.size()), [&](int i) {
+        const KernelSweepJob &job =
+            jobs[static_cast<std::size_t>(i)];
+        KernelSweepResult &out =
+            results[static_cast<std::size_t>(i)];
+        CompileResult compiled =
+            cache.getOrCompile(*job.workload, job.config);
+        if (!compiled.ok()) {
+            out.diagnostic = compiled.report.failedPass + ": " +
+                             compiled.report.reason;
+            return;
+        }
+        out.compiled = true;
+        out.modelEstimate = compiled.report.modelCycleEstimate;
+
+        const CompiledKernel &kernel = *compiled.kernel;
+        MarionetteMachine machine(job.config);
+        kernel.prepare(machine);
+        out.run = machine.run(job.maxCycles > 0
+                                  ? job.maxCycles
+                                  : kernel.cycleBudget);
+        out.validationError = kernel.validate(machine, out.run);
+        out.validated = out.validationError.empty();
     });
     return results;
 }

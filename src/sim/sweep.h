@@ -25,6 +25,7 @@
 #include <atomic>
 #include <exception>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,9 @@
 
 namespace marionette
 {
+
+class ProgramCache;
+class Workload;
 
 /** One (machine configuration, kernel) simulation of a sweep. */
 struct MachineJob
@@ -55,6 +59,31 @@ struct SweepResult
     RunResult run;
     /** Full stat dump of the job's machine after the run. */
     std::string stats;
+};
+
+/** One (workload, configuration) cell of a compiled-kernel grid. */
+struct KernelSweepJob
+{
+    const Workload *workload = nullptr;
+    MachineConfig config;
+    /** 0 uses the compiled kernel's own cycle budget. */
+    Cycle maxCycles = 0;
+};
+
+/** Outcome of one compiled-kernel grid cell. */
+struct KernelSweepResult
+{
+    /** False when the compiler rejected the kernel. */
+    bool compiled = false;
+    /** The rejecting pass diagnostic when !compiled. */
+    std::string diagnostic;
+    RunResult run;
+    /** True when outputs and memory matched the goldens. */
+    bool validated = false;
+    /** First mismatch description when !validated. */
+    std::string validationError;
+    /** Analytic Marionette model estimate (cycles). */
+    double modelEstimate = 0.0;
 };
 
 /** Deterministic thread-pool runner for independent jobs. */
@@ -96,6 +125,18 @@ class SweepRunner
      */
     std::vector<SweepResult>
     runMachines(const std::vector<MachineJob> &jobs) const;
+
+    /**
+     * Compile-and-run a (workload x configuration) grid through the
+     * CDFG->Program compiler, sharing @p cache across jobs so every
+     * (kernel, config) pair compiles exactly once per process — the
+     * per-grid compile-once guarantee sweeps rely on.  Each result
+     * reports the compile outcome (or the rejecting diagnostic),
+     * the machine run, and the bit-exact golden cross-validation.
+     */
+    std::vector<KernelSweepResult>
+    runKernels(const std::vector<KernelSweepJob> &jobs,
+               ProgramCache &cache) const;
 
   private:
     /** Pull-model worker pool over [0, n) with index-order claims. */

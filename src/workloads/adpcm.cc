@@ -91,15 +91,20 @@ class AdpcmWorkload : public Workload
             Dfg &d = b.dfg(loop);
             dfg_patterns::addCountedLoop(d, 0, 1, "n");
         }
-        {   // diff = sample - predicted.
+        {   // step = stepTable[index]; diff = sample - predicted.
             Dfg &d = b.dfg(predict);
             int i = d.addInput("i");
             int pred = d.addInput("predicted");
+            int idx = d.addInput("index");
+            NodeId st = d.addNode(Opcode::Load, Operand::input(idx),
+                                  Operand::none(), Operand::none(),
+                                  "stepTable");
             NodeId s = d.addNode(Opcode::Load, Operand::input(i),
                                  Operand::none(), Operand::none(),
                                  "sample");
             NodeId diff = d.addNode(Opcode::Sub, Operand::node(s),
                                     Operand::input(pred));
+            d.addOutput("step", st);
             d.addOutput("diff", diff);
         }
         {
@@ -207,7 +212,8 @@ class AdpcmWorkload : public Workload
             NodeId nib = d.addNode(Opcode::Or, Operand::input(sign),
                                    Operand::input(delta));
             d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(nib));
+                      Operand::node(nib), Operand::none(),
+                      "nibble");
             d.addOutput("predicted", np);
         }
         copyBlock(done);
@@ -228,6 +234,79 @@ class AdpcmWorkload : public Workload
         b.loopBack(update, loop);
         b.loopExit(loop, done);
         return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["sample_loop"] = {0, kSamples, 1};
+        spec.inductionPorts["sample_loop"] = "i";
+        const Word step_base = kSamples;
+        const Word index_base = step_base + 16;
+        const Word nibble_base = index_base + 8;
+        spec.arrayBases["stepTable"] = step_base;
+        spec.arrayBases["indexTable"] = index_base;
+        spec.arrayBases["nibble"] = nibble_base;
+        // "sign" is defined only on the negative branch path; the
+        // original source zero-initializes it per iteration.
+        // "index" seeds the loop-carried quantizer state.
+        spec.scalars["sign"] = 0;
+        spec.scalars["index"] = 0;
+
+        Rng rng(0x5eed0007);
+        spec.memoryImage.resize(
+            static_cast<std::size_t>(nibble_base));
+        Word wave = 0;
+        for (int i = 0; i < kSamples; ++i) {
+            wave += static_cast<Word>(rng.nextRange(-64, 64));
+            spec.memoryImage[static_cast<std::size_t>(i)] = wave;
+        }
+        for (int i = 0; i < 16; ++i)
+            spec.memoryImage[static_cast<std::size_t>(step_base +
+                                                      i)] =
+                kStepTable[i];
+        for (int i = 0; i < 8; ++i)
+            spec.memoryImage[static_cast<std::size_t>(index_base +
+                                                      i)] =
+                kIndexTable[i];
+
+        // Golden trace of the update block's "predicted" port and
+        // the stored nibble stream.
+        std::vector<Word> preds;
+        std::vector<Word> nibbles;
+        preds.reserve(static_cast<std::size_t>(kSamples));
+        nibbles.reserve(static_cast<std::size_t>(kSamples));
+        Word predicted = 0;
+        int index = 0;
+        for (int i = 0; i < kSamples; ++i) {
+            Word step = kStepTable[index];
+            Word diff =
+                spec.memoryImage[static_cast<std::size_t>(i)] -
+                predicted;
+            Word sign = 0;
+            if (diff < 0) {
+                diff = -diff;
+                sign = 8;
+            }
+            Word delta =
+                std::min<Word>(step == 0 ? 7 : diff * 4 / step, 7);
+            if (delta >= 4)
+                index += kIndexTable[delta & 7];
+            else
+                index -= 1;
+            index = std::clamp(index, 0, 15);
+            Word vpdiff = delta * step / 4;
+            predicted += sign ? -vpdiff : vpdiff;
+            preds.push_back(predicted);
+            nibbles.push_back(sign | delta);
+        }
+        spec.observePorts = {"predicted"};
+        spec.expectedOutputs = {std::move(preds)};
+        spec.expectedMemory = {
+            {"nibble", nibble_base, std::move(nibbles)}};
+        return spec;
     }
 
     std::uint64_t

@@ -147,6 +147,43 @@ class CrcWorkload : public Workload
         return b.finish();
     }
 
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["prep_loop"] = {0, kBytes, 1};
+        spec.loopBounds["byte_loop"] = {0, kBytes, 1};
+        spec.loopBounds["bit_loop"] = {0, 8, 1};
+        spec.inductionPorts["prep_loop"] = "i";
+        spec.inductionPorts["byte_loop"] = "i";
+        Rng rng(0x5eed0006);
+        spec.memoryImage.resize(static_cast<std::size_t>(kBytes));
+        for (Word &v : spec.memoryImage)
+            v = static_cast<Word>(rng.nextBounded(256));
+        // Golden trace of the bit loop's "crc" port (the value
+        // after every polynomial/shift step) and the salted
+        // message the prep phase must leave in memory.
+        std::vector<Word> msg = spec.memoryImage;
+        for (Word &v : msg)
+            v ^= 0x5a;
+        std::vector<Word> steps;
+        steps.reserve(static_cast<std::size_t>(kBytes) * 8);
+        UWord crc = 0xffffffffu;
+        for (int i = 0; i < kBytes; ++i) {
+            crc ^= static_cast<UWord>(
+                msg[static_cast<std::size_t>(i)]);
+            for (int k = 0; k < 8; ++k) {
+                crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+                steps.push_back(static_cast<Word>(crc));
+            }
+        }
+        spec.observePorts = {"crc"};
+        spec.expectedOutputs = {std::move(steps)};
+        spec.expectedMemory = {{"msg", 0, std::move(msg)}};
+        return spec;
+    }
+
     std::uint64_t
     runGolden(KernelRecorder &rec) const override
     {

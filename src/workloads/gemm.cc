@@ -114,7 +114,7 @@ class GemmWorkload : public Workload
             NodeId ci2 = d.addNode(Opcode::Add, Operand::node(ci),
                                    Operand::input(j));
             d.addNode(Opcode::Store, Operand::node(ci2),
-                      Operand::input(sum));
+                      Operand::input(sum), Operand::none(), "C");
             NodeId c = d.addNode(Opcode::Copy, Operand::input(sum));
             d.addOutput("x", c);
         }
@@ -133,6 +133,48 @@ class GemmWorkload : public Workload
         b.loopBack(ilatch, iloop);
         b.loopExit(iloop, done);
         return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        for (const char *hdr : {"i_loop", "j_loop", "k_loop"})
+            spec.loopBounds[hdr] = {0, kDim, 1};
+        spec.inductionPorts["i_loop"] = "i";
+        spec.inductionPorts["j_loop"] = "j";
+        spec.inductionPorts["k_loop"] = "k";
+        const Word n2 = kDim * kDim;
+        spec.arrayBases["A"] = 0;
+        spec.arrayBases["B"] = n2;
+        spec.arrayBases["C"] = 2 * n2;
+        Rng rng(0x5eed000a);
+        spec.memoryImage.resize(static_cast<std::size_t>(2 * n2));
+        for (Word &v : spec.memoryImage)
+            v = static_cast<Word>(rng.nextRange(-9, 9));
+        // Golden trace of the mac block's "sum" port: the running
+        // sum after every (i, j, k) term, plus the final C matrix.
+        std::vector<Word> sums;
+        sums.reserve(
+            static_cast<std::size_t>(kDim) * kDim * kDim);
+        std::vector<Word> c(static_cast<std::size_t>(n2));
+        const Word *a = spec.memoryImage.data();
+        const Word *b = spec.memoryImage.data() + n2;
+        for (int i = 0; i < kDim; ++i) {
+            for (int j = 0; j < kDim; ++j) {
+                Word sum = 0;
+                for (int k = 0; k < kDim; ++k) {
+                    sum += a[i * kDim + k] * b[k * kDim + j];
+                    sums.push_back(sum);
+                }
+                c[static_cast<std::size_t>(i * kDim + j)] = sum;
+            }
+        }
+        spec.observePorts = {"sum"};
+        spec.expectedOutputs = {std::move(sums)};
+        spec.expectedMemory = {{"C", 2 * n2, std::move(c)}};
+        return spec;
     }
 
     std::uint64_t

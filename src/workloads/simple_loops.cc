@@ -105,9 +105,38 @@ class Conv1dWorkload : public SingleLoopWorkload
                 }
             }
             d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(acc));
+                      Operand::node(acc), Operand::none(), "y");
             d.addOutput("y", acc);
         });
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["loop"] = {0, kConvN, 1};
+        spec.inductionPorts["loop"] = "i";
+        const Word y_base = kConvN + kTaps;
+        spec.arrayBases["y"] = y_base;
+        Rng rng(0x5eed000b);
+        spec.memoryImage.resize(
+            static_cast<std::size_t>(kConvN + kTaps));
+        for (Word &v : spec.memoryImage)
+            v = static_cast<Word>(rng.nextRange(-128, 127));
+        std::vector<Word> ys(static_cast<std::size_t>(kConvN));
+        for (int i = 0; i < kConvN; ++i) {
+            Word acc = 0;
+            for (int t = 0; t < kTaps; ++t)
+                acc += spec.memoryImage[static_cast<std::size_t>(
+                           i + t)] *
+                       (3 + t);
+            ys[static_cast<std::size_t>(i)] = acc;
+        }
+        spec.observePorts = {"y"};
+        spec.expectedOutputs = {ys};
+        spec.expectedMemory = {{"y", y_base, ys}};
+        return spec;
     }
 
     std::uint64_t
@@ -159,9 +188,33 @@ class SigmoidWorkload : public SingleLoopWorkload
             NodeId y = d.addNode(Opcode::SigmoidFix,
                                  Operand::node(x));
             d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(y));
+                      Operand::node(y), Operand::none(), "y");
             d.addOutput("y", y);
         });
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["loop"] = {0, kSigN, 1};
+        spec.inductionPorts["loop"] = "i";
+        spec.arrayBases["y"] = kSigN;
+        Rng rng(0x5eed000c);
+        spec.memoryImage.resize(static_cast<std::size_t>(kSigN));
+        std::vector<Word> ys(static_cast<std::size_t>(kSigN));
+        for (int i = 0; i < kSigN; ++i) {
+            Word x = static_cast<Word>(
+                rng.nextRange(-6 << 16, 6 << 16));
+            spec.memoryImage[static_cast<std::size_t>(i)] = x;
+            ys[static_cast<std::size_t>(i)] =
+                evalOp(Opcode::SigmoidFix, x);
+        }
+        spec.observePorts = {"y"};
+        spec.expectedOutputs = {ys};
+        spec.expectedMemory = {{"y", kSigN, ys}};
+        return spec;
     }
 
     std::uint64_t
@@ -224,9 +277,40 @@ class GrayWorkload : public SingleLoopWorkload
             NodeId y = d.addNode(Opcode::Shr, Operand::node(acc3),
                                  Operand::imm(8));
             d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(y));
+                      Operand::node(y), Operand::none(), "y");
             d.addOutput("y", y);
         });
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["loop"] = {0, kGrayN, 1};
+        spec.inductionPorts["loop"] = "i";
+        const Word y_base = 3 * kGrayN;
+        spec.arrayBases["y"] = y_base;
+        Rng rng(0x5eed000d);
+        spec.memoryImage.resize(
+            static_cast<std::size_t>(3 * kGrayN));
+        std::vector<Word> ys(static_cast<std::size_t>(kGrayN));
+        for (int i = 0; i < kGrayN; ++i) {
+            Word r = static_cast<Word>(rng.nextBounded(256));
+            Word g = static_cast<Word>(rng.nextBounded(256));
+            Word b = static_cast<Word>(rng.nextBounded(256));
+            spec.memoryImage[static_cast<std::size_t>(3 * i)] = r;
+            spec.memoryImage[static_cast<std::size_t>(3 * i + 1)] =
+                g;
+            spec.memoryImage[static_cast<std::size_t>(3 * i + 2)] =
+                b;
+            ys[static_cast<std::size_t>(i)] =
+                (r * 77 + g * 150 + b * 29) >> 8;
+        }
+        spec.observePorts = {"y"};
+        spec.expectedOutputs = {ys};
+        spec.expectedMemory = {{"y", y_base, ys}};
+        return spec;
     }
 
     std::uint64_t

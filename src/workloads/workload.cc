@@ -39,10 +39,27 @@ allWorkloads()
 const Workload *
 findWorkload(const std::string &name)
 {
+    // Indexed by both abbreviation and full name; built once.
+    static const std::map<std::string, const Workload *> index = [] {
+        std::map<std::string, const Workload *> m;
+        for (const Workload *w : allWorkloads()) {
+            m.emplace(w->name(), w);
+            m.emplace(w->fullName(), w);
+        }
+        return m;
+    }();
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    names.reserve(allWorkloads().size());
     for (const Workload *w : allWorkloads())
-        if (w->name() == name || w->fullName() == name)
-            return w;
-    return nullptr;
+        names.push_back(w->name());
+    return names;
 }
 
 } // namespace marionette

@@ -114,6 +114,65 @@ struct WorkloadProfile
     }
 };
 
+/** Constant counted-loop parameters of one loop header, part of a
+ *  workload's machine-run data (trip counts are input data: the
+ *  paper's configuration generator bakes them into the loop
+ *  operators). */
+struct MachineLoopBound
+{
+    Word start = 0;
+    Word bound = 0;
+    Word step = 1;
+};
+
+/** A golden final-memory region the machine run must reproduce. */
+struct MemoryRegionCheck
+{
+    std::string label;
+    Word base = 0;
+    std::vector<Word> expect;
+};
+
+/**
+ * Everything the CDFG->Program compiler needs beyond the graph to
+ * run a workload on the cycle-accurate machine and cross-validate
+ * it: concrete input data, address-space layout, loop trip counts,
+ * and the golden observation streams.
+ *
+ * `expectedOutputs[k]` is the *dynamic value trace* of observation
+ * port `observePorts[k]`: the sequence of values that port takes
+ * over the golden implementation's dynamic executions of its block.
+ * This is compilation-independent — any correct lowering that
+ * preserves iteration order must stream exactly these words into
+ * output FIFO k.
+ */
+struct WorkloadMachineSpec
+{
+    /** False (the default) when the workload has no machine-run
+     *  data; the compiler reports this instead of guessing. */
+    bool available = false;
+    /** Counted-loop parameters by loop-header *block name*. */
+    std::map<std::string, MachineLoopBound> loopBounds;
+    /** Body port name each loop header's induction stream drives,
+     *  by header block name (e.g. "i_loop" -> "i"). */
+    std::map<std::string, std::string> inductionPorts;
+    /** Scratchpad base address per named Load/Store node (the
+     *  array the access targets); unnamed accesses use base 0. */
+    std::map<std::string, Word> arrayBases;
+    /** Immediate bindings for scalar live-ins, and seeds for
+     *  loop-carried values the init block does not define. */
+    std::map<std::string, Word> scalars;
+    /** Initial scratchpad contents, loaded at address 0. */
+    std::vector<Word> memoryImage;
+    /** DFG output ports to stream into output FIFOs, in FIFO
+     *  order.  Each name must resolve in exactly one phase. */
+    std::vector<std::string> observePorts;
+    /** Golden value trace per observed port (see above). */
+    std::vector<std::vector<Word>> expectedOutputs;
+    /** Golden final-memory regions. */
+    std::vector<MemoryRegionCheck> expectedMemory;
+};
+
 /** Base class of the 13 benchmarks. */
 class Workload
 {
@@ -140,6 +199,14 @@ class Workload
     /** Paper grouping (Sec. 6.2). */
     virtual bool intensiveControlFlow() const { return true; }
 
+    /**
+     * Machine-run data for the CDFG->Program compiler (inputs,
+     * layout, trip counts, golden streams).  The default is
+     * "unavailable": the compiler rejects the workload with a
+     * diagnostic rather than fabricating inputs.
+     */
+    virtual WorkloadMachineSpec machineSpec() const { return {}; }
+
     /** Assemble the full profile (CDFG + analysis + trace). */
     WorkloadProfile profile() const;
 };
@@ -148,8 +215,12 @@ class Workload
  *  MS FFT VI NW HT CRC ADPCM SCD LDPC GEMM CO SI GP. */
 const std::vector<const Workload *> &allWorkloads();
 
-/** Lookup by abbreviation; nullptr when unknown. */
+/** Lookup by abbreviation or full name; nullptr when unknown.
+ *  O(1): backed by a name-indexed map over the registry. */
 const Workload *findWorkload(const std::string &name);
+
+/** The 13 abbreviations in plot order (CLI listings). */
+std::vector<std::string> workloadNames();
 
 } // namespace marionette
 

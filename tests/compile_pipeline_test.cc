@@ -1,0 +1,232 @@
+/**
+ * @file
+ * End-to-end tests of the CDFG->Program compiler pipeline
+ * (compiler/compiler.h): every supported Table-5 workload compiles
+ * on two machine configurations, runs on the cycle-accurate
+ * machine, and reproduces the golden output streams and memory
+ * regions bit-exactly; every unsupported workload is rejected with
+ * a clean pass-attributed diagnostic instead of UB; and the
+ * compiled-program cache makes (workload x config) grids compile
+ * each kernel exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/machine.h"
+#include "compiler/compiler.h"
+#include "compiler/program_cache.h"
+#include "sim/sweep.h"
+
+namespace marionette
+{
+namespace
+{
+
+/** The supported-workload matrix this repo commits to. */
+const std::set<std::string> kSupported = {"CRC", "ADPCM", "GEMM",
+                                          "CO",  "SI",    "GP"};
+
+MachineConfig
+bigConfig()
+{
+    MachineConfig config;
+    config.rows = 8;
+    config.cols = 8;
+    config.scratchpadBytes = 512 * 1024;
+    config.instrMemBytes = 64 * 1024;
+    return config;
+}
+
+/** A second architecture: slower mesh, more banks, deeper FIFOs. */
+MachineConfig
+altConfig()
+{
+    MachineConfig config = bigConfig();
+    config.meshHopLatency = 2;
+    config.dataNetLatency = 12;
+    config.scratchpadBanks = 8;
+    config.controlFifoDepth = 8;
+    return config;
+}
+
+class CompilePipeline
+    : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(CompilePipeline, BitExactOnTwoConfigs)
+{
+    const Workload &w = *GetParam();
+    const bool supported = kSupported.count(w.name()) > 0;
+    for (const MachineConfig &config :
+         {bigConfig(), altConfig()}) {
+        CompileResult r = Compiler(config).compile(w);
+        if (!supported) {
+            // Unsupported kernels reject cleanly: a named pass and
+            // a reason, never an assert or a null dereference.
+            EXPECT_FALSE(r.ok()) << w.name();
+            EXPECT_FALSE(r.report.failedPass.empty()) << w.name();
+            EXPECT_FALSE(r.report.reason.empty()) << w.name();
+            continue;
+        }
+        ASSERT_TRUE(r.ok())
+            << w.name() << "\n" << r.report.toString();
+        const CompiledKernel &kernel = *r.kernel;
+        MarionetteMachine machine(config);
+        kernel.prepare(machine);
+        RunResult run = machine.run(kernel.cycleBudget);
+        EXPECT_EQ(kernel.validate(machine, run), "")
+            << w.name() << "\n" << kernel.report.toString();
+
+        // Analytic cross-check: the model is an idealized bound;
+        // the cycle-accurate machine lands within a sane band of
+        // it (flattened lowering pays recurrence and memory-port
+        // II, so it is slower, never orders of magnitude off).
+        ASSERT_GT(r.report.modelCycleEstimate, 0.0) << w.name();
+        double ratio = static_cast<double>(run.cycles) /
+                       r.report.modelCycleEstimate;
+        EXPECT_GT(ratio, 0.5) << w.name();
+        EXPECT_LT(ratio, 64.0) << w.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CompilePipeline,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const auto &info) { return info.param->name(); });
+
+TEST(CompilePipeline, SupportedMatrixIsExact)
+{
+    std::vector<std::string> names =
+        supportedWorkloads(bigConfig());
+    std::set<std::string> got(names.begin(), names.end());
+    EXPECT_EQ(got, kSupported);
+    // The acceptance floor: at least 6 of the 13 compile and run.
+    EXPECT_GE(got.size(), 6u);
+}
+
+TEST(CompilePipeline, DiagnosticsNameTheBlocker)
+{
+    Compiler compiler(bigConfig());
+    // HT's theta loop hangs under a branch: no predication lane.
+    CompileResult ht = compiler.compile("HT");
+    ASSERT_FALSE(ht.ok());
+    EXPECT_EQ(ht.report.failedPass, "structure");
+    EXPECT_NE(ht.report.reason.find("pixel_if"),
+              std::string::npos);
+    // MS runs data-dependent while loops.
+    CompileResult ms = compiler.compile("MS");
+    ASSERT_FALSE(ms.ok());
+    EXPECT_EQ(ms.report.failedPass, "structure");
+    EXPECT_NE(ms.report.reason.find("counted"), std::string::npos);
+    // Unknown names fail in the driver, not with a crash.
+    CompileResult nope = compiler.compile("nope");
+    ASSERT_FALSE(nope.ok());
+    EXPECT_EQ(nope.report.failedPass, "driver");
+}
+
+TEST(CompilePipeline, CapacityRejectionsAreClean)
+{
+    // A 4x4 array cannot hold CO's 8-tap pipeline...
+    MachineConfig small = bigConfig();
+    small.rows = 4;
+    small.cols = 4;
+    CompileResult co = Compiler(small).compile("CO");
+    ASSERT_FALSE(co.ok());
+    EXPECT_EQ(co.report.failedPass, "emit");
+    EXPECT_NE(co.report.reason.find("PEs"), std::string::npos);
+    // ...and the default 16 KiB scratchpad cannot hold CO's data.
+    MachineConfig tiny = bigConfig();
+    tiny.scratchpadBytes = 16 * 1024;
+    CompileResult co2 = Compiler(tiny).compile("CO");
+    ASSERT_FALSE(co2.ok());
+    EXPECT_EQ(co2.report.failedPass, "emit");
+    EXPECT_NE(co2.report.reason.find("scratchpad"),
+              std::string::npos);
+}
+
+TEST(CompilePipeline, SmallKernelsFitThePaperPrototype)
+{
+    // The 4x4 / 16 KiB Table-4 prototype runs the compact kernels
+    // end to end — the compiler is not tied to enlarged fabrics.
+    MachineConfig config; // paper defaults.
+    for (const char *name : {"SI", "CRC"}) {
+        CompileResult r = Compiler(config).compile(name);
+        ASSERT_TRUE(r.ok())
+            << name << "\n" << r.report.toString();
+        MarionetteMachine machine(config);
+        r.kernel->prepare(machine);
+        RunResult run = machine.run(r.kernel->cycleBudget);
+        EXPECT_EQ(r.kernel->validate(machine, run), "") << name;
+    }
+}
+
+TEST(CompilePipeline, GridSweepCompilesEachKernelOnce)
+{
+    std::vector<KernelSweepJob> jobs;
+    const MachineConfig configs[] = {bigConfig(), altConfig()};
+    // Two identical passes over (config x kernel): the second pass
+    // (and every duplicate cell) must hit the cache.
+    for (int rep = 0; rep < 2; ++rep)
+        for (const MachineConfig &config : configs)
+            for (const char *name : {"SI", "CRC", "GP", "HT"})
+                jobs.push_back(
+                    KernelSweepJob{findWorkload(name), config});
+
+    ProgramCache cache;
+    SweepRunner runner;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+
+    EXPECT_EQ(cache.misses(), 8u); // 2 configs x 4 kernels.
+    EXPECT_EQ(cache.hits(), jobs.size() - 8u);
+    EXPECT_EQ(cache.size(), 8u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const KernelSweepResult &r = results[i];
+        if (std::string(jobs[i].workload->name()) == "HT") {
+            EXPECT_FALSE(r.compiled);
+            EXPECT_FALSE(r.diagnostic.empty());
+        } else {
+            ASSERT_TRUE(r.compiled) << r.diagnostic;
+            EXPECT_TRUE(r.validated) << r.validationError;
+            EXPECT_GT(r.modelEstimate, 0.0);
+        }
+    }
+}
+
+TEST(CompilePipeline, SweepResultsIndependentOfThreadCount)
+{
+    std::vector<KernelSweepJob> jobs;
+    for (const char *name : {"SI", "CRC", "GP"})
+        jobs.push_back(
+            KernelSweepJob{findWorkload(name), bigConfig()});
+
+    ProgramCache cache_serial, cache_parallel;
+    std::vector<KernelSweepResult> serial =
+        SweepRunner(1).runKernels(jobs, cache_serial);
+    std::vector<KernelSweepResult> parallel =
+        SweepRunner(4).runKernels(jobs, cache_parallel);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].run.cycles, parallel[i].run.cycles);
+        EXPECT_EQ(serial[i].run.outputs, parallel[i].run.outputs);
+        EXPECT_TRUE(serial[i].validated);
+        EXPECT_TRUE(parallel[i].validated);
+    }
+}
+
+TEST(CompilePipeline, WorkloadNamesListsPlotOrder)
+{
+    std::vector<std::string> names = workloadNames();
+    ASSERT_EQ(names.size(), 13u);
+    EXPECT_EQ(names.front(), "MS");
+    EXPECT_EQ(names.back(), "GP");
+    for (const std::string &n : names)
+        EXPECT_NE(findWorkload(n), nullptr) << n;
+}
+
+} // namespace
+} // namespace marionette
