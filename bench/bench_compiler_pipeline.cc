@@ -20,8 +20,8 @@ MachineConfig
 pipelineConfig()
 {
     MachineConfig config;
-    config.rows = 8;
-    config.cols = 8;
+    config.rows = 10;
+    config.cols = 10;
     config.scratchpadBytes = 512 * 1024;
     config.instrMemBytes = 64 * 1024;
     return config;

@@ -8,10 +8,11 @@
  *
  *     out[i] = sigmoid( w * x[i] + b )        // Q16.16, w integer
  *
- * The compiler must place the SigmoidFix operator on one of the
- * capable PEs (indices 12..15 on the 4x4 prototype) while the MAC
- * arithmetic stays on ordinary PEs — loading a nonlinear opcode on
- * an ordinary PE is rejected by the machine.
+ * Compiled through the unified pass pipeline: the emit pass must
+ * place the SigmoidFix operator on one of the capable PEs (the
+ * top-id PEs of the array) while the MAC arithmetic stays on
+ * ordinary PEs — loading a nonlinear opcode on an ordinary PE is
+ * rejected by the machine.
  */
 
 #include <cstdio>
@@ -21,40 +22,135 @@
 
 using namespace marionette;
 
+namespace
+{
+
+constexpr int kN = 512;
+constexpr Word kBaseIn = 0, kBaseOut = 1024;
+constexpr Word kWeight = 3;        // integer weight: 3.0.
+constexpr Word kBias = 1 << 15;    // 0.5 in Q16.16.
+
+std::vector<Word>
+inputs()
+{
+    Rng rng(21);
+    std::vector<Word> xs(kN);
+    for (Word &v : xs)
+        v = static_cast<Word>(
+            rng.nextRange(-(5 << 16), 5 << 16));
+    return xs;
+}
+
+class ActivationWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "ACT"; }
+    std::string fullName() const override
+    { return "Activation Pipeline"; }
+    std::string sizeDesc() const override { return "512"; }
+
+    Cdfg
+    buildCdfg() const override
+    {
+        CdfgBuilder b("activation");
+        BlockId loop = b.addLoopHeader("i_loop");
+        BlockId body = b.addBlock("body");
+        BlockId done = b.addBlock("done");
+        {
+            Dfg &d = b.dfg(loop);
+            dfg_patterns::addCountedLoop(d, 0, 1, "n");
+        }
+        {
+            Dfg &d = b.dfg(body);
+            int iv = d.addInput("i");
+            NodeId x = d.addNode(Opcode::Load, Operand::input(iv),
+                                 Operand::none(), Operand::none(),
+                                 "x");
+            NodeId wx = d.addNode(Opcode::Mul, Operand::node(x),
+                                  Operand::imm(kWeight));
+            NodeId pre = d.addNode(Opcode::Add, Operand::node(wx),
+                                   Operand::imm(kBias),
+                                   Operand::none(), "preact");
+            NodeId act = d.addNode(Opcode::SigmoidFix,
+                                   Operand::node(pre),
+                                   Operand::none(),
+                                   Operand::none(), "act");
+            d.addNode(Opcode::Store, Operand::input(iv),
+                      Operand::node(act), Operand::none(), "out");
+            d.addOutput("act", act);
+        }
+        {
+            Dfg &d = b.dfg(done);
+            int x = d.addInput("act");
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("x", c);
+        }
+        b.fall(loop, body);
+        b.loopBack(body, loop);
+        b.loopExit(loop, done);
+        return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["i_loop"] = {0, kN, 1};
+        spec.inductionPorts["i_loop"] = "i";
+        spec.arrayBases["x"] = kBaseIn;
+        spec.arrayBases["out"] = kBaseOut;
+
+        std::vector<Word> xs = inputs();
+        spec.memoryImage = xs;
+        std::vector<Word> out(kN);
+        for (int i = 0; i < kN; ++i)
+            out[static_cast<std::size_t>(i)] = evalOp(
+                Opcode::SigmoidFix,
+                xs[static_cast<std::size_t>(i)] * kWeight + kBias);
+        spec.observePorts = {"act"};
+        spec.expectedOutputs = {out};
+        spec.expectedMemory = {{"out", kBaseOut, out}};
+        return spec;
+    }
+
+    std::uint64_t
+    runGolden(KernelRecorder &rec) const override
+    {
+        std::vector<Word> xs = inputs();
+        std::uint64_t sum = 0;
+        rec.round(0);
+        for (int i = 0; i < kN; ++i) {
+            rec.iteration(0);
+            rec.block(1);
+            sum += static_cast<std::uint64_t>(
+                static_cast<UWord>(evalOp(
+                    Opcode::SigmoidFix,
+                    xs[static_cast<std::size_t>(i)] * kWeight +
+                        kBias)));
+        }
+        rec.block(2);
+        return sum;
+    }
+};
+
+} // namespace
+
 int
 main()
 {
-    constexpr int n = 512;
-    constexpr Word base_in = 0, base_out = 1024;
-    constexpr Word weight = 3;        // integer weight: 3.0.
-    constexpr Word bias = 1 << 15;    // 0.5 in Q16.16.
-
-    Dfg dfg;
-    int iv = dfg.addInput("i");
-    NodeId addr_in = dfg.addNode(Opcode::Add, Operand::input(iv),
-                                 Operand::imm(base_in));
-    NodeId x = dfg.addNode(Opcode::Load, Operand::node(addr_in));
-    NodeId wx = dfg.addNode(Opcode::Mul, Operand::node(x),
-                            Operand::imm(weight));
-    NodeId pre = dfg.addNode(Opcode::Add, Operand::node(wx),
-                             Operand::imm(bias), Operand::none(),
-                             "preact");
-    NodeId act = dfg.addNode(Opcode::SigmoidFix,
-                             Operand::node(pre), Operand::none(),
-                             Operand::none(), "act");
-    NodeId addr_out = dfg.addNode(Opcode::Add, Operand::input(iv),
-                                  Operand::imm(base_out));
-    dfg.addNode(Opcode::Store, Operand::node(addr_out),
-                Operand::node(act));
-    dfg.addOutput("act", act);
-
     MachineConfig config;
-    Program prog = mapLoopedDfg("activation", config, dfg,
-                                LoopSpec{0, n, 1, 1});
+    ActivationWorkload kernel;
+    CompileResult r = Compiler(config).compile(kernel);
+    if (!r.ok()) {
+        std::printf("compile failed:\n%s",
+                    r.report.toString().c_str());
+        return 1;
+    }
 
     // Confirm the placement decision: the sigmoid landed on a
     // nonlinear-capable PE.
-    for (const PeProgram &pe : prog.pes)
+    for (const PeProgram &pe : r.kernel->program.pes)
         for (const Instruction &in : pe.instrs)
             if (in.op == Opcode::SigmoidFix)
                 std::printf("SigmoidFix placed on PE %d "
@@ -64,31 +160,17 @@ main()
                             config.numPes() - 1);
 
     MarionetteMachine machine(config);
-    machine.load(prog);
-    Rng rng(21);
-    std::vector<Word> xs(n);
-    for (Word &v : xs)
-        v = static_cast<Word>(
-            rng.nextRange(-(5 << 16), 5 << 16));
-    machine.scratchpad().load(base_in, xs);
-
-    RunResult result = machine.run();
+    r.kernel->prepare(machine);
+    RunResult result = machine.run(r.kernel->cycleBudget);
     std::printf("ran %llu cycles (%s), utilization %.1f%%\n",
                 static_cast<unsigned long long>(result.cycles),
                 result.finished ? "quiesced" : "cycle limit",
                 100 * result.peUtilization);
 
-    int errors = 0;
-    for (int i = 0; i < n; ++i) {
-        Word pre =
-            xs[static_cast<std::size_t>(i)] * weight + bias;
-        Word want = evalOp(Opcode::SigmoidFix, pre);
-        Word got = machine.scratchpad().read(base_out + i);
-        if (want != got && ++errors <= 4)
-            std::printf("  MISMATCH out[%d]: want %d got %d\n", i,
-                        want, got);
-    }
-    std::printf("%s: %d/%d activations correct\n",
-                errors == 0 ? "PASS" : "FAIL", n - errors, n);
-    return errors == 0 ? 0 : 1;
+    std::string err = r.kernel->validate(machine, result);
+    std::printf("%s%s\n",
+                err.empty() ? "PASS: all activations bit-exact"
+                            : "FAIL: ",
+                err.c_str());
+    return err.empty() ? 0 : 1;
 }

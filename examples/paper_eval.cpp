@@ -17,11 +17,23 @@
  *   --kernels=a,b  restrict the grid (and the machine validation)
  *                  to the named kernels.
  *   --jobs=N       sweep-runner thread count (default: hardware).
+ *   --report=PATH  write machine-readable per-kernel compile
+ *                  coverage (status, failed pass, cycles, compile
+ *                  time) as JSON — the bench trajectory's compiler
+ *                  data points (BENCH_compile_coverage.json).
+ *   --check-coverage=PATH
+ *                  compare the current coverage (kernel, compiled,
+ *                  failed pass) against a checked-in expectation
+ *                  and exit non-zero on any difference, so a change
+ *                  can never quietly drop a working kernel.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +50,8 @@ struct Options
     bool list = false;
     int jobs = 0;
     std::vector<std::string> kernels; ///< empty = all 13.
+    std::string reportPath;
+    std::string checkCoveragePath;
 };
 
 bool
@@ -69,10 +83,17 @@ parseArgs(int argc, char **argv, Options &opts)
                 }
                 pos = comma + 1;
             }
+        } else if (std::strncmp(arg, "--report=", 9) == 0) {
+            opts.reportPath = arg + 9;
+        } else if (std::strncmp(arg, "--check-coverage=", 17) ==
+                   0) {
+            opts.checkCoveragePath = arg + 17;
         } else {
             std::fprintf(stderr,
                          "usage: paper_eval [--list] "
-                         "[--kernels=a,b,c] [--jobs=N]\n");
+                         "[--kernels=a,b,c] [--jobs=N] "
+                         "[--report=PATH] "
+                         "[--check-coverage=PATH]\n");
             return false;
         }
     }
@@ -90,14 +111,28 @@ selected(const Options &opts, const std::string &name)
     return false;
 }
 
+/** Per-kernel compile/run coverage on the primary fabric. */
+struct KernelCoverage
+{
+    std::string kernel;
+    bool compiled = false;
+    std::string failedPass;
+    std::string reason;
+    bool validated = false;
+    std::uint64_t cycles = 0;
+    double modelCycles = 0.0;
+    std::int64_t compileMicros = 0;
+};
+
 /** Compile the selected kernels on two fabrics through the shared
- *  program cache and run them on the cycle-accurate machine. */
-void
+ *  program cache and run them on the cycle-accurate machine.
+ *  Returns the per-kernel coverage on the primary fabric. */
+std::vector<KernelCoverage>
 machineValidation(const Options &opts, const SweepRunner &runner)
 {
     MachineConfig big;
-    big.rows = 8;
-    big.cols = 8;
+    big.rows = 10;
+    big.cols = 10;
     big.scratchpadBytes = 512 * 1024;
     big.instrMemBytes = 64 * 1024;
     MachineConfig alt = big;
@@ -126,7 +161,7 @@ machineValidation(const Options &opts, const SweepRunner &runner)
                 "cycles", "model", "result");
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const KernelSweepResult &r = results[i];
-        const char *cfg = (i % 2 == 0) ? "8x8" : "8x8s";
+        const char *cfg = (i % 2 == 0) ? "10x10" : "10x10s";
         if (!r.compiled) {
             if (i % 2 == 0) // report each kernel's rejection once.
                 std::printf("  %-6s %-5s %10s %10s  rejected: %s\n",
@@ -147,6 +182,188 @@ machineValidation(const Options &opts, const SweepRunner &runner)
                 static_cast<unsigned long long>(cache.misses()),
                 static_cast<unsigned long long>(cache.hits()),
                 jobs.size());
+
+    // Coverage record from the primary-fabric results (even job
+    // indices), with a freshly-timed compile per kernel.
+    std::vector<KernelCoverage> coverage;
+    Compiler compiler(big);
+    for (std::size_t i = 0; i < jobs.size(); i += 2) {
+        const KernelSweepResult &r = results[i];
+        KernelCoverage c;
+        c.kernel = labels[i];
+        c.compiled = r.compiled;
+        c.validated = r.validated;
+        if (r.compiled) {
+            c.cycles = r.run.cycles;
+            c.modelCycles = r.modelEstimate;
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        CompileResult cr =
+            compiler.compile(*jobs[i].workload);
+        c.compileMicros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        c.failedPass = cr.report.failedPass;
+        c.reason = cr.report.reason;
+        coverage.push_back(std::move(c));
+    }
+    return coverage;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\')
+            out += '\\';
+        out += ch;
+    }
+    return out;
+}
+
+void
+writeReport(const std::string &path,
+            const std::vector<KernelCoverage> &coverage)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write report '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n  \"fabric\": \"10x10\",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < coverage.size(); ++i) {
+        const KernelCoverage &c = coverage[i];
+        out << "    {\"kernel\": \"" << c.kernel
+            << "\", \"compiled\": "
+            << (c.compiled ? "true" : "false")
+            << ", \"failed_pass\": \""
+            << jsonEscape(c.failedPass) << "\", \"reason\": \""
+            << jsonEscape(c.reason)
+            << "\", \"validated\": "
+            << (c.validated ? "true" : "false")
+            << ", \"cycles\": " << c.cycles
+            << ", \"model_cycles\": "
+            << static_cast<std::uint64_t>(c.modelCycles)
+            << ", \"compile_us\": " << c.compileMicros << "}"
+            << (i + 1 < coverage.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote compile-coverage report: %s\n",
+                path.c_str());
+}
+
+/** Minimal field scan over one JSON object body. */
+std::string
+extractString(const std::string &obj, const std::string &key)
+{
+    std::size_t at = obj.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return {};
+    at = obj.find(':', at);
+    at = obj.find('"', at);
+    if (at == std::string::npos)
+        return {};
+    std::size_t end = obj.find('"', at + 1);
+    return obj.substr(at + 1, end - at - 1);
+}
+
+bool
+extractBool(const std::string &obj, const std::string &key)
+{
+    std::size_t at = obj.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return false;
+    return obj.find("true", at) <
+           std::min(obj.find(',', at), obj.find('}', at));
+}
+
+/** Diff (kernel, compiled, failed_pass) against the expectation
+ *  file; returns false (and prints every difference) on mismatch. */
+bool
+checkCoverage(const std::string &path,
+              const std::vector<KernelCoverage> &coverage)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "cannot read expected coverage '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string all = buf.str();
+
+    bool ok = true;
+    int checked = 0;
+    for (const KernelCoverage &c : coverage) {
+        // Find this kernel's object.
+        std::size_t at =
+            all.find("\"kernel\": \"" + c.kernel + "\"");
+        if (at == std::string::npos) {
+            std::fprintf(stderr,
+                         "coverage check: kernel %s missing from "
+                         "%s\n",
+                         c.kernel.c_str(), path.c_str());
+            ok = false;
+            continue;
+        }
+        std::size_t end = all.find('}', at);
+        std::string obj = all.substr(at, end - at + 1);
+        bool want_compiled = extractBool(obj, "compiled");
+        std::string want_pass = extractString(obj, "failed_pass");
+        if (want_compiled != c.compiled) {
+            std::fprintf(stderr,
+                         "coverage check: %s %s, expected to %s\n",
+                         c.kernel.c_str(),
+                         c.compiled ? "compiles" : "is rejected",
+                         want_compiled ? "compile"
+                                       : "be rejected");
+            ok = false;
+        } else if (!c.compiled && want_pass != c.failedPass) {
+            std::fprintf(stderr,
+                         "coverage check: %s rejected by '%s', "
+                         "expected '%s'\n",
+                         c.kernel.c_str(), c.failedPass.c_str(),
+                         want_pass.c_str());
+            ok = false;
+        }
+        if (c.compiled && !c.validated) {
+            std::fprintf(stderr,
+                         "coverage check: %s compiled but was not "
+                         "bit-exact\n",
+                         c.kernel.c_str());
+            ok = false;
+        }
+        ++checked;
+    }
+
+    // Reverse direction: every kernel in the expectation must be
+    // present in the current run, or dropping a registered
+    // workload would pass unnoticed.
+    std::size_t at = 0;
+    while ((at = all.find("\"kernel\": \"", at)) !=
+           std::string::npos) {
+        at += 11;
+        std::size_t end = all.find('"', at);
+        std::string name = all.substr(at, end - at);
+        bool present = false;
+        for (const KernelCoverage &c : coverage)
+            present = present || c.kernel == name;
+        if (!present) {
+            std::fprintf(stderr,
+                         "coverage check: expected kernel %s is "
+                         "missing from this run\n",
+                         name.c_str());
+            ok = false;
+        }
+    }
+    std::printf("\ncoverage check vs %s: %d kernel(s) %s\n",
+                path.c_str(), checked, ok ? "OK" : "CHANGED");
+    return ok;
 }
 
 } // namespace
@@ -303,6 +520,12 @@ main(int argc, char **argv)
                         composite(mar->name().c_str()));
     }
 
-    machineValidation(opts, runner);
+    std::vector<KernelCoverage> coverage =
+        machineValidation(opts, runner);
+    if (!opts.reportPath.empty())
+        writeReport(opts.reportPath, coverage);
+    if (!opts.checkCoveragePath.empty() &&
+        !checkCoverage(opts.checkCoveragePath, coverage))
+        return 1;
     return 0;
 }

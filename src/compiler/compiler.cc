@@ -1,18 +1,19 @@
+/**
+ * @file
+ * The compiler driver: report plumbing, the compiled-kernel
+ * runtime helpers, and the PassManager wiring.  The passes
+ * themselves live in structure.cc / bind.cc / lower.cc / emit.cc
+ * and communicate through compiler/pipeline.h.
+ */
+
 #include "compiler/compiler.h"
 
-#include <algorithm>
-#include <set>
 #include <sstream>
-#include <tuple>
 
 #include "arch/machine.h"
-#include "compiler/assignment.h"
-#include "compiler/predication.h"
-#include "compiler/program_builder.h"
-#include "ir/loop_info.h"
-#include "isa/encoding.h"
+#include "compiler/pass_manager.h"
+#include "compiler/pipeline.h"
 #include "model/arch_model.h"
-#include "sim/logging.h"
 
 namespace marionette
 {
@@ -32,8 +33,12 @@ void
 CompileReport::fail(const std::string &pass,
                     const std::string &why)
 {
-    if (!failedPass.empty())
-        return; // keep the first failure.
+    if (!failedPass.empty()) {
+        // The first failure latches; later ones are still recorded
+        // so a kernel with several problems reports all of them.
+        note(pass, "also rejected: " + why);
+        return;
+    }
     failedPass = pass;
     reason = why;
 }
@@ -116,1256 +121,6 @@ CompiledKernel::validate(const MarionetteMachine &machine,
 }
 
 // ------------------------------------------------------------------
-// Internal lowering structures
-// ------------------------------------------------------------------
-
-namespace
-{
-
-constexpr const char *kPassAnalyze = "analyze";
-constexpr const char *kPassPredicate = "predicate";
-constexpr const char *kPassStructure = "structure";
-constexpr const char *kPassAssign = "assign";
-constexpr const char *kPassBind = "bind";
-constexpr const char *kPassLower = "lower";
-constexpr const char *kPassEmit = "emit";
-
-bool
-isPow2(Word v)
-{
-    return v > 0 && (v & (v - 1)) == 0;
-}
-
-int
-log2Of(Word v)
-{
-    int s = 0;
-    while ((Word(1) << s) < v)
-        ++s;
-    return s;
-}
-
-/** One loop level of a phase, outermost first. */
-struct LevelPlan
-{
-    BlockId header = invalidBlock;
-    std::string headerName;
-    /** Body port the induction stream drives (may be empty). */
-    std::string ivPort;
-    Word start = 0;
-    Word step = 1;
-    Word trips = 0;
-    /** Plain body blocks before/after the sub-loop.  For the
-     *  innermost level `pre` is the whole body and `post` empty. */
-    std::vector<BlockId> pre;
-    std::vector<BlockId> post;
-};
-
-/** One serial top-level loop, lowered independently. */
-struct PhasePlan
-{
-    std::vector<LevelPlan> levels;
-};
-
-/** Shape of the whole kernel after the structure pass. */
-struct TopPlan
-{
-    std::vector<BlockId> initBlocks;
-    std::vector<PhasePlan> phases;
-    std::vector<BlockId> tailBlocks;
-};
-
-/** A loop-carried value of one flattened phase. */
-struct CarriedValue
-{
-    std::string name;
-    int inputIdx = -1;     ///< flat-body input port.
-    Operand finalVal;      ///< end-of-iteration value.
-    Word seed = 0;
-    bool live = false;
-};
-
-/** One flattened phase ready for emission. */
-struct FlatPhase
-{
-    Dfg body;                          ///< input 0 = flat index t.
-    Word trips = 0;
-    std::vector<CarriedValue> carried;
-    std::map<NodeId, Word> memBase;    ///< per memory node.
-    std::map<std::string, Operand> finalEnv;
-    std::set<NodeId> liveNodes;
-};
-
-/** (fifo, phase, producing node) of one observed port. */
-struct Observation
-{
-    int fifo = 0;
-    int phase = 0;
-    NodeId node = invalidNode;
-};
-
-// ------------------------------------------------------------------
-// Flat-body construction: CSE + folding + taint tracking
-// ------------------------------------------------------------------
-
-class BodyBuilder
-{
-  public:
-    BodyBuilder() { dfg_.addInput("t"); }
-
-    Dfg &dfg() { return dfg_; }
-
-    /** Emit (or reuse) a node; folds all-immediate pure ops. */
-    Operand
-    emit(Opcode op, Operand a, Operand b = Operand::none(),
-         Operand c = Operand::none(), const std::string &name = {})
-    {
-        const OpInfo &info = opInfo(op);
-        bool pure = !info.isMemory && !info.isControl;
-        auto isImmish = [](const Operand &o) {
-            return o.kind == OperandKind::Immediate ||
-                   o.kind == OperandKind::None;
-        };
-        if (pure && isImmish(a) && isImmish(b) && isImmish(c))
-            return Operand::imm(evalOp(op, a.ref, b.ref, c.ref));
-
-        if (pure) {
-            auto key = std::make_tuple(
-                op, static_cast<int>(a.kind), a.ref,
-                static_cast<int>(b.kind), b.ref,
-                static_cast<int>(c.kind), c.ref);
-            auto it = cse_.find(key);
-            if (it != cse_.end())
-                return Operand::node(it->second);
-            NodeId id = dfg_.addNode(op, a, b, c, name);
-            cse_[key] = id;
-            propagateTaint(id, a, b, c);
-            return Operand::node(id);
-        }
-        NodeId id = dfg_.addNode(op, a, b, c, name);
-        propagateTaint(id, a, b, c);
-        return Operand::node(id);
-    }
-
-    /** Mark an operand as varying with the innermost index. */
-    void
-    taintInnermost(const Operand &o)
-    {
-        if (o.kind == OperandKind::Node)
-            innerTaint_.insert(o.ref);
-    }
-
-    /** Declare an operand round-constant (index reconstruction of
-     *  an outer level — known not to vary within a round). */
-    void
-    launder(const Operand &o)
-    {
-        if (o.kind == OperandKind::Node)
-            innerTaint_.erase(o.ref);
-    }
-
-    void
-    taintCarriedInput(int input_idx)
-    {
-        carriedInputs_.insert(input_idx);
-    }
-
-    bool
-    innermostTainted(const Operand &o) const
-    {
-        return o.kind == OperandKind::Node &&
-               innerTaint_.count(o.ref) > 0;
-    }
-
-    bool
-    carriedTainted(const Operand &o) const
-    {
-        if (o.kind == OperandKind::Node)
-            return carryTaint_.count(o.ref) > 0;
-        if (o.kind == OperandKind::Input)
-            return carriedInputs_.count(static_cast<int>(o.ref)) >
-                   0;
-        return false;
-    }
-
-  private:
-    void
-    propagateTaint(NodeId id, const Operand &a, const Operand &b,
-                   const Operand &c)
-    {
-        for (const Operand *o : {&a, &b, &c}) {
-            if (o->kind == OperandKind::Node) {
-                if (innerTaint_.count(o->ref))
-                    innerTaint_.insert(id);
-                if (carryTaint_.count(o->ref))
-                    carryTaint_.insert(id);
-            } else if (o->kind == OperandKind::Input) {
-                // Input 0 is the flat index: innermost-varying.
-                if (o->ref == 0)
-                    innerTaint_.insert(id);
-                if (carriedInputs_.count(static_cast<int>(o->ref)))
-                    carryTaint_.insert(id);
-            }
-        }
-    }
-
-    Dfg dfg_;
-    std::map<std::tuple<Opcode, int, Word, int, Word, int, Word>,
-             NodeId>
-        cse_;
-    std::set<NodeId> innerTaint_;
-    std::set<NodeId> carryTaint_;
-    std::set<int> carriedInputs_;
-};
-
-// ------------------------------------------------------------------
-// The compilation context threading every pass
-// ------------------------------------------------------------------
-
-struct Compilation
-{
-    const Workload &workload;
-    const MachineConfig &config;
-    CompileReport report;
-
-    Cdfg cdfg{"empty"};
-    LoopInfo loops;
-    WorkloadMachineSpec spec;
-    TopPlan top;
-    std::map<std::string, Word> initEnv;
-    std::vector<FlatPhase> phases;
-    std::vector<Observation> observations;
-
-    Compilation(const Workload &w, const MachineConfig &c)
-        : workload(w), config(c)
-    {}
-
-    bool
-    fail(const char *pass, const std::string &why)
-    {
-        report.fail(pass, why);
-        return false;
-    }
-};
-
-// ------------------------------------------------------------------
-// Pass 1+2: analyze + predicate
-// ------------------------------------------------------------------
-
-bool
-passAnalyze(Compilation &cc)
-{
-    cc.cdfg = cc.workload.buildCdfg();
-    cc.cdfg.validate();
-    cc.spec = cc.workload.machineSpec();
-    std::ostringstream note;
-    note << cc.cdfg.numBlocks() << " blocks, "
-         << cc.cdfg.totalOps() << " ops";
-    cc.report.note(kPassAnalyze, note.str());
-    return true;
-}
-
-bool
-passPredicate(Compilation &cc)
-{
-    LoweringPredication pred =
-        predicateForLowering(cc.cdfg, cc.spec.scalars);
-    if (!pred.unresolved.empty())
-        return cc.fail(kPassPredicate,
-                       "branch output '" + pred.unresolved.front() +
-                           "' has no value on one path and no "
-                           "default binding");
-    for (const std::string &n : pred.notes)
-        cc.report.note(kPassPredicate, n);
-    if (pred.notes.empty())
-        cc.report.note(kPassPredicate, "no flattenable branches");
-    cc.cdfg = std::move(pred.cdfg);
-    cc.loops = LoopInfo::analyze(cc.cdfg);
-    return true;
-}
-
-// ------------------------------------------------------------------
-// Pass 3: structure
-// ------------------------------------------------------------------
-
-/** The single Fall successor of @p b, or invalidBlock. */
-BlockId
-fallSuccessor(const Cdfg &cdfg, BlockId b)
-{
-    BlockId dst = invalidBlock;
-    int count = 0;
-    for (const CfgEdge &e : cdfg.successors(b)) {
-        if (e.kind == EdgeKind::Fall || e.kind == EdgeKind::LoopBack) {
-            dst = e.dst;
-            ++count;
-        }
-    }
-    return count == 1 ? dst : invalidBlock;
-}
-
-BlockId
-loopExitTarget(const Cdfg &cdfg, BlockId header)
-{
-    for (const CfgEdge &e : cdfg.successors(header))
-        if (e.kind == EdgeKind::LoopExit)
-            return e.dst;
-    return invalidBlock;
-}
-
-/** Match the dfg_patterns::addCountedLoop header shape; extracts
- *  the step immediate.  Returns false with @p why set otherwise. */
-bool
-matchCountedHeader(const Dfg &dfg, Word &step, std::string &why)
-{
-    const DfgNode *loop_node = nullptr;
-    for (const DfgNode &n : dfg.nodes())
-        if (n.op == Opcode::Loop)
-            loop_node = &n;
-    if (loop_node == nullptr) {
-        why = "no Loop operator";
-        return false;
-    }
-    if (dfg.numNodes() != 2) {
-        why = "header computes more than the counted-loop pattern";
-        return false;
-    }
-    if (loop_node->a.kind != OperandKind::Node) {
-        why = "loop condition does not consume the induction";
-        return false;
-    }
-    const DfgNode &ind = dfg.node(loop_node->a.ref);
-    if (ind.op != Opcode::Add || ind.b.kind != OperandKind::Immediate) {
-        why = "induction update is not i += const";
-        return false;
-    }
-    step = ind.b.ref;
-    return true;
-}
-
-/** Recursively structure one phase starting at @p header. */
-bool
-buildPhase(Compilation &cc, BlockId header, PhasePlan &phase)
-{
-    const BasicBlock &hb = cc.cdfg.block(header);
-    if (hb.kind != BlockKind::LoopHeader)
-        return cc.fail(kPassStructure, "block '" + hb.name +
-                                           "' is not a loop header");
-    LevelPlan lv;
-    lv.header = header;
-    lv.headerName = hb.name;
-    std::string why;
-    if (!matchCountedHeader(hb.dfg, lv.step, why))
-        return cc.fail(kPassStructure,
-                       "loop '" + hb.name +
-                           "' is not a counted loop (" + why + ")");
-
-    BlockId sub = invalidBlock;
-    BlockId walk = fallSuccessor(cc.cdfg, header);
-    std::set<BlockId> visited;
-    while (walk != invalidBlock && walk != header) {
-        if (!visited.insert(walk).second)
-            return cc.fail(kPassStructure,
-                           "irreducible body around '" +
-                               cc.cdfg.block(walk).name + "'");
-        const BasicBlock &bb = cc.cdfg.block(walk);
-        if (bb.kind == BlockKind::Branch)
-            return cc.fail(
-                kPassStructure,
-                "loop '" + hb.name +
-                    "' body contains the unpredicated branch '" +
-                    bb.name +
-                    "' (a lane holds a loop or another branch)");
-        if (bb.kind == BlockKind::LoopHeader) {
-            if (sub != invalidBlock)
-                return cc.fail(kPassStructure,
-                               "loop '" + hb.name +
-                                   "' runs two inner loops in "
-                                   "sequence ('" +
-                                   cc.cdfg.block(sub).name +
-                                   "', '" + bb.name + "')");
-            sub = walk;
-            walk = loopExitTarget(cc.cdfg, walk);
-            continue;
-        }
-        (sub == invalidBlock ? lv.pre : lv.post).push_back(walk);
-        // Done when this block carries the back edge to our header.
-        bool back = false;
-        for (const CfgEdge &e : cc.cdfg.successors(walk))
-            if (e.kind == EdgeKind::LoopBack && e.dst == header)
-                back = true;
-        if (back)
-            break;
-        walk = fallSuccessor(cc.cdfg, walk);
-    }
-
-    phase.levels.push_back(lv);
-    std::size_t mine = phase.levels.size() - 1;
-    if (sub != invalidBlock) {
-        if (!buildPhase(cc, sub, phase))
-            return false;
-        // An innermost body landed deeper; our own blocks stay in
-        // the level entry we pushed above.
-        (void)mine;
-    }
-    return true;
-}
-
-bool
-passStructure(Compilation &cc)
-{
-    BlockId cur = 0;
-    std::set<BlockId> visited;
-    while (cur != invalidBlock) {
-        if (!visited.insert(cur).second)
-            return cc.fail(kPassStructure,
-                           "top-level control flow revisits '" +
-                               cc.cdfg.block(cur).name + "'");
-        const BasicBlock &bb = cc.cdfg.block(cur);
-        if (bb.kind == BlockKind::Branch)
-            return cc.fail(kPassStructure,
-                           "unpredicated branch '" + bb.name +
-                               "' at the top level");
-        if (bb.kind == BlockKind::LoopHeader) {
-            PhasePlan phase;
-            if (!buildPhase(cc, cur, phase))
-                return false;
-            cc.top.phases.push_back(std::move(phase));
-            cur = loopExitTarget(cc.cdfg, cur);
-            continue;
-        }
-        if (cc.top.phases.empty())
-            cc.top.initBlocks.push_back(cur);
-        else
-            cc.top.tailBlocks.push_back(cur);
-        cur = fallSuccessor(cc.cdfg, cur);
-    }
-    if (cc.top.phases.empty())
-        return cc.fail(kPassStructure, "kernel has no loop");
-
-    std::ostringstream note;
-    note << cc.top.phases.size() << " serial phase(s): ";
-    for (std::size_t p = 0; p < cc.top.phases.size(); ++p) {
-        if (p)
-            note << ", ";
-        note << "'"
-             << cc.top.phases[p].levels.front().headerName << "' ("
-             << cc.top.phases[p].levels.size() << " level"
-             << (cc.top.phases[p].levels.size() > 1 ? "s" : "")
-             << ")";
-    }
-    cc.report.note(kPassStructure, note.str());
-    return true;
-}
-
-// ------------------------------------------------------------------
-// Pass 4: assignment (the Fig. 8 planner, for the record)
-// ------------------------------------------------------------------
-
-bool
-passAssign(Compilation &cc)
-{
-    AssignmentPlan plan =
-        agileSchedule(cc.cdfg, cc.loops, cc.config.numPes());
-    std::ostringstream note;
-    note << "agile plan over " << plan.blocks.size()
-         << " blocks, total PE waste " << plan.totalWaste;
-    cc.report.note(kPassAssign, note.str());
-    return true;
-}
-
-// ------------------------------------------------------------------
-// Pass 5: bind
-// ------------------------------------------------------------------
-
-bool
-passBind(Compilation &cc)
-{
-    if (!cc.spec.available)
-        return cc.fail(kPassBind,
-                       "workload provides no machine-run data "
-                       "(inputs, trip counts, golden streams)");
-
-    for (PhasePlan &phase : cc.top.phases) {
-        for (LevelPlan &lv : phase.levels) {
-            auto it = cc.spec.loopBounds.find(lv.headerName);
-            if (it == cc.spec.loopBounds.end())
-                return cc.fail(kPassBind,
-                               "no trip-count data for loop '" +
-                                   lv.headerName + "'");
-            const MachineLoopBound &b = it->second;
-            if (b.step != lv.step)
-                return cc.fail(kPassBind,
-                               "loop '" + lv.headerName +
-                                   "' step mismatch between CDFG "
-                                   "and machine data");
-            if (b.step <= 0 || b.bound <= b.start)
-                return cc.fail(kPassBind,
-                               "loop '" + lv.headerName +
-                                   "' has a degenerate trip count");
-            lv.start = b.start;
-            lv.trips = (b.bound - b.start + b.step - 1) / b.step;
-            auto iv = cc.spec.inductionPorts.find(lv.headerName);
-            if (iv != cc.spec.inductionPorts.end())
-                lv.ivPort = iv->second;
-        }
-    }
-
-    // Statically evaluate the init blocks (seed values for
-    // loop-carried recurrences; e.g. CRC's crc = 0xffffffff).
-    for (BlockId b : cc.top.initBlocks) {
-        const Dfg &dfg = cc.cdfg.block(b).dfg;
-        if (!dfg.inputs().empty())
-            return cc.fail(kPassBind,
-                           "init block '" + cc.cdfg.block(b).name +
-                               "' consumes live-ins");
-        std::map<NodeId, Word> val;
-        for (const DfgNode &n : dfg.nodes()) {
-            const OpInfo &info = opInfo(n.op);
-            if (info.isMemory || info.isControl)
-                return cc.fail(kPassBind,
-                               "init block '" +
-                                   cc.cdfg.block(b).name +
-                                   "' is not compile-time "
-                                   "evaluable");
-            auto v = [&](const Operand &o) -> Word {
-                if (o.kind == OperandKind::Immediate)
-                    return o.ref;
-                if (o.kind == OperandKind::Node)
-                    return val.at(o.ref);
-                return 0;
-            };
-            val[n.id] = n.op == Opcode::Const
-                            ? n.a.ref
-                            : evalOp(n.op, v(n.a), v(n.b), v(n.c));
-        }
-        for (const DfgOutput &o : dfg.outputs())
-            cc.initEnv[o.name] = val.at(o.producer);
-    }
-    if (!cc.top.tailBlocks.empty())
-        cc.report.note(kPassBind,
-                       std::to_string(cc.top.tailBlocks.size()) +
-                           " tail block(s) after the last loop "
-                           "carry no machine semantics; skipped");
-
-    std::uint64_t total = 0;
-    for (const PhasePlan &phase : cc.top.phases) {
-        std::uint64_t n = 1;
-        for (const LevelPlan &lv : phase.levels)
-            n *= static_cast<std::uint64_t>(lv.trips);
-        total += n;
-    }
-    cc.report.note(kPassBind, std::to_string(total) +
-                                  " flat iterations across all "
-                                  "phases");
-    if (total > (1u << 24))
-        return cc.fail(kPassBind,
-                       "flattened trip count too large for the "
-                       "cycle-accurate machine");
-    return true;
-}
-
-// ------------------------------------------------------------------
-// Pass 6: lower (flatten each phase)
-// ------------------------------------------------------------------
-
-struct PhaseLowering
-{
-    Compilation &cc;
-    const PhasePlan &plan;
-    FlatPhase &flat;
-    BodyBuilder bb;
-    std::map<std::string, Operand> env;
-    std::set<std::string> definedNames;
-    std::map<std::string, int> carriedIdx;
-
-    PhaseLowering(Compilation &cc_in, const PhasePlan &plan_in,
-                  FlatPhase &flat_in)
-        : cc(cc_in), plan(plan_in), flat(flat_in)
-    {}
-
-    Word
-    suffixOf(std::size_t level) const
-    {
-        Word s = 1;
-        for (std::size_t j = level + 1; j < plan.levels.size(); ++j)
-            s *= plan.levels[j].trips;
-        return s;
-    }
-
-    /** idx_j and iv_j = start + step * idx_j from the flat index. */
-    Operand
-    inductionValue(std::size_t level)
-    {
-        const LevelPlan &lv = plan.levels[level];
-        Word suffix = suffixOf(level);
-        Operand t = Operand::input(0);
-        Operand raw = t;
-        if (suffix > 1)
-            raw = isPow2(suffix)
-                      ? bb.emit(Opcode::Shr, t,
-                                Operand::imm(log2Of(suffix)))
-                      : bb.emit(Opcode::Div, t,
-                                Operand::imm(suffix));
-        Operand idx = raw;
-        if (level > 0)
-            idx = isPow2(lv.trips)
-                      ? bb.emit(Opcode::And, raw,
-                                Operand::imm(lv.trips - 1))
-                      : bb.emit(Opcode::Rem, raw,
-                                Operand::imm(lv.trips));
-        Operand iv = idx;
-        if (lv.step != 1)
-            iv = isPow2(lv.step)
-                     ? bb.emit(Opcode::Shl, idx,
-                               Operand::imm(log2Of(lv.step)))
-                     : bb.emit(Opcode::Mul, idx,
-                               Operand::imm(lv.step));
-        if (lv.start != 0)
-            iv = bb.emit(Opcode::Add, iv, Operand::imm(lv.start));
-        // Reconstructions of non-innermost levels are round
-        // constants by construction.
-        if (level + 1 < plan.levels.size()) {
-            bb.launder(raw);
-            bb.launder(idx);
-            bb.launder(iv);
-        }
-        return iv;
-    }
-
-    /** Remainder of t over the inner trip product of @p level. */
-    Operand
-    innerRemainder(std::size_t level)
-    {
-        Word suffix = suffixOf(level);
-        Operand t = Operand::input(0);
-        return isPow2(suffix)
-                   ? bb.emit(Opcode::And, t,
-                             Operand::imm(suffix - 1))
-                   : bb.emit(Opcode::Rem, t, Operand::imm(suffix));
-    }
-
-    Operand
-    resolve(const std::string &name, bool &ok)
-    {
-        ok = true;
-        auto e = env.find(name);
-        if (e != env.end())
-            return e->second;
-        if (definedNames.count(name)) {
-            // Defined later in the iteration: loop-carried.
-            auto c = carriedIdx.find(name);
-            int idx;
-            if (c != carriedIdx.end()) {
-                idx = c->second;
-            } else {
-                idx = bb.dfg().addInput("carry." + name);
-                carriedIdx[name] = idx;
-                bb.taintCarriedInput(idx);
-                CarriedValue cv;
-                cv.name = name;
-                cv.inputIdx = idx;
-                flat.carried.push_back(cv);
-            }
-            Operand op = Operand::input(idx);
-            env[name] = op;
-            return op;
-        }
-        auto s = cc.spec.scalars.find(name);
-        if (s != cc.spec.scalars.end())
-            return Operand::imm(s->second);
-        auto i = cc.initEnv.find(name);
-        if (i != cc.initEnv.end())
-            return Operand::imm(i->second);
-        ok = false;
-        return Operand::none();
-    }
-
-    /** Inline one basic block.  @p gate: None for the ungated
-     *  innermost body, else the 0/1 execute-this-iteration
-     *  predicate; gated definitions select against the incoming
-     *  value. */
-    bool
-    inlineBlock(BlockId block, const Operand &gate, bool is_post)
-    {
-        const BasicBlock &src = cc.cdfg.block(block);
-        const Dfg &dfg = src.dfg;
-        std::map<NodeId, Operand> val;
-        bool gated = gate.kind != OperandKind::None;
-
-        for (const DfgNode &n : dfg.nodes()) {
-            auto operand = [&](const Operand &o,
-                               bool &ok) -> Operand {
-                ok = true;
-                switch (o.kind) {
-                  case OperandKind::Node:
-                    return val.at(o.ref);
-                  case OperandKind::Input:
-                    return resolve(
-                        dfg.inputs()[static_cast<std::size_t>(
-                                         o.ref)]
-                            .name,
-                        ok);
-                  default:
-                    return o;
-                }
-            };
-            bool oka = true, okb = true, okc = true;
-            Operand a = operand(n.a, oka);
-            Operand b = operand(n.b, okb);
-            Operand c = operand(n.c, okc);
-            if (!oka || !okb || !okc) {
-                const Operand &bad =
-                    !oka ? n.a : (!okb ? n.b : n.c);
-                return cc.fail(
-                    kPassLower,
-                    "block '" + src.name + "' consumes port '" +
-                        dfg.inputs()[static_cast<std::size_t>(
-                                         bad.ref)]
-                            .name +
-                        "' with no reaching definition, binding "
-                        "or seed");
-            }
-            switch (n.op) {
-              case Opcode::Const:
-                val[n.id] = Operand::imm(n.a.ref);
-                break;
-              case Opcode::Copy:
-                val[n.id] = a;
-                break;
-              case Opcode::Branch:
-              case Opcode::Loop:
-                return cc.fail(kPassLower,
-                               "control operator survived into "
-                               "the lowered body of '" + src.name +
-                                   "'");
-              case Opcode::Store: {
-                // Outer-level stores run every flat iteration:
-                // pre-stores must be round-idempotent, post-stores
-                // rely on last-wins.  Either way the address must
-                // be round-constant and carry-free.
-                if (gated &&
-                    (bb.innermostTainted(a) || bb.carriedTainted(a)))
-                    return cc.fail(
-                        kPassLower,
-                        "store address in outer-level block '" +
-                            src.name +
-                            "' varies within an inner round");
-                if (gated && !is_post &&
-                    (bb.carriedTainted(b) ||
-                     bb.innermostTainted(b)))
-                    return cc.fail(
-                        kPassLower,
-                        "pre-loop store in '" + src.name +
-                            "' writes a value that varies within "
-                            "an inner round (not idempotent)");
-                val[n.id] = bb.emit(n.op, a, b, c, n.name);
-                auto base = cc.spec.arrayBases.find(n.name);
-                flat.memBase[val[n.id].ref] =
-                    base == cc.spec.arrayBases.end() ? 0
-                                                     : base->second;
-                break;
-              }
-              case Opcode::Load: {
-                val[n.id] = bb.emit(n.op, a, b, c, n.name);
-                auto base = cc.spec.arrayBases.find(n.name);
-                flat.memBase[val[n.id].ref] =
-                    base == cc.spec.arrayBases.end() ? 0
-                                                     : base->second;
-                break;
-              }
-              default:
-                val[n.id] = bb.emit(n.op, a, b, c, n.name);
-                break;
-            }
-        }
-
-        for (const DfgOutput &o : dfg.outputs()) {
-            Operand nv = val.at(o.producer);
-            if (!gated) {
-                env[o.name] = nv;
-                continue;
-            }
-            bool ok = true;
-            Operand old = resolve(o.name, ok);
-            if (!ok)
-                return cc.fail(kPassLower,
-                               "gated block '" + src.name +
-                                   "' redefines '" + o.name +
-                                   "' with no incoming value");
-            if (old == nv)
-                continue; // pass-through definition.
-            env[o.name] =
-                bb.emit(Opcode::Select, gate, nv, old,
-                        o.name + ".gate");
-        }
-        return true;
-    }
-
-    bool
-    run()
-    {
-        // Every name defined anywhere in the iteration template —
-        // consumed-before-defined resolves as loop-carried.
-        for (const LevelPlan &lv : plan.levels) {
-            for (BlockId b : lv.pre)
-                for (const DfgOutput &o :
-                     cc.cdfg.block(b).dfg.outputs())
-                    definedNames.insert(o.name);
-            for (BlockId b : lv.post)
-                for (const DfgOutput &o :
-                     cc.cdfg.block(b).dfg.outputs())
-                    definedNames.insert(o.name);
-        }
-
-        // Induction values: recomputed from t every iteration.
-        flat.trips = 1;
-        for (std::size_t j = 0; j < plan.levels.size(); ++j) {
-            flat.trips *= plan.levels[j].trips;
-            if (!plan.levels[j].ivPort.empty())
-                env[plan.levels[j].ivPort] = inductionValue(j);
-        }
-
-        // The iteration template: pre-blocks outermost-in (gated
-        // on round entry), innermost body (ungated), post-blocks
-        // innermost-out (gated on round exit).
-        std::size_t k = plan.levels.size();
-        for (std::size_t j = 0; j + 1 < k; ++j) {
-            if (plan.levels[j].pre.empty())
-                continue;
-            Operand gate = bb.emit(Opcode::CmpEq, innerRemainder(j),
-                                   Operand::imm(0));
-            for (BlockId b : plan.levels[j].pre)
-                if (!inlineBlock(b, gate, /*is_post=*/false))
-                    return false;
-        }
-        for (BlockId b : plan.levels[k - 1].pre)
-            if (!inlineBlock(b, Operand::none(), false))
-                return false;
-        for (BlockId b : plan.levels[k - 1].post)
-            if (!inlineBlock(b, Operand::none(), true))
-                return false;
-        for (std::size_t jr = k - 1; jr-- > 0;) {
-            if (plan.levels[jr].post.empty())
-                continue;
-            Word suffix = suffixOf(jr);
-            Operand gate =
-                bb.emit(Opcode::CmpEq, innerRemainder(jr),
-                        Operand::imm(suffix - 1));
-            for (BlockId b : plan.levels[jr].post)
-                if (!inlineBlock(b, gate, /*is_post=*/true))
-                    return false;
-        }
-
-        // Finalize carried chains.
-        for (CarriedValue &cv : flat.carried) {
-            Operand fin = env.at(cv.name);
-            if (fin.kind == OperandKind::Input &&
-                fin.ref == static_cast<Word>(cv.inputIdx)) {
-                // Pure pass-through (latch blocks): nothing ever
-                // updates the value; liveness prunes it.
-                cv.finalVal = Operand::none();
-                continue;
-            }
-            if (fin.kind != OperandKind::Node)
-                return cc.fail(kPassLower,
-                               "loop-carried '" + cv.name +
-                                   "' collapses to a constant");
-            cv.finalVal = fin;
-            auto seed = cc.initEnv.find(cv.name);
-            if (seed != cc.initEnv.end()) {
-                cv.seed = seed->second;
-            } else {
-                auto s = cc.spec.scalars.find(cv.name);
-                if (s != cc.spec.scalars.end()) {
-                    cv.seed = s->second;
-                } else {
-                    // Reset-gated chains (an accumulator zeroed at
-                    // every round entry) never read their seed; a
-                    // genuinely unseeded recurrence fails the
-                    // bit-exact golden validation instead.
-                    cv.seed = 0;
-                    cc.report.note(kPassLower,
-                                   "loop-carried '" + cv.name +
-                                       "' has no seed binding; "
-                                       "seeding 0 (round-entry "
-                                       "reset expected)");
-                }
-            }
-        }
-        flat.finalEnv = env;
-        flat.body = std::move(bb.dfg());
-        return true;
-    }
-};
-
-/** Liveness: stores + observed ports root the graph; a carried
- *  chain is live only if its input port is consumed by live code. */
-bool
-finalizePhase(Compilation &cc, FlatPhase &flat, int phase_idx)
-{
-    const Dfg &dfg = flat.body;
-    std::set<NodeId> live;
-    std::set<int> liveInputs;
-
-    std::vector<NodeId> work;
-    for (const DfgNode &n : dfg.nodes())
-        if (n.op == Opcode::Store)
-            work.push_back(n.id);
-    for (const Observation &ob : cc.observations)
-        if (ob.phase == phase_idx)
-            work.push_back(ob.node);
-
-    auto markOperand = [&](const Operand &o) {
-        if (o.kind == OperandKind::Node &&
-            live.insert(o.ref).second)
-            work.push_back(o.ref);
-        if (o.kind == OperandKind::Input)
-            liveInputs.insert(static_cast<int>(o.ref));
-    };
-
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        while (!work.empty()) {
-            NodeId id = work.back();
-            work.pop_back();
-            live.insert(id);
-            const DfgNode &n = dfg.node(id);
-            markOperand(n.a);
-            markOperand(n.b);
-            markOperand(n.c);
-        }
-        // A consumed carried input keeps its producer chain alive.
-        for (CarriedValue &cv : flat.carried) {
-            if (!cv.live && liveInputs.count(cv.inputIdx)) {
-                if (cv.finalVal.kind != OperandKind::Node)
-                    return cc.fail(kPassLower,
-                                   "loop-carried '" + cv.name +
-                                       "' is consumed but never "
-                                       "updated");
-                cv.live = true;
-                if (live.insert(cv.finalVal.ref).second) {
-                    work.push_back(cv.finalVal.ref);
-                    changed = true;
-                }
-            }
-        }
-    }
-
-    flat.liveNodes = std::move(live);
-    return true;
-}
-
-bool
-passLower(Compilation &cc)
-{
-    cc.phases.resize(cc.top.phases.size());
-    for (std::size_t p = 0; p < cc.top.phases.size(); ++p) {
-        PhaseLowering lowering(cc, cc.top.phases[p], cc.phases[p]);
-        if (!lowering.run())
-            return false;
-    }
-
-    // Resolve observation ports: each must be produced by exactly
-    // one phase's final environment.
-    for (std::size_t k = 0; k < cc.spec.observePorts.size(); ++k) {
-        const std::string &port = cc.spec.observePorts[k];
-        int found = -1;
-        Operand op;
-        for (std::size_t p = 0; p < cc.phases.size(); ++p) {
-            auto it = cc.phases[p].finalEnv.find(port);
-            if (it == cc.phases[p].finalEnv.end())
-                continue;
-            if (found >= 0)
-                return cc.fail(kPassLower,
-                               "observed port '" + port +
-                                   "' is ambiguous across phases");
-            found = static_cast<int>(p);
-            op = it->second;
-        }
-        if (found < 0)
-            return cc.fail(kPassLower, "observed port '" + port +
-                                           "' is never produced");
-        if (op.kind != OperandKind::Node)
-            return cc.fail(kPassLower,
-                           "observed port '" + port +
-                               "' folds to a constant");
-        Observation ob;
-        ob.fifo = static_cast<int>(k);
-        ob.phase = found;
-        ob.node = op.ref;
-        cc.observations.push_back(ob);
-    }
-
-    for (std::size_t p = 0; p < cc.phases.size(); ++p) {
-        if (!finalizePhase(cc, cc.phases[p], static_cast<int>(p)))
-            return false;
-        std::ostringstream note;
-        int carried_live = 0;
-        for (const CarriedValue &cv : cc.phases[p].carried)
-            carried_live += cv.live ? 1 : 0;
-        note << "phase '"
-             << cc.top.phases[p].levels.front().headerName
-             << "': " << cc.phases[p].trips << " flat iterations, "
-             << cc.phases[p].liveNodes.size() << " operators, "
-             << carried_live << " loop-carried value(s)";
-        cc.report.note(kPassLower, note.str());
-    }
-    return true;
-}
-
-// ------------------------------------------------------------------
-// Pass 7: emit
-// ------------------------------------------------------------------
-
-/** Boustrophedon PE order: consecutive allocations stay mesh-
- *  adjacent, which keeps recurrence round trips short. */
-std::vector<PeId>
-snakeOrder(const MachineConfig &config)
-{
-    std::vector<PeId> order;
-    for (int r = 0; r < config.rows; ++r)
-        for (int c = 0; c < config.cols; ++c) {
-            int col = (r % 2 == 0) ? c : config.cols - 1 - c;
-            order.push_back(
-                static_cast<PeId>(r * config.cols + col));
-        }
-    return order;
-}
-
-bool
-passEmit(Compilation &cc, CompiledKernel &out)
-{
-    const MachineConfig &config = cc.config;
-
-    // Capacity pre-flight with diagnostics (the builder would
-    // assert-fatal instead).
-    int pes_needed = 0;
-    int nonlinear_needed = 0;
-    for (const FlatPhase &phase : cc.phases) {
-        pes_needed += 1; // the phase's loop generator.
-        for (NodeId id : phase.liveNodes)
-            if (isNonlinearOp(phase.body.node(id).op))
-                ++nonlinear_needed;
-        pes_needed += static_cast<int>(phase.liveNodes.size());
-    }
-    if (pes_needed > config.numPes()) {
-        std::ostringstream why;
-        why << "kernel needs " << pes_needed << " PEs, the "
-            << config.rows << "x" << config.cols << " array has "
-            << config.numPes();
-        return cc.fail(kPassEmit, why.str());
-    }
-    if (nonlinear_needed > config.nonlinearPes) {
-        std::ostringstream why;
-        why << "kernel needs " << nonlinear_needed
-            << " nonlinear-fitting PEs, the array has "
-            << config.nonlinearPes;
-        return cc.fail(kPassEmit, why.str());
-    }
-    const int spad_words =
-        config.scratchpadBytes / static_cast<int>(sizeof(Word));
-    Word mem_extent =
-        static_cast<Word>(cc.spec.memoryImage.size());
-    for (const MemoryRegionCheck &c : cc.spec.expectedMemory)
-        mem_extent = std::max<Word>(
-            mem_extent,
-            c.base + static_cast<Word>(c.expect.size()));
-    if (mem_extent > spad_words) {
-        std::ostringstream why;
-        why << "kernel addresses " << mem_extent
-            << " scratchpad words, the scratchpad holds "
-            << spad_words;
-        return cc.fail(kPassEmit, why.str());
-    }
-
-    ProgramBuilder builder(cc.workload.name() + ".compiled",
-                           config);
-    builder.setNumOutputs(std::max<int>(
-        1, static_cast<int>(cc.spec.observePorts.size())));
-
-    // Placement: ordinary nodes walk the snake order; nonlinear
-    // nodes take the next capable PE (the top-id PEs of Table 4).
-    // Capable PEs double as ordinary slots, but enough of them are
-    // held back for the not-yet-placed nonlinear nodes, so with
-    // the pre-flight bounds above neither allocation can fail.
-    std::vector<PeId> order = snakeOrder(config);
-    std::vector<bool> taken(
-        static_cast<std::size_t>(config.numPes()), false);
-    const PeId first_nonlinear =
-        static_cast<PeId>(config.numPes() - config.nonlinearPes);
-    int nonlinear_unplaced = nonlinear_needed;
-    int capable_free = config.nonlinearPes;
-    std::size_t cursor = 0;
-    auto allocPe = [&](bool nonlinear) -> PeId {
-        if (nonlinear) {
-            for (PeId pe = first_nonlinear; pe < config.numPes();
-                 ++pe)
-                if (!taken[static_cast<std::size_t>(pe)]) {
-                    taken[static_cast<std::size_t>(pe)] = true;
-                    --capable_free;
-                    --nonlinear_unplaced;
-                    return pe;
-                }
-            return invalidPe; // reservation makes this unreachable.
-        }
-        for (std::size_t at = cursor; at < order.size(); ++at) {
-            PeId pe = order[at];
-            if (taken[static_cast<std::size_t>(pe)])
-                continue;
-            if (pe >= first_nonlinear &&
-                capable_free <= nonlinear_unplaced)
-                continue; // held back for a nonlinear node.
-            taken[static_cast<std::size_t>(pe)] = true;
-            if (pe >= first_nonlinear)
-                --capable_free;
-            if (at == cursor)
-                ++cursor;
-            return pe;
-        }
-        return invalidPe;
-    };
-
-    std::vector<PeId> phase_gen(cc.phases.size(), invalidPe);
-    for (std::size_t p = 0; p < cc.phases.size(); ++p) {
-        const FlatPhase &phase = cc.phases[p];
-        PeId gen_pe = allocPe(false);
-        phase_gen[p] = gen_pe;
-        Instruction &gen = builder.place(gen_pe, 0);
-        gen.mode = SenderMode::LoopOp;
-        gen.op = Opcode::Loop;
-        gen.loopStart = 0;
-        gen.loopBound = phase.trips;
-        gen.loopStep = 1;
-        gen.pipelineII = 1;
-        if (p == 0)
-            builder.setEntry(gen_pe, 0);
-
-        // Place live nodes in creation order (data flows forward,
-        // so snake adjacency tracks the dependence chains).
-        std::map<NodeId, PeId> pe_of;
-        for (const DfgNode &n : phase.body.nodes()) {
-            if (!phase.liveNodes.count(n.id))
-                continue;
-            pe_of[n.id] = allocPe(isNonlinearOp(n.op));
-        }
-
-        // Wire operands; producers (generator, upstream nodes,
-        // carried finals) push into the consumer slot's channel.
-        for (const DfgNode &n : phase.body.nodes()) {
-            if (!phase.liveNodes.count(n.id))
-                continue;
-            PeId pe = pe_of.at(n.id);
-            Instruction &in = builder.place(pe, 0);
-            in.mode = SenderMode::Dfg;
-            in.op = n.op;
-            auto base = phase.memBase.find(n.id);
-            if (base != phase.memBase.end())
-                in.memBase = base->second;
-            auto wire = [&](const Operand &src,
-                            int slot) -> OperandSel {
-                switch (src.kind) {
-                  case OperandKind::None:
-                    return OperandSel::none();
-                  case OperandKind::Immediate:
-                    return OperandSel::immediate(src.ref);
-                  case OperandKind::Input:
-                    if (src.ref == 0) {
-                        gen.dests.push_back(
-                            DestSel::toPe(pe, slot));
-                    } else {
-                        // Carried value: producer wired below,
-                        // seed injected at boot.
-                        for (const CarriedValue &cv :
-                             phase.carried) {
-                            if (cv.inputIdx !=
-                                static_cast<int>(src.ref))
-                                continue;
-                            out.boots.push_back(
-                                BootInjection{pe, slot, cv.seed});
-                            builder
-                                .place(pe_of.at(cv.finalVal.ref),
-                                       0)
-                                .dests.push_back(
-                                    DestSel::toPe(pe, slot));
-                        }
-                    }
-                    return OperandSel::channel(slot);
-                  case OperandKind::Node:
-                    builder.place(pe_of.at(src.ref), 0)
-                        .dests.push_back(DestSel::toPe(pe, slot));
-                    return OperandSel::channel(slot);
-                }
-                return OperandSel::none();
-            };
-            in.a = wire(n.a, 0);
-            in.b = wire(n.b, 1);
-            in.c = wire(n.c, 2);
-            builder.setEntry(pe, 0);
-        }
-
-        for (const Observation &ob : cc.observations) {
-            if (ob.phase != static_cast<int>(p))
-                continue;
-            builder.place(pe_of.at(ob.node), 0)
-                .dests.push_back(DestSel::toOutput(ob.fifo));
-        }
-    }
-
-    // Serial phases chain through loop-exit control emissions: the
-    // next phase's generator has no boot entry and is configured
-    // when its predecessor's round completes.
-    for (std::size_t p = 0; p + 1 < cc.phases.size(); ++p) {
-        Instruction &gen = builder.place(phase_gen[p], 0);
-        gen.loopExitAddr = 0;
-        gen.ctrlDests = {phase_gen[p + 1]};
-    }
-
-    out.program = builder.finish();
-
-    // The controller's instruction scratchpad must hold the
-    // encoded configuration (machine.load() enforces the same).
-    std::size_t config_bytes =
-        encodeProgram(out.program).size() * sizeof(std::uint32_t);
-    if (config_bytes >
-        static_cast<std::size_t>(config.instrMemBytes)) {
-        std::ostringstream why;
-        why << "configuration needs " << config_bytes
-            << " bytes of instruction memory, the machine has "
-            << config.instrMemBytes;
-        return cc.fail(kPassEmit, why.str());
-    }
-
-    out.workload = cc.workload.name();
-    out.memoryImage = cc.spec.memoryImage;
-    out.expectedOutputs = cc.spec.expectedOutputs;
-    out.memoryChecks = cc.spec.expectedMemory;
-
-    // Generous cycle budget: full serialization of every operator
-    // per iteration plus latency slack; the machine quiesces long
-    // before this on any healthy program.
-    Cycle budget = 100'000;
-    for (const FlatPhase &phase : cc.phases)
-        budget += static_cast<Cycle>(phase.trips) *
-                  (3u * (static_cast<Cycle>(
-                             phase.liveNodes.size()) +
-                         2u) +
-                   16u);
-    out.cycleBudget = budget;
-
-    std::ostringstream note;
-    note << "placed " << pes_needed << "/" << config.numPes()
-         << " PEs (" << nonlinear_needed << " nonlinear), "
-         << out.program.numOutputs << " output FIFO(s), "
-         << config_bytes << " config bytes, " << out.boots.size()
-         << " boot seed(s)";
-    cc.report.note(kPassEmit, note.str());
-    return true;
-}
-
-} // namespace
-
-// ------------------------------------------------------------------
 // Driver
 // ------------------------------------------------------------------
 
@@ -1379,11 +134,17 @@ Compiler::compile(const Workload &workload) const
 {
     Compilation cc(workload, config_);
     auto kernel = std::make_shared<CompiledKernel>();
+    cc.out = kernel.get();
 
-    bool ok = passAnalyze(cc) && passPredicate(cc) &&
-              passStructure(cc) && passAssign(cc) &&
-              passBind(cc) && passLower(cc) &&
-              passEmit(cc, *kernel);
+    PassManager pm;
+    pm.add(kPassAnalyze, passAnalyze)
+        .add(kPassPredicate, passPredicate)
+        .add(kPassStructure, passStructure)
+        .add(kPassAssign, passAssign)
+        .add(kPassBind, passBind)
+        .add(kPassLower, passLower)
+        .add(kPassEmit, passEmit);
+    bool ok = pm.run(cc);
 
     CompileResult result;
     if (ok) {

@@ -1,0 +1,49 @@
+#include "compiler/pass_manager.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "compiler/pipeline.h"
+
+namespace marionette
+{
+
+PassManager &
+PassManager::add(std::string name,
+                 std::function<bool(Compilation &)> fn)
+{
+    passes_.push_back(Pass{std::move(name), std::move(fn)});
+    return *this;
+}
+
+bool
+PassManager::run(Compilation &cc) const
+{
+    using Clock = std::chrono::steady_clock;
+    std::ostringstream timing;
+    bool ok = true;
+    for (const Pass &pass : passes_) {
+        auto t0 = Clock::now();
+        ok = pass.run(cc);
+        auto us = std::chrono::duration_cast<
+                      std::chrono::microseconds>(Clock::now() - t0)
+                      .count();
+        if (timing.tellp() > 0)
+            timing << ", ";
+        timing << pass.name << " " << us << "us";
+        if (!ok) {
+            // A pass that rejects without attribution is a pass
+            // bug; attribute it here so the report never claims an
+            // un-named failure.
+            if (cc.report.ok())
+                cc.report.fail(pass.name,
+                               "pass rejected the kernel without "
+                               "a recorded reason");
+            break;
+        }
+    }
+    cc.report.note("timings", timing.str());
+    return ok;
+}
+
+} // namespace marionette

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The compiler middle-end's pass driver.
+ *
+ * A Pass is a named unit of work over the shared Compilation state
+ * (compiler/pipeline.h); the PassManager runs the registered passes
+ * in order, records per-pass wall-clock timing into the
+ * CompileReport, and stops at the first pass that rejects the
+ * kernel.  Pass functions never assert on unsupported input: they
+ * return false after calling Compilation::fail with a
+ * pass-attributed reason.
+ */
+
+#ifndef MARIONETTE_COMPILER_PASS_MANAGER_H
+#define MARIONETTE_COMPILER_PASS_MANAGER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace marionette
+{
+
+struct Compilation;
+
+/** One named middle-end pass. */
+struct Pass
+{
+    std::string name;
+    std::function<bool(Compilation &)> run;
+};
+
+/** Runs passes in registration order with timing + diagnostics. */
+class PassManager
+{
+  public:
+    PassManager &add(std::string name,
+                     std::function<bool(Compilation &)> fn);
+
+    /**
+     * Run every pass until one rejects.  Appends one "timings" note
+     * to the report (microseconds per executed pass) and returns
+     * true when all passes accepted.
+     */
+    bool run(Compilation &cc) const;
+
+    const std::vector<Pass> &passes() const { return passes_; }
+
+  private:
+    std::vector<Pass> passes_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_PASS_MANAGER_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared state of the CDFG->Program pipeline (internal header).
+ *
+ * The Compilation object threads through every pass; each pass
+ * produces the inputs of the next:
+ *
+ *   analyze    CDFG + machine data            (structure.cc)
+ *   predicate  branch diamonds -> selects     (structure.cc)
+ *   structure  CDFG -> RegionTree             (structure.cc)
+ *   assign     Fig. 8 planner, for the record (bind.cc)
+ *   bind       trips, spans, seeds resolved   (bind.cc)
+ *   lower      RegionTree -> FlatPhases       (lower.cc)
+ *   emit       placement + ProgramBuilder     (emit.cc)
+ *
+ * Only the driver (compiler.cc) and the pass translation units
+ * include this header.
+ */
+
+#ifndef MARIONETTE_COMPILER_PIPELINE_H
+#define MARIONETTE_COMPILER_PIPELINE_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/region.h"
+#include "ir/dfg.h"
+#include "ir/loop_info.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace marionette
+{
+
+/** A loop-carried value of one flattened phase. */
+struct CarriedValue
+{
+    std::string name;
+    int inputIdx = -1;     ///< flat-body input port.
+    Operand finalVal;      ///< end-of-slot value.
+    Word seed = 0;
+    bool live = false;
+};
+
+/** One flattened phase ready for emission. */
+struct FlatPhase
+{
+    Dfg body;                          ///< input 0 = flat index t.
+    Word trips = 0;
+    std::vector<CarriedValue> carried;
+    std::map<NodeId, Word> memBase;    ///< per memory node.
+    std::map<std::string, Operand> finalEnv;
+    std::set<NodeId> liveNodes;
+};
+
+/** (fifo, phase, producing node) of one observed port. */
+struct Observation
+{
+    int fifo = 0;
+    int phase = 0;
+    NodeId node = invalidNode;
+};
+
+/** The compilation state threading every pass. */
+struct Compilation
+{
+    const Workload &workload;
+    const MachineConfig &config;
+    CompileReport report;
+
+    Cdfg cdfg{"empty"};
+    LoopInfo loops;
+    WorkloadMachineSpec spec;
+    RegionTree top;
+    std::map<std::string, Word> initEnv;
+    std::vector<FlatPhase> phases;
+    std::vector<Observation> observations;
+    /** Filled by emit. */
+    CompiledKernel *out = nullptr;
+
+    Compilation(const Workload &w, const MachineConfig &c)
+        : workload(w), config(c)
+    {}
+
+    bool
+    fail(const char *pass, const std::string &why)
+    {
+        report.fail(pass, why);
+        return false;
+    }
+};
+
+// Pass names (stable: they appear in golden diagnostics).
+inline constexpr const char *kPassAnalyze = "analyze";
+inline constexpr const char *kPassPredicate = "predicate";
+inline constexpr const char *kPassStructure = "structure";
+inline constexpr const char *kPassAssign = "assign";
+inline constexpr const char *kPassBind = "bind";
+inline constexpr const char *kPassLower = "lower";
+inline constexpr const char *kPassEmit = "emit";
+
+// Pass entry points (one translation unit each).
+bool passAnalyze(Compilation &cc);     // structure.cc
+bool passPredicate(Compilation &cc);   // structure.cc
+bool passStructure(Compilation &cc);   // structure.cc
+bool passAssign(Compilation &cc);      // bind.cc
+bool passBind(Compilation &cc);        // bind.cc
+bool passLower(Compilation &cc);       // lower.cc
+bool passEmit(Compilation &cc);        // emit.cc
+
+} // namespace marionette
+
+#endif // MARIONETTE_COMPILER_PIPELINE_H

@@ -198,7 +198,10 @@ namespace
 {
 
 /** The builder's copyBlock idiom: {input x, Copy, output x} —
- *  semantically "nothing happens on this path". */
+ *  semantically "nothing happens on this path".  The name must
+ *  round-trip: a lane copying one value into a *different* name
+ *  (NW's pick blocks routing 'diag' into 'win') is a real binding,
+ *  not a pass-through. */
 bool
 isPassThroughLane(const Dfg &dfg)
 {
@@ -206,7 +209,8 @@ isPassThroughLane(const Dfg &dfg)
            dfg.outputs().size() == 1 &&
            dfg.nodes()[0].op == Opcode::Copy &&
            dfg.nodes()[0].a == Operand::input(0) &&
-           dfg.outputs()[0].producer == dfg.nodes()[0].id;
+           dfg.outputs()[0].producer == dfg.nodes()[0].id &&
+           dfg.outputs()[0].name == dfg.inputs()[0].name;
 }
 
 /** One fixpoint iteration: merge every flattenable region found in
@@ -264,7 +268,11 @@ mergeOnce(const Cdfg &cdfg, const std::map<std::string, Word> &defaults,
 
         // Copy a DFG's nodes (minus Branch operators), de-duping
         // inputs by name; returns old node id -> merged operand.
-        auto copyNodes = [&](const Dfg &src) {
+        // A store inside a lane becomes a *predicated* store: the
+        // lane gate rides the store's predicate operand, so only
+        // the surviving path writes memory (the PE skips the
+        // access when the predicate is 0).
+        auto copyNodes = [&](const Dfg &src, Operand lane_gate) {
             std::map<NodeId, Operand> val;
             for (const DfgNode &n : src.nodes()) {
                 auto shift = [&](const Operand &o) -> Operand {
@@ -287,14 +295,17 @@ mergeOnce(const Cdfg &cdfg, const std::map<std::string, Word> &defaults,
                     val[n.id] = shift(n.a);
                     continue;
                 }
+                Operand c = shift(n.c);
+                if (n.op == Opcode::Store &&
+                    c.kind == OperandKind::None)
+                    c = lane_gate;
                 val[n.id] = Operand::node(dfg.addNode(
-                    n.op, shift(n.a), shift(n.b), shift(n.c),
-                    n.name));
+                    n.op, shift(n.a), shift(n.b), c, n.name));
             }
             return val;
         };
 
-        auto cond_val = copyNodes(cond);
+        auto cond_val = copyNodes(cond, Operand::none());
 
         // Predicate = the Branch operator's steering operand —
         // read through cond_val so input operands pick up their
@@ -306,11 +317,23 @@ mergeOnce(const Cdfg &cdfg, const std::map<std::string, Word> &defaults,
         if (pred.kind == OperandKind::None && !cond.nodes().empty())
             pred = cond_val.at(cond.nodes().back().id);
 
+        auto hasStore = [](const Dfg &lane) {
+            for (const DfgNode &n : lane.nodes())
+                if (n.op == Opcode::Store)
+                    return true;
+            return false;
+        };
         std::map<NodeId, Operand> t_val, f_val;
         if (!t_pass)
-            t_val = copyNodes(lane_t);
-        if (!f_pass)
-            f_val = copyNodes(lane_f);
+            t_val = copyNodes(lane_t, pred);
+        if (!f_pass) {
+            Operand not_pred = Operand::none();
+            if (hasStore(lane_f))
+                not_pred = Operand::node(dfg.addNode(
+                    Opcode::CmpEq, pred, Operand::imm(0),
+                    Operand::none(), "lane.not"));
+            f_val = copyNodes(lane_f, not_pred);
+        }
 
         // Keep the condition block's own outputs (downstream blocks
         // may consume them); selects of the same name override.

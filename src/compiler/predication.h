@@ -60,6 +60,9 @@ std::map<BlockId, int> predicatedOpCounts(const Cdfg &cdfg);
  *    plain after an inner merge (NW's three-way max) flatten too;
  *  - Branch operator nodes are dropped from merged blocks (the
  *    select steers the value; there is no branch left to place);
+ *  - a Store inside a lane becomes a *predicated* store (the lane
+ *    gate rides the store's third operand; the PE skips the write
+ *    when it is 0), so lanes with side effects if-convert exactly;
  *  - asymmetric lanes are legal: an output present in one lane
  *    selects against the *incoming* value of the same name on the
  *    other path, or against a caller-provided default immediate

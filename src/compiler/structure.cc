@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Front of the middle-end: CDFG analysis, predication, and the
+ * structure pass that converts the predicated CDFG into the region
+ * tree (compiler/region.h) every later pass consumes.
+ *
+ * The structure pass accepts strictly more shapes than the PR-2
+ * monolith did:
+ *
+ *  - counted loops (iv += const) and geometric loops (iv <<= const);
+ *  - while-form loops: a Loop operator consuming a computed
+ *    predicate (bound == 1) becomes a WhileLoop region, lowered
+ *    later with a guarded exit predicate and a static cap;
+ *  - *sibling* inner loops in sequence inside one body become
+ *    multiple loop children of one Seq (slot-range split in the
+ *    lowering);
+ *  - a data-dependent branch that predication could not flatten
+ *    (one lane holds a loop) becomes a Cond region: the lanes are
+ *    if-converted, every side effect gated on the branch predicate.
+ */
+
+#include <set>
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "compiler/predication.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/** The single Fall/LoopBack successor of @p b, or invalidBlock. */
+BlockId
+fallSuccessor(const Cdfg &cdfg, BlockId b)
+{
+    BlockId dst = invalidBlock;
+    int count = 0;
+    for (const CfgEdge &e : cdfg.successors(b)) {
+        if (e.kind == EdgeKind::Fall ||
+            e.kind == EdgeKind::LoopBack) {
+            dst = e.dst;
+            ++count;
+        }
+    }
+    return count == 1 ? dst : invalidBlock;
+}
+
+BlockId
+loopExitTarget(const Cdfg &cdfg, BlockId header)
+{
+    for (const CfgEdge &e : cdfg.successors(header))
+        if (e.kind == EdgeKind::LoopExit)
+            return e.dst;
+    return invalidBlock;
+}
+
+enum class HeaderKind
+{
+    Counted,
+    Geometric,
+    While,
+    Bad
+};
+
+/**
+ * Classify a loop header's DFG.
+ *
+ *  - While: the Loop operator consumes a computed predicate and an
+ *    immediate bound of 1 (the builder's while idiom).
+ *  - Counted: the dfg_patterns::addCountedLoop shape, iv += const.
+ *  - Geometric: the same shape with iv <<= const.
+ */
+HeaderKind
+matchLoopHeader(const Dfg &dfg, Word &step, std::string &why)
+{
+    const DfgNode *loop_node = nullptr;
+    for (const DfgNode &n : dfg.nodes())
+        if (n.op == Opcode::Loop)
+            loop_node = &n;
+    if (loop_node == nullptr) {
+        why = "no Loop operator";
+        return HeaderKind::Bad;
+    }
+    if (loop_node->b.kind == OperandKind::Immediate &&
+        loop_node->b.ref == 1)
+        return HeaderKind::While;
+    if (dfg.numNodes() != 2) {
+        why = "header computes more than the counted-loop pattern";
+        return HeaderKind::Bad;
+    }
+    const DfgNode *ind = nullptr;
+    for (const DfgNode &n : dfg.nodes())
+        if (n.op != Opcode::Loop)
+            ind = &n;
+    if (ind == nullptr) {
+        why = "no induction update";
+        return HeaderKind::Bad;
+    }
+    if (ind->op == Opcode::Shl &&
+        ind->a.kind == OperandKind::Input &&
+        ind->b.kind == OperandKind::Immediate) {
+        step = ind->b.ref;
+        return HeaderKind::Geometric;
+    }
+    if (ind->op != Opcode::Add ||
+        ind->a.kind != OperandKind::Input) {
+        why = "induction update is not i += const";
+        return HeaderKind::Bad;
+    }
+    if (ind->b.kind != OperandKind::Immediate) {
+        why = "induction step is not a compile-time constant";
+        return HeaderKind::Bad;
+    }
+    if (loop_node->a.kind != OperandKind::Node ||
+        loop_node->a.ref != ind->id) {
+        why = "loop condition does not consume the induction";
+        return HeaderKind::Bad;
+    }
+    step = ind->b.ref;
+    return HeaderKind::Counted;
+}
+
+bool buildLoopRegion(Compilation &cc, BlockId header, Region &out);
+
+/**
+ * Walk one branch lane until @p stop_at, converting it into region
+ * children.  Returns false on a structural rejection.
+ */
+bool
+walkLane(Compilation &cc, BlockId first, BlockId stop_at,
+         std::vector<Region> &out)
+{
+    BlockId walk = first;
+    std::set<BlockId> visited;
+    while (walk != invalidBlock && walk != stop_at) {
+        if (!visited.insert(walk).second)
+            return cc.fail(kPassStructure,
+                           "irreducible branch lane around '" +
+                               cc.cdfg.block(walk).name + "'");
+        const BasicBlock &bb = cc.cdfg.block(walk);
+        if (bb.kind == BlockKind::Branch)
+            return cc.fail(kPassStructure,
+                           "branch '" + bb.name +
+                               "' nested under an unpredicated "
+                               "branch");
+        if (bb.kind == BlockKind::LoopHeader) {
+            Region sub;
+            if (!buildLoopRegion(cc, walk, sub))
+                return false;
+            out.push_back(std::move(sub));
+            walk = loopExitTarget(cc.cdfg, walk);
+            continue;
+        }
+        out.push_back(Region::makeBlock(walk));
+        walk = fallSuccessor(cc.cdfg, walk);
+    }
+    if (walk != stop_at)
+        return cc.fail(kPassStructure,
+                       "branch lane starting at '" +
+                           cc.cdfg.block(first).name +
+                           "' does not rejoin");
+    return true;
+}
+
+/** Chain of blocks a lane passes through (loop exits followed). */
+std::vector<BlockId>
+laneChain(const Cdfg &cdfg, BlockId first)
+{
+    std::vector<BlockId> chain;
+    std::set<BlockId> visited;
+    BlockId walk = first;
+    while (walk != invalidBlock && visited.insert(walk).second) {
+        chain.push_back(walk);
+        const BasicBlock &bb = cdfg.block(walk);
+        if (bb.kind == BlockKind::LoopHeader)
+            walk = loopExitTarget(cdfg, walk);
+        else
+            walk = fallSuccessor(cdfg, walk);
+    }
+    return chain;
+}
+
+/**
+ * Build a Cond region for the unpredicated branch @p branch (one
+ * lane holds a loop, so predication left it in place).  Returns the
+ * join block in @p join.
+ */
+bool
+buildCondRegion(Compilation &cc, BlockId branch, Region &out,
+                BlockId &join)
+{
+    BlockId taken = invalidBlock, not_taken = invalidBlock;
+    for (const CfgEdge &e : cc.cdfg.successors(branch)) {
+        if (e.kind == EdgeKind::Taken)
+            taken = e.dst;
+        else if (e.kind == EdgeKind::NotTaken)
+            not_taken = e.dst;
+    }
+    if (taken == invalidBlock || not_taken == invalidBlock)
+        return cc.fail(kPassStructure,
+                       "branch '" + cc.cdfg.block(branch).name +
+                           "' lacks a taken/not-taken pair");
+
+    // Join = earliest block both lanes reach.
+    std::vector<BlockId> chain_t = laneChain(cc.cdfg, taken);
+    std::set<BlockId> in_t(chain_t.begin(), chain_t.end());
+    join = invalidBlock;
+    for (BlockId b : laneChain(cc.cdfg, not_taken)) {
+        if (in_t.count(b)) {
+            join = b;
+            break;
+        }
+    }
+    if (join == invalidBlock)
+        return cc.fail(kPassStructure,
+                       "branch '" + cc.cdfg.block(branch).name +
+                           "' lanes never rejoin");
+
+    out.kind = RegionKind::Cond;
+    out.pred = branch;
+    if (taken != join && !walkLane(cc, taken, join, out.children))
+        return false;
+    if (not_taken != join &&
+        !walkLane(cc, not_taken, join, out.elseChildren))
+        return false;
+    return true;
+}
+
+/** Recursively structure the loop starting at @p header. */
+bool
+buildLoopRegion(Compilation &cc, BlockId header, Region &out)
+{
+    const BasicBlock &hb = cc.cdfg.block(header);
+    if (hb.kind != BlockKind::LoopHeader)
+        return cc.fail(kPassStructure,
+                       "block '" + hb.name +
+                           "' is not a loop header");
+    std::string why;
+    Word step = 1;
+    HeaderKind kind = matchLoopHeader(hb.dfg, step, why);
+    switch (kind) {
+      case HeaderKind::Bad:
+        return cc.fail(kPassStructure,
+                       "loop '" + hb.name +
+                           "' is not a counted loop (" + why + ")");
+      case HeaderKind::Counted:
+        out.kind = RegionKind::CountedLoop;
+        break;
+      case HeaderKind::Geometric:
+        out.kind = RegionKind::CountedLoop;
+        out.geometric = true;
+        break;
+      case HeaderKind::While:
+        out.kind = RegionKind::WhileLoop;
+        break;
+    }
+    out.header = header;
+    out.headerName = hb.name;
+    out.step = step;
+
+    BlockId walk = fallSuccessor(cc.cdfg, header);
+    std::set<BlockId> visited;
+    while (walk != invalidBlock && walk != header) {
+        if (!visited.insert(walk).second)
+            return cc.fail(kPassStructure,
+                           "irreducible body around '" +
+                               cc.cdfg.block(walk).name + "'");
+        const BasicBlock &bb = cc.cdfg.block(walk);
+        if (bb.kind == BlockKind::Branch) {
+            Region cond;
+            BlockId join = invalidBlock;
+            if (!buildCondRegion(cc, walk, cond, join))
+                return false;
+            out.children.push_back(std::move(cond));
+            walk = join;
+            continue;
+        }
+        if (bb.kind == BlockKind::LoopHeader) {
+            Region sub;
+            if (!buildLoopRegion(cc, walk, sub))
+                return false;
+            out.children.push_back(std::move(sub));
+            walk = loopExitTarget(cc.cdfg, walk);
+            continue;
+        }
+        out.children.push_back(Region::makeBlock(walk));
+        // Done when this block carries the back edge to our header.
+        bool back = false;
+        for (const CfgEdge &e : cc.cdfg.successors(walk))
+            if (e.kind == EdgeKind::LoopBack && e.dst == header)
+                back = true;
+        if (back)
+            break;
+        walk = fallSuccessor(cc.cdfg, walk);
+    }
+
+    if (out.kind == RegionKind::WhileLoop) {
+        for (const Region &c : out.children)
+            if (c.kind != RegionKind::Block)
+                return cc.fail(
+                    kPassStructure,
+                    "while-form loop '" + hb.name +
+                        "' body contains an inner loop or branch "
+                        "(unsupported)");
+    }
+    return true;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Pass 1: analyze
+// ------------------------------------------------------------------
+
+bool
+passAnalyze(Compilation &cc)
+{
+    cc.cdfg = cc.workload.buildCdfg();
+    cc.cdfg.validate();
+    cc.spec = cc.workload.machineSpec();
+    std::ostringstream note;
+    note << cc.cdfg.numBlocks() << " blocks, " << cc.cdfg.totalOps()
+         << " ops";
+    cc.report.note(kPassAnalyze, note.str());
+    return true;
+}
+
+// ------------------------------------------------------------------
+// Pass 2: predicate
+// ------------------------------------------------------------------
+
+bool
+passPredicate(Compilation &cc)
+{
+    LoweringPredication pred =
+        predicateForLowering(cc.cdfg, cc.spec.scalars);
+    if (!pred.unresolved.empty())
+        return cc.fail(kPassPredicate,
+                       "branch output '" + pred.unresolved.front() +
+                           "' has no value on one path and no "
+                           "default binding");
+    for (const std::string &n : pred.notes)
+        cc.report.note(kPassPredicate, n);
+    if (pred.notes.empty())
+        cc.report.note(kPassPredicate, "no flattenable branches");
+    cc.cdfg = std::move(pred.cdfg);
+    cc.loops = LoopInfo::analyze(cc.cdfg);
+    return true;
+}
+
+// ------------------------------------------------------------------
+// Pass 3: structure (CDFG -> region tree)
+// ------------------------------------------------------------------
+
+bool
+passStructure(Compilation &cc)
+{
+    BlockId cur = 0;
+    std::set<BlockId> visited;
+    while (cur != invalidBlock) {
+        if (!visited.insert(cur).second)
+            return cc.fail(kPassStructure,
+                           "top-level control flow revisits '" +
+                               cc.cdfg.block(cur).name + "'");
+        const BasicBlock &bb = cc.cdfg.block(cur);
+        if (bb.kind == BlockKind::Branch)
+            return cc.fail(kPassStructure,
+                           "unpredicated branch '" + bb.name +
+                               "' at the top level");
+        if (bb.kind == BlockKind::LoopHeader) {
+            Region phase;
+            if (!buildLoopRegion(cc, cur, phase))
+                return false;
+            cc.top.phases.push_back(std::move(phase));
+            cur = loopExitTarget(cc.cdfg, cur);
+            continue;
+        }
+        if (cc.top.phases.empty())
+            cc.top.initBlocks.push_back(cur);
+        else
+            cc.top.tailBlocks.push_back(cur);
+        cur = fallSuccessor(cc.cdfg, cur);
+    }
+    if (cc.top.phases.empty())
+        return cc.fail(kPassStructure, "kernel has no loop");
+
+    std::ostringstream note;
+    note << cc.top.phases.size() << " serial phase(s): ";
+    for (std::size_t p = 0; p < cc.top.phases.size(); ++p) {
+        if (p)
+            note << "; ";
+        note << cc.top.phases[p].summary(cc.cdfg);
+    }
+    cc.report.note(kPassStructure, note.str());
+    return true;
+}
+
+} // namespace marionette

@@ -6,9 +6,11 @@
  *
  *  - IR: build CDFGs (ir/builder.h), analyze control flow
  *    (ir/analysis.h, ir/loop_info.h), record traces (ir/trace.h).
- *  - Compiler: schedule (compiler/assignment.h), predicate
- *    (compiler/predication.h), emit configurations
- *    (compiler/program_builder.h, compiler/dfg_mapper.h).
+ *  - Compiler: the pass pipeline (compiler/compiler.h over the
+ *    region tree of compiler/region.h), scheduling
+ *    (compiler/assignment.h), predication
+ *    (compiler/predication.h), and binary emission
+ *    (compiler/program_builder.h).
  *  - ISA: instruction formats (isa/instruction.h) and binary
  *    configuration streams (isa/encoding.h).
  *  - Machine: the cycle-accurate functional simulator
@@ -29,9 +31,9 @@
 #include "arch/machine.h"
 #include "compiler/assignment.h"
 #include "compiler/compiler.h"
-#include "compiler/dfg_mapper.h"
-#include "compiler/nest_mapper.h"
+#include "compiler/pass_manager.h"
 #include "compiler/predication.h"
+#include "compiler/region.h"
 #include "compiler/program_builder.h"
 #include "compiler/program_cache.h"
 #include "ir/analysis.h"

@@ -335,14 +335,26 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
         return false;
     }
 
-    // Memory port.
+    // Memory port.  A predicated-off access (Load predicate in
+    // operand b, Store predicate in operand c; see the compiler's
+    // gated lowering) skips the scratchpad entirely, so it needs no
+    // port.
+    bool mem_active = false;
     Word eff_addr = 0;
     if (isMemoryOp(in->op)) {
-        eff_addr = operandValue(in->a) + in->memBase;
-        if (!fabric.memPortAvailable(eff_addr)) {
-            hot_.stallMem.inc();
-            lastStall_ = StallKind::Mem;
-            return false;
+        mem_active =
+            in->op == Opcode::Load
+                ? (in->b.kind == OperandSel::Kind::None ||
+                   operandValue(in->b) != 0)
+                : (in->c.kind == OperandSel::Kind::None ||
+                   operandValue(in->c) != 0);
+        if (mem_active) {
+            eff_addr = operandValue(in->a) + in->memBase;
+            if (!fabric.memPortAvailable(eff_addr)) {
+                hot_.stallMem.inc();
+                lastStall_ = StallKind::Mem;
+                return false;
+            }
         }
     }
 
@@ -372,14 +384,21 @@ Pe::tryFire(Cycle now, FabricIface &fabric, PeTickResult &out)
 
     switch (in->op) {
       case Opcode::Load:
-        op.value = fabric.memRead(av + in->memBase);
+        // A masked load (predicate 0 in operand b) produces 0
+        // without touching memory.
+        op.value = mem_active ? fabric.memRead(av + in->memBase)
+                              : 0;
         break;
       case Opcode::Store:
         // Memory ops take effect at issue so issue order defines
         // memory order; the value still travels to any data
-        // destinations with the normal execute latency.
-        fabric.memWrite(av + in->memBase, bv);
-        hot_.stores.inc();
+        // destinations with the normal execute latency.  A masked
+        // store (predicate 0 in operand c) forwards its value but
+        // writes nothing.
+        if (mem_active) {
+            fabric.memWrite(av + in->memBase, bv);
+            hot_.stores.inc();
+        }
         op.value = bv;
         break;
       default:

@@ -8,6 +8,7 @@
  * Table 1: sub-inner branch, imperfect nested loops.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -79,33 +80,38 @@ class HoughWorkload : public Workload
             Dfg &d = b.dfg(hdr);
             dfg_patterns::addCountedLoop(d, 0, 1, "bound");
         }
-        {   // load pixel, compare, branch.
+        {   // load pixel, compare, branch.  The image width is a
+            // live-in so the machine data can size the run.
             Dfg &d = b.dfg(pif);
             int y = d.addInput("y");
             int x = d.addInput("x");
+            int iw = d.addInput("imgw");
             NodeId idx = d.addNode(Opcode::Mul, Operand::input(y),
-                                   Operand::imm(kWidth));
+                                   Operand::input(iw));
             NodeId idx2 = d.addNode(Opcode::Add, Operand::node(idx),
                                     Operand::input(x));
             NodeId px = d.addNode(Opcode::Load, Operand::node(idx2),
                                   Operand::none(), Operand::none(),
-                                  "img[y][x]");
+                                  "img");
             NodeId gt = d.addNode(Opcode::CmpGt, Operand::node(px),
                                   Operand::imm(kThreshold));
             d.addNode(Opcode::Branch, Operand::node(gt));
             d.addOutput("edge", gt);
         }
-        {   // vote: rho = (x*cos[t] + y*sin[t]) >> 15; acc++.
+        {   // vote: rho = (x*cos[t] + y*sin[t]) >> 15;
+            // acc[t][rho + rho_max]++.
             Dfg &d = b.dfg(vote);
             int x = d.addInput("x");
             int y = d.addInput("y");
             int t = d.addInput("theta");
+            int bw = d.addInput("binw");
+            int rm = d.addInput("rhomax");
             NodeId ct = d.addNode(Opcode::Load, Operand::input(t),
                                   Operand::none(), Operand::none(),
-                                  "cos[t]");
+                                  "cos");
             NodeId st = d.addNode(Opcode::Load, Operand::input(t),
                                   Operand::none(), Operand::none(),
-                                  "sin[t]");
+                                  "sin");
             NodeId xc = d.addNode(Opcode::Mul, Operand::input(x),
                                   Operand::node(ct));
             NodeId ys = d.addNode(Opcode::Mac, Operand::input(y),
@@ -113,13 +119,20 @@ class HoughWorkload : public Workload
                                   Operand::node(xc), "rho.q15");
             NodeId rho = d.addNode(Opcode::Sra, Operand::node(ys),
                                    Operand::imm(15));
-            NodeId cur = d.addNode(Opcode::Load, Operand::node(rho),
+            NodeId tb = d.addNode(Opcode::Mul, Operand::input(t),
+                                  Operand::input(bw));
+            NodeId b1 = d.addNode(Opcode::Add, Operand::node(tb),
+                                  Operand::node(rho));
+            NodeId bin = d.addNode(Opcode::Add, Operand::node(b1),
+                                   Operand::input(rm),
+                                   Operand::none(), "bin");
+            NodeId cur = d.addNode(Opcode::Load, Operand::node(bin),
                                    Operand::none(), Operand::none(),
                                    "acc");
             NodeId inc = d.addNode(Opcode::Add, Operand::node(cur),
                                    Operand::imm(1));
-            d.addNode(Opcode::Store, Operand::node(rho),
-                      Operand::node(inc));
+            d.addNode(Opcode::Store, Operand::node(bin),
+                      Operand::node(inc), Operand::none(), "acc");
             d.addOutput("rho", rho);
         }
         copyBlock(skip);
@@ -140,6 +153,93 @@ class HoughWorkload : public Workload
         b.loopBack(ylatch, yloop);
         b.loopExit(yloop, done);
         return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        // Reduced machine-run dimensions (the golden trace above
+        // keeps the full Table-5 image); same pixel statistics and
+        // Q15 vote arithmetic.
+        constexpr int mH = 40;
+        constexpr int mW = 60;
+        constexpr int mT = 60;
+        constexpr int mRhoMax = mW + mH;
+        constexpr Word base_img = 0;                   // mH x mW
+        constexpr Word base_cos = mH * mW;             // mT
+        constexpr Word base_sin = base_cos + mT;       // mT
+        constexpr Word base_acc = base_sin + mT;       // mT x 2rho
+
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["y_loop"] = {0, mH, 1};
+        spec.loopBounds["x_loop"] = {0, mW, 1};
+        spec.loopBounds["theta_loop"] = {0, mT, 1};
+        spec.inductionPorts["y_loop"] = "y";
+        spec.inductionPorts["x_loop"] = "x";
+        spec.inductionPorts["theta_loop"] = "theta";
+        spec.arrayBases["img"] = base_img;
+        spec.arrayBases["cos"] = base_cos;
+        spec.arrayBases["sin"] = base_sin;
+        spec.arrayBases["acc"] = base_acc;
+        spec.scalars["imgw"] = mW;
+        spec.scalars["binw"] = 2 * mRhoMax;
+        spec.scalars["rhomax"] = mRhoMax;
+
+        Rng rng(0x5eed0005);
+        std::vector<Word> img(static_cast<std::size_t>(mH * mW));
+        for (int y = 0; y < mH; ++y) {
+            for (int x = 0; x < mW; ++x) {
+                bool line = (x + 2 * y) % 23 == 0 ||
+                            (3 * x - y) % 31 == 0;
+                Word noise =
+                    static_cast<Word>(rng.nextBounded(100));
+                img[static_cast<std::size_t>(y * mW + x)] =
+                    line ? 200 + noise % 56 : noise;
+            }
+        }
+        std::vector<Word> cos_t(mT), sin_t(mT);
+        for (int t = 0; t < mT; ++t) {
+            double a = 3.14159265358979 * t / mT;
+            cos_t[static_cast<std::size_t>(t)] =
+                static_cast<Word>(32767.0 * std::cos(a));
+            sin_t[static_cast<std::size_t>(t)] =
+                static_cast<Word>(32767.0 * std::sin(a));
+        }
+
+        spec.memoryImage.assign(
+            static_cast<std::size_t>(base_acc), 0);
+        std::copy(img.begin(), img.end(),
+                  spec.memoryImage.begin());
+        std::copy(cos_t.begin(), cos_t.end(),
+                  spec.memoryImage.begin() + base_cos);
+        std::copy(sin_t.begin(), sin_t.end(),
+                  spec.memoryImage.begin() + base_sin);
+
+        // Golden vote accumulation.
+        std::vector<Word> acc(
+            static_cast<std::size_t>(mT * 2 * mRhoMax), 0);
+        for (int y = 0; y < mH; ++y) {
+            for (int x = 0; x < mW; ++x) {
+                if (img[static_cast<std::size_t>(y * mW + x)] <=
+                    kThreshold)
+                    continue;
+                for (int t = 0; t < mT; ++t) {
+                    Word rho = static_cast<Word>(
+                        (static_cast<std::int64_t>(x) *
+                             cos_t[static_cast<std::size_t>(t)] +
+                         static_cast<std::int64_t>(y) *
+                             sin_t[static_cast<std::size_t>(t)]) >>
+                        15);
+                    int bin =
+                        t * 2 * mRhoMax + (rho + mRhoMax);
+                    ++acc[static_cast<std::size_t>(bin)];
+                }
+            }
+        }
+
+        spec.expectedMemory = {{"acc", base_acc, std::move(acc)}};
+        return spec;
     }
 
     std::uint64_t

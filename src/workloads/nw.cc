@@ -7,6 +7,7 @@
  * branches innermost, nested loops.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include "ir/builder.h"
@@ -89,34 +90,53 @@ class NwWorkload : public Workload
             Dfg &d = b.dfg(hdr);
             dfg_patterns::addCountedLoop(d, 1, 1, "bound");
         }
-        {   // candidates.
+        {   // candidates: the previous row is read from memory, the
+            // left neighbour is the previous iteration's winner
+            // (loop-carried), with the column-0 boundary selected
+            // at the start of each row.
             Dfg &d = b.dfg(scores);
             int i = d.addInput("i");
             int j = d.addInput("j");
-            NodeId a = d.addNode(Opcode::Load, Operand::input(i),
+            int winc = d.addInput("win");
+            NodeId im1 = d.addNode(Opcode::Sub, Operand::input(i),
+                                   Operand::imm(1));
+            NodeId a = d.addNode(Opcode::Load, Operand::node(im1),
                                  Operand::none(), Operand::none(),
-                                 "seqA[i]");
-            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(j),
+                                 "seqA");
+            NodeId jm1 = d.addNode(Opcode::Sub, Operand::input(j),
+                                   Operand::imm(1));
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::node(jm1),
                                    Operand::none(), Operand::none(),
-                                   "seqB[j]");
+                                   "seqB");
             NodeId eq = d.addNode(Opcode::CmpEq, Operand::node(a),
                                   Operand::node(bb2));
             NodeId sc = d.addNode(Opcode::Select, Operand::node(eq),
                                   Operand::imm(kMatch),
                                   Operand::imm(kMismatch), "sub");
-            NodeId mnw = d.addNode(Opcode::Load, Operand::input(i),
+            NodeId rb = d.addNode(Opcode::Mul, Operand::node(im1),
+                                  Operand::imm(kLen + 1));
+            NodeId da = d.addNode(Opcode::Add, Operand::node(rb),
+                                  Operand::node(jm1));
+            NodeId mnw = d.addNode(Opcode::Load, Operand::node(da),
                                    Operand::none(), Operand::none(),
-                                   "M[i-1][j-1]");
+                                   "M");
             NodeId diag = d.addNode(Opcode::Add, Operand::node(mnw),
                                     Operand::node(sc));
-            NodeId mn = d.addNode(Opcode::Load, Operand::input(j),
+            NodeId ua = d.addNode(Opcode::Add, Operand::node(rb),
+                                  Operand::input(j));
+            NodeId mn = d.addNode(Opcode::Load, Operand::node(ua),
                                   Operand::none(), Operand::none(),
-                                  "M[i-1][j]");
+                                  "M");
             NodeId up = d.addNode(Opcode::Add, Operand::node(mn),
                                   Operand::imm(kGap));
-            NodeId mw = d.addNode(Opcode::Load, Operand::input(i),
-                                  Operand::none(), Operand::none(),
-                                  "M[i][j-1]");
+            NodeId isf = d.addNode(Opcode::CmpEq, Operand::input(j),
+                                   Operand::imm(1));
+            NodeId bnd = d.addNode(Opcode::Mul, Operand::input(i),
+                                   Operand::imm(kGap), // M[i][0]
+                                   Operand::none(), "bound");
+            NodeId mw = d.addNode(Opcode::Select, Operand::node(isf),
+                                  Operand::node(bnd),
+                                  Operand::input(winc));
             NodeId left = d.addNode(Opcode::Add, Operand::node(mw),
                                     Operand::imm(kGap));
             d.addOutput("diag", diag);
@@ -136,30 +156,51 @@ class NwWorkload : public Workload
         branchBlock(if1, "diag", "up");
         branchBlock(if2a, "diag", "left");
         branchBlock(if2b, "up", "left");
-        copyBlock(pdiag, "win");
-        copyBlock(plefta, "win");
-        copyBlock(pup, "win");
-        copyBlock(pleftb, "win");
+        auto pickBlock = [&](BlockId id, const char *src) {
+            Dfg &d = b.dfg(id);
+            int x = d.addInput(src);
+            NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            d.addOutput("win", c);
+        };
+        pickBlock(pdiag, "diag");
+        pickBlock(plefta, "left");
+        pickBlock(pup, "up");
+        pickBlock(pleftb, "left");
         {
             Dfg &d = b.dfg(cell);
+            int i = d.addInput("i");
             int j = d.addInput("j");
             int win = d.addInput("win");
-            d.addNode(Opcode::Store, Operand::input(j),
-                      Operand::input(win), Operand::none(),
-                      "M[i][j]");
+            NodeId rb = d.addNode(Opcode::Mul, Operand::input(i),
+                                  Operand::imm(kLen + 1));
+            NodeId ca = d.addNode(Opcode::Add, Operand::node(rb),
+                                  Operand::input(j));
+            d.addNode(Opcode::Store, Operand::node(ca),
+                      Operand::input(win), Operand::none(), "M");
             NodeId c = d.addNode(Opcode::Copy, Operand::input(win));
             d.addOutput("x", c);
         }
         copyBlock(rlatch, "x");
-        {   // trace body: follow the max predecessor.
+        {   // trace body: walk the main diagonal from the corner,
+            // folding the cells into a checksum stream.
             Dfg &d = b.dfg(traceb);
-            int i = d.addInput("i");
-            NodeId v = d.addNode(Opcode::Load, Operand::input(i));
-            NodeId nx = d.addNode(Opcode::Sub, Operand::input(i),
-                                  Operand::imm(1));
-            d.addNode(Opcode::Store, Operand::node(v),
-                      Operand::node(nx));
-            d.addOutput("i", nx);
+            int jt = d.addInput("jt");
+            int last = d.addInput("lastI");
+            int sum = d.addInput("tsum");
+            NodeId ii = d.addNode(Opcode::Sub, Operand::input(last),
+                                  Operand::input(jt));
+            NodeId da = d.addNode(Opcode::Mul, Operand::node(ii),
+                                  Operand::imm(kLen + 2));
+            NodeId v = d.addNode(Opcode::Load, Operand::node(da),
+                                 Operand::none(), Operand::none(),
+                                 "M");
+            d.addNode(Opcode::Store, Operand::input(jt),
+                      Operand::node(v), Operand::none(), "trace");
+            NodeId m31 = d.addNode(Opcode::Mul, Operand::input(sum),
+                                   Operand::imm(31));
+            NodeId ns = d.addNode(Opcode::Add, Operand::node(m31),
+                                  Operand::node(v));
+            d.addOutput("tsum", ns);
         }
         copyBlock(done, "x");
 
@@ -182,6 +223,100 @@ class NwWorkload : public Workload
         b.loopBack(traceb, trace);
         b.loopExit(trace, done);
         return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        constexpr int w = kLen + 1;
+        constexpr Word base_m = 0;                 // 129 x 129
+        constexpr Word base_a = w * w;             // 128
+        constexpr Word base_b = base_a + kLen;     // 128
+        constexpr Word base_tr = base_b + kLen;    // 128
+
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["row_loop"] = {1, w, 1};
+        spec.loopBounds["col_loop"] = {1, w, 1};
+        spec.loopBounds["trace_loop"] = {0, kLen, 1};
+        spec.inductionPorts["row_loop"] = "i";
+        spec.inductionPorts["col_loop"] = "j";
+        spec.inductionPorts["trace_loop"] = "jt";
+        spec.arrayBases["M"] = base_m;
+        spec.arrayBases["seqA"] = base_a;
+        spec.arrayBases["seqB"] = base_b;
+        spec.arrayBases["trace"] = base_tr;
+        spec.scalars["lastI"] = kLen;
+        spec.scalars["tsum"] = 0;
+
+        Rng rng(0x5eed0004);
+        std::vector<Word> seq_a(static_cast<std::size_t>(kLen));
+        std::vector<Word> seq_b(static_cast<std::size_t>(kLen));
+        for (Word &v : seq_a)
+            v = static_cast<Word>(rng.nextBounded(4));
+        for (Word &v : seq_b)
+            v = static_cast<Word>(rng.nextBounded(4));
+
+        std::vector<Word> m(static_cast<std::size_t>(w * w), 0);
+        for (int i = 0; i <= kLen; ++i) {
+            m[static_cast<std::size_t>(i * w)] = kGap * i;
+            m[static_cast<std::size_t>(i)] = kGap * i;
+        }
+
+        spec.memoryImage.assign(
+            static_cast<std::size_t>(base_tr), 0);
+        std::copy(m.begin(), m.end(), spec.memoryImage.begin());
+        std::copy(seq_a.begin(), seq_a.end(),
+                  spec.memoryImage.begin() + base_a);
+        std::copy(seq_b.begin(), seq_b.end(),
+                  spec.memoryImage.begin() + base_b);
+
+        // Golden DP, recording the winner stream.
+        std::vector<Word> wins;
+        wins.reserve(static_cast<std::size_t>(kLen) * kLen);
+        for (int i = 1; i <= kLen; ++i) {
+            for (int j = 1; j <= kLen; ++j) {
+                Word sub =
+                    seq_a[static_cast<std::size_t>(i - 1)] ==
+                            seq_b[static_cast<std::size_t>(j - 1)]
+                        ? kMatch
+                        : kMismatch;
+                Word diag = m[static_cast<std::size_t>(
+                                (i - 1) * w + (j - 1))] +
+                            sub;
+                Word up = m[static_cast<std::size_t>((i - 1) * w +
+                                                     j)] +
+                          kGap;
+                Word left =
+                    m[static_cast<std::size_t>(i * w + (j - 1))] +
+                    kGap;
+                Word win;
+                if (diag >= up)
+                    win = diag >= left ? diag : left;
+                else
+                    win = up >= left ? up : left;
+                m[static_cast<std::size_t>(i * w + j)] = win;
+                wins.push_back(win);
+            }
+        }
+        std::vector<Word> trace(static_cast<std::size_t>(kLen));
+        std::vector<Word> tsum_stream;
+        Word tsum = 0;
+        for (int jt = 0; jt < kLen; ++jt) {
+            int ii = kLen - jt;
+            Word v = m[static_cast<std::size_t>(ii * w + ii)];
+            trace[static_cast<std::size_t>(jt)] = v;
+            tsum = tsum * 31 + v;
+            tsum_stream.push_back(tsum);
+        }
+
+        spec.observePorts = {"win", "tsum"};
+        spec.expectedOutputs = {std::move(wins),
+                                std::move(tsum_stream)};
+        spec.expectedMemory = {
+            {"M", base_m, std::move(m)},
+            {"trace", base_tr, std::move(trace)}};
+        return spec;
     }
 
     std::uint64_t

@@ -9,6 +9,7 @@
  * nested loops.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include "ir/builder.h"
@@ -93,19 +94,32 @@ class ViterbiWorkload : public Workload
             Dfg &d = b.dfg(hdr);
             dfg_patterns::addCountedLoop(d, 0, 1, "bound");
         }
-        {   // seed best metric.
+        {   // seed best metric (and its arg-min companion).
             Dfg &d = b.dfg(seed);
             NodeId inf = d.addNode(Opcode::Const,
                                    Operand::imm(0x7fffffff));
+            NodeId zero = d.addNode(Opcode::Const,
+                                    Operand::imm(0));
             d.addOutput("best", inf);
+            d.addOutput("arg", zero);
         }
-        {   // metric = path[prev] + trans[prev][s] + emit[s][obs].
+        {   // metric = path[prev] + trans[prev][s] + emit[s][obs];
+            // the path metrics ping-pong between two halves of the
+            // path array by observation parity.
             Dfg &d = b.dfg(score);
             int p = d.addInput("prev");
             int s = d.addInput("state");
-            NodeId pm = d.addNode(Opcode::Load, Operand::input(p),
+            int t = d.addInput("t");
+            NodeId par = d.addNode(Opcode::And, Operand::input(t),
+                                   Operand::imm(1));
+            NodeId pp = d.addNode(Opcode::Shl, Operand::node(par),
+                                  Operand::imm(6), Operand::none(),
+                                  "ping");
+            NodeId pa = d.addNode(Opcode::Add, Operand::node(pp),
+                                  Operand::input(p));
+            NodeId pm = d.addNode(Opcode::Load, Operand::node(pa),
                                   Operand::none(), Operand::none(),
-                                  "path[prev]");
+                                  "path");
             NodeId ti = d.addNode(Opcode::Shl, Operand::input(p),
                                   Operand::imm(6));
             NodeId ti2 = d.addNode(Opcode::Add, Operand::node(ti),
@@ -113,11 +127,18 @@ class ViterbiWorkload : public Workload
             NodeId tr = d.addNode(Opcode::Load, Operand::node(ti2),
                                   Operand::none(), Operand::none(),
                                   "trans");
-            NodeId m1 = d.addNode(Opcode::Add, Operand::node(pm),
-                                  Operand::node(tr));
-            NodeId em = d.addNode(Opcode::Load, Operand::input(s),
+            NodeId ob = d.addNode(Opcode::Load, Operand::input(t),
+                                  Operand::none(), Operand::none(),
+                                  "obs");
+            NodeId ei = d.addNode(Opcode::Shl, Operand::input(s),
+                                  Operand::imm(6));
+            NodeId ei2 = d.addNode(Opcode::Add, Operand::node(ei),
+                                   Operand::node(ob));
+            NodeId em = d.addNode(Opcode::Load, Operand::node(ei2),
                                   Operand::none(), Operand::none(),
                                   "emit");
+            NodeId m1 = d.addNode(Opcode::Add, Operand::node(pm),
+                                  Operand::node(tr));
             NodeId m2 = d.addNode(Opcode::Add, Operand::node(m1),
                                   Operand::node(em), Operand::none(),
                                   "metric");
@@ -127,10 +148,14 @@ class ViterbiWorkload : public Workload
             Dfg &d = b.dfg(minif);
             int m = d.addInput("metric");
             int best = d.addInput("best");
+            int arg = d.addInput("arg");
             NodeId lt = d.addNode(Opcode::CmpLt, Operand::input(m),
                                   Operand::input(best));
             d.addNode(Opcode::Branch, Operand::node(lt));
+            NodeId ac = d.addNode(Opcode::Copy,
+                                  Operand::input(arg));
             d.addOutput("lt", lt);
+            d.addOutput("arg", ac);
         }
         {
             Dfg &d = b.dfg(minupd);
@@ -147,27 +172,59 @@ class ViterbiWorkload : public Workload
         }
         copyBlock(minskip);
         copyBlock(platch);
-        {   // store new path metric and backpointer.
+        {   // store new path metric (other ping-pong half) and the
+            // backpointer bp[t][state].
             Dfg &d = b.dfg(store);
             int s = d.addInput("state");
             int best = d.addInput("best");
             int arg = d.addInput("arg");
-            d.addNode(Opcode::Store, Operand::input(s),
-                      Operand::input(best));
-            d.addNode(Opcode::Store, Operand::input(s),
-                      Operand::input(arg));
+            int t = d.addInput("t");
+            NodeId t1 = d.addNode(Opcode::Add, Operand::input(t),
+                                  Operand::imm(1));
+            NodeId par = d.addNode(Opcode::And, Operand::node(t1),
+                                   Operand::imm(1));
+            NodeId np = d.addNode(Opcode::Shl, Operand::node(par),
+                                  Operand::imm(6));
+            NodeId na = d.addNode(Opcode::Add, Operand::node(np),
+                                  Operand::input(s));
+            d.addNode(Opcode::Store, Operand::node(na),
+                      Operand::input(best), Operand::none(),
+                      "path");
+            NodeId bi = d.addNode(Opcode::Shl, Operand::input(t),
+                                  Operand::imm(6));
+            NodeId ba = d.addNode(Opcode::Add, Operand::node(bi),
+                                  Operand::input(s));
+            d.addNode(Opcode::Store, Operand::node(ba),
+                      Operand::input(arg), Operand::none(), "bp");
             NodeId c = d.addNode(Opcode::Copy, Operand::input(s));
             d.addOutput("x", c);
         }
         copyBlock(slatch);
         copyBlock(olatch);
-        {   // backtrace body: state = bp[t][state].
+        {   // backtrace body: walk bp from the last observation,
+            // folding the visited states into a checksum stream.
             Dfg &d = b.dfg(backb);
-            int s = d.addInput("state");
-            NodeId bp = d.addNode(Opcode::Load, Operand::input(s));
-            d.addNode(Opcode::Store, Operand::input(s),
-                      Operand::node(bp));
-            d.addOutput("state", bp);
+            int j = d.addInput("j");
+            int last = d.addInput("lastT");
+            int s = d.addInput("bstate");
+            int sum = d.addInput("bsum");
+            NodeId tt = d.addNode(Opcode::Sub, Operand::input(last),
+                                  Operand::input(j));
+            NodeId bi = d.addNode(Opcode::Shl, Operand::node(tt),
+                                  Operand::imm(6));
+            NodeId ba = d.addNode(Opcode::Add, Operand::node(bi),
+                                  Operand::input(s));
+            NodeId bp = d.addNode(Opcode::Load, Operand::node(ba),
+                                  Operand::none(), Operand::none(),
+                                  "bp");
+            d.addNode(Opcode::Store, Operand::input(j),
+                      Operand::node(bp), Operand::none(), "trace");
+            NodeId m31 = d.addNode(Opcode::Mul, Operand::input(sum),
+                                   Operand::imm(31));
+            NodeId ns = d.addNode(Opcode::Add, Operand::node(m31),
+                                  Operand::node(bp));
+            d.addOutput("bstate", bp);
+            d.addOutput("bsum", ns);
         }
         copyBlock(done);
 
@@ -191,6 +248,121 @@ class ViterbiWorkload : public Workload
         b.loopBack(backb, back);
         b.loopExit(back, done);
         return b.finish();
+    }
+
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        // Machine-run data at a reduced observation count (the
+        // golden trace above keeps the full Table-5 size); states
+        // and tokens match the paper.
+        constexpr int mObs = 32;
+        constexpr Word base_path = 0;                      // 2 x 64
+        constexpr Word base_obs = 128;                     // mObs
+        constexpr Word base_trans = base_obs + mObs;       // 64 x 64
+        constexpr Word base_emit = base_trans + 64 * 64;   // 64 x 64
+        constexpr Word base_bp = base_emit + 64 * 64;      // mObs x 64
+        constexpr Word base_trace = base_bp + mObs * 64;   // mObs
+
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["obs_loop"] = {0, mObs, 1};
+        spec.loopBounds["state_loop"] = {0, kStates, 1};
+        spec.loopBounds["prev_loop"] = {0, kStates, 1};
+        spec.loopBounds["back_loop"] = {0, mObs, 1};
+        spec.inductionPorts["obs_loop"] = "t";
+        spec.inductionPorts["state_loop"] = "state";
+        spec.inductionPorts["prev_loop"] = "prev";
+        spec.inductionPorts["back_loop"] = "j";
+        spec.arrayBases["path"] = base_path;
+        spec.arrayBases["obs"] = base_obs;
+        spec.arrayBases["trans"] = base_trans;
+        spec.arrayBases["emit"] = base_emit;
+        spec.arrayBases["bp"] = base_bp;
+        spec.arrayBases["trace"] = base_trace;
+        spec.scalars["lastT"] = mObs - 1;
+        spec.scalars["bstate"] = 0;
+        spec.scalars["bsum"] = 0;
+
+        // Inputs, generated in the golden implementation's order.
+        Rng rng(0x5eed0003);
+        std::vector<Word> trans(
+            static_cast<std::size_t>(kStates * kStates));
+        std::vector<Word> emit(
+            static_cast<std::size_t>(kStates * kTokens));
+        std::vector<Word> observations(
+            static_cast<std::size_t>(kObs));
+        for (Word &v : trans)
+            v = static_cast<Word>(rng.nextRange(1, 100));
+        for (Word &v : emit)
+            v = static_cast<Word>(rng.nextRange(1, 100));
+        for (Word &o : observations)
+            o = static_cast<Word>(rng.nextBounded(kTokens));
+
+        spec.memoryImage.assign(
+            static_cast<std::size_t>(base_bp), 0);
+        for (int i = 0; i < mObs; ++i)
+            spec.memoryImage[static_cast<std::size_t>(base_obs +
+                                                      i)] =
+                observations[static_cast<std::size_t>(i)];
+        std::copy(trans.begin(), trans.end(),
+                  spec.memoryImage.begin() + base_trans);
+        std::copy(emit.begin(), emit.end(),
+                  spec.memoryImage.begin() + base_emit);
+
+        // Golden run: best-metric stream, ping-pong path halves,
+        // backpointers, and the backtrace checksum stream.
+        std::vector<Word> path(2 * 64, 0);
+        std::vector<Word> bp(
+            static_cast<std::size_t>(mObs * 64), 0);
+        std::vector<Word> best_stream;
+        best_stream.reserve(
+            static_cast<std::size_t>(mObs) * 64 * 64);
+        for (int t = 0; t < mObs; ++t) {
+            int cur = (t & 1) * 64;
+            int nxt = ((t + 1) & 1) * 64;
+            for (int s = 0; s < kStates; ++s) {
+                Word best = 0x7fffffff;
+                Word arg = 0;
+                for (int p = 0; p < kStates; ++p) {
+                    Word metric =
+                        path[static_cast<std::size_t>(cur + p)] +
+                        trans[static_cast<std::size_t>(
+                            p * kStates + s)] +
+                        emit[static_cast<std::size_t>(
+                            s * kTokens +
+                            observations[static_cast<std::size_t>(
+                                t)])];
+                    if (metric < best) {
+                        best = metric;
+                        arg = static_cast<Word>(p);
+                    }
+                    best_stream.push_back(best);
+                }
+                path[static_cast<std::size_t>(nxt + s)] = best;
+                bp[static_cast<std::size_t>(t * 64 + s)] = arg;
+            }
+        }
+        std::vector<Word> trace(static_cast<std::size_t>(mObs));
+        std::vector<Word> bsum_stream;
+        Word bstate = 0, bsum = 0;
+        for (int j = 0; j < mObs; ++j) {
+            int tt = mObs - 1 - j;
+            bstate =
+                bp[static_cast<std::size_t>(tt * 64 + bstate)];
+            trace[static_cast<std::size_t>(j)] = bstate;
+            bsum = bsum * 31 + bstate;
+            bsum_stream.push_back(bsum);
+        }
+
+        spec.observePorts = {"best", "bsum"};
+        spec.expectedOutputs = {std::move(best_stream),
+                                std::move(bsum_stream)};
+        spec.expectedMemory = {
+            {"path", base_path, std::move(path)},
+            {"bp", base_bp, std::move(bp)},
+            {"trace", base_trace, std::move(trace)}};
+        return spec;
     }
 
     std::uint64_t

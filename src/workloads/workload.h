@@ -153,6 +153,15 @@ struct WorkloadMachineSpec
     bool available = false;
     /** Counted-loop parameters by loop-header *block name*. */
     std::map<std::string, MachineLoopBound> loopBounds;
+    /** Static iteration cap per while-form loop header: the
+     *  guarded-exit lowering sizes the loop's slot range with the
+     *  cap and masks iterations past the dynamic exit. */
+    std::map<std::string, Word> whileBounds;
+    /** Per-loop-header round resets: named loop-carried state
+     *  re-seeded to a constant at every entry of that loop from
+     *  outside (the zero-initialized locals of the original C
+     *  source, e.g. a min-tracker's +inf). */
+    std::map<std::string, std::map<std::string, Word>> roundResets;
     /** Body port name each loop header's induction stream drives,
      *  by header block name (e.g. "i_loop" -> "i"). */
     std::map<std::string, std::string> inductionPorts;

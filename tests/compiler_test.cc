@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/assignment.h"
-#include "compiler/dfg_mapper.h"
+#include "support/mapped_kernels.h"
 #include "compiler/predication.h"
 #include "compiler/program_builder.h"
 #include "ir/builder.h"

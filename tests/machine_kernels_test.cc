@@ -11,7 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/machine.h"
-#include "compiler/nest_mapper.h"
+#include "support/mapped_kernels.h"
 #include "compiler/program_builder.h"
 #include "sim/rng.h"
 

@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/machine.h"
-#include "compiler/dfg_mapper.h"
+#include "support/mapped_kernels.h"
 #include "compiler/program_builder.h"
 #include "sim/rng.h"
 

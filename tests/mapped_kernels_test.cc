@@ -1,15 +1,17 @@
 /**
  * @file
- * Tests of the imperfect-nest auto-compiler and the nonlinear-op
- * placement policy of the DFG mapper, verified end to end on the
- * functional machine.
+ * Tests of the hand-placed machine fixtures
+ * (tests/support/mapped_kernels.h): FIFO-fed imperfect-nest rounds,
+ * the self-loop accumulator, and the looped-DFG nonlinear placement
+ * policy, verified end to end on the functional machine.  (The
+ * production path for whole kernels is the unified pass pipeline;
+ * see compile_pipeline_test and compiler_regions_test.)
  */
 
 #include <gtest/gtest.h>
 
 #include "arch/machine.h"
-#include "compiler/dfg_mapper.h"
-#include "compiler/nest_mapper.h"
+#include "support/mapped_kernels.h"
 #include "isa/encoding.h"
 #include "sim/rng.h"
 

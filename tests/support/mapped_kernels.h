@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Test-only program fixtures, moved out of the retired
+ * compiler/dfg_mapper + compiler/nest_mapper translation units.
+ *
+ * Production kernels go through the unified pass pipeline
+ * (compiler/compiler.h).  These helpers survive as *machine-level*
+ * fixtures: they hand-place small looped DFGs — including the
+ * FIFO-fed inner-loop plumbing of an imperfect nest and a self-loop
+ * accumulator — so the machine tests (hotpath equivalence, kernel
+ * smoke tests) keep exercising control-FIFO rounds and data-mesh
+ * traffic independently of the compiler's lowering decisions.
+ */
+
+#ifndef MARIONETTE_TESTS_SUPPORT_MAPPED_KERNELS_H
+#define MARIONETTE_TESTS_SUPPORT_MAPPED_KERNELS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/program_builder.h"
+#include "ir/dfg.h"
+#include "isa/instruction.h"
+#include "sim/config.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+/** Parameters of the driving counted loop. */
+struct LoopSpec
+{
+    Word start = 0;
+    Word bound = 0;
+    Word step = 1;
+    int ii = 1;
+};
+
+/** Result of mapping an imperfect nest. */
+struct MappedNest
+{
+    Program program;
+    /** PE of the accumulator, or invalidPe when none. */
+    PeId accumulatorPe = invalidPe;
+    /** PE of the inner loop generator (stats queries). */
+    PeId innerLoopPe = invalidPe;
+};
+
+namespace mapped_kernels_detail
+{
+
+/** Place one DFG's non-const nodes onto PEs starting at
+ *  @p first_pe, wiring operands by slot channel and feeding input
+ *  port 0 from @p driver (a loop generator). */
+inline std::map<NodeId, PeId>
+placeDfg(ProgramBuilder &builder, const Dfg &dfg, PeId first_pe,
+         Instruction &driver,
+         const std::map<std::string, Word> &bindings,
+         const MachineConfig &config, const std::string &name)
+{
+    dfg.validate();
+
+    std::map<NodeId, Word> const_values;
+    std::vector<NodeId> real_nodes;
+    for (const DfgNode &n : dfg.nodes()) {
+        if (n.op == Opcode::Const)
+            const_values[n.id] = n.a.ref;
+        else
+            real_nodes.push_back(n.id);
+    }
+
+    std::map<NodeId, PeId> pe_of;
+    PeId next = first_pe;
+    for (NodeId n : real_nodes) {
+        if (next >= config.numPes())
+            MARIONETTE_FATAL("nest '%s' does not fit the %d-PE "
+                             "array", name.c_str(),
+                             config.numPes());
+        if (isNonlinearOp(dfg.node(n).op) &&
+            next < config.numPes() - config.nonlinearPes)
+            MARIONETTE_FATAL("nest '%s': nonlinear op cannot be "
+                             "auto-placed; use ProgramBuilder",
+                             name.c_str());
+        pe_of[n] = next++;
+    }
+
+    // Immediate bindings for named inputs beyond port 0.
+    std::vector<Word> input_imm(dfg.inputs().size(), 0);
+    for (std::size_t i = 1; i < dfg.inputs().size(); ++i) {
+        auto it = bindings.find(dfg.inputs()[i].name);
+        if (it == bindings.end())
+            MARIONETTE_FATAL("nest '%s': input '%s' unbound",
+                             name.c_str(),
+                             dfg.inputs()[i].name.c_str());
+        input_imm[i] = it->second;
+    }
+
+    auto wire = [&](PeId pe, int slot,
+                    const Operand &src) -> OperandSel {
+        switch (src.kind) {
+          case OperandKind::None:
+            return OperandSel::none();
+          case OperandKind::Immediate:
+            return OperandSel::immediate(src.ref);
+          case OperandKind::Input:
+            if (src.ref == 0) {
+                driver.dests.push_back(DestSel::toPe(pe, slot));
+                return OperandSel::channel(slot);
+            }
+            return OperandSel::immediate(
+                input_imm[static_cast<std::size_t>(src.ref)]);
+          case OperandKind::Node: {
+            auto cv = const_values.find(src.ref);
+            if (cv != const_values.end())
+                return OperandSel::immediate(cv->second);
+            return OperandSel::channel(slot);
+          }
+        }
+        return OperandSel::none();
+    };
+
+    for (NodeId nid : real_nodes) {
+        const DfgNode &n = dfg.node(nid);
+        PeId pe = pe_of[nid];
+        Instruction &in = builder.place(pe, 0);
+        in.mode = SenderMode::Dfg;
+        in.op = n.op;
+        in.a = wire(pe, 0, n.a);
+        in.b = wire(pe, 1, n.b);
+        in.c = wire(pe, 2, n.c);
+        builder.setEntry(pe, 0);
+    }
+
+    // Producer -> consumer destinations.
+    for (NodeId nid : real_nodes) {
+        PeId pe = pe_of[nid];
+        for (NodeId cid : real_nodes) {
+            const DfgNode &c = dfg.node(cid);
+            auto feed = [&](const Operand &src, int slot) {
+                if (src.kind == OperandKind::Node &&
+                    src.ref == nid)
+                    builder.place(pe, 0).dests.push_back(
+                        DestSel::toPe(pe_of[cid], slot));
+            };
+            feed(c.a, 0);
+            feed(c.b, 1);
+            feed(c.c, 2);
+        }
+    }
+    return pe_of;
+}
+
+} // namespace mapped_kernels_detail
+
+/** Map a single-block DFG behind one counted-loop generator (PE 0
+ *  drives input port 0; other inputs bind as immediates; outputs
+ *  drain into output FIFOs in declaration order; nonlinear ops land
+ *  on the capable PEs at the top of the array). */
+inline Program
+mapLoopedDfg(const std::string &name, const MachineConfig &config,
+             const Dfg &dfg, const LoopSpec &loop,
+             const std::map<std::string, Word> &input_bindings = {})
+{
+    dfg.validate();
+
+    // Fold constants; count real operators.
+    std::map<NodeId, Word> const_values;
+    std::vector<NodeId> real_nodes;
+    for (const DfgNode &n : dfg.nodes()) {
+        if (n.op == Opcode::Const)
+            const_values[n.id] = n.a.ref;
+        else
+            real_nodes.push_back(n.id);
+    }
+
+    if (static_cast<int>(real_nodes.size()) + 1 > config.numPes())
+        MARIONETTE_FATAL("kernel '%s' needs %zu PEs, the array has "
+                         "%d (use ProgramBuilder for time-extended "
+                         "mappings)", name.c_str(),
+                         real_nodes.size() + 1, config.numPes());
+
+    std::map<NodeId, PeId> pe_of;
+    {
+        PeId next_ordinary = 1;
+        PeId next_nonlinear =
+            static_cast<PeId>(config.numPes() -
+                              config.nonlinearPes);
+        PeId first_nonlinear = next_nonlinear;
+        for (NodeId n : real_nodes) {
+            if (isNonlinearOp(dfg.node(n).op)) {
+                if (config.nonlinearPes == 0 ||
+                    next_nonlinear >= config.numPes())
+                    MARIONETTE_FATAL(
+                        "kernel '%s' needs more nonlinear-fitting "
+                        "PEs than the %d configured",
+                        name.c_str(), config.nonlinearPes);
+                pe_of[n] = next_nonlinear++;
+            } else {
+                if (next_ordinary == first_nonlinear)
+                    MARIONETTE_FATAL(
+                        "kernel '%s': ordinary operators spill "
+                        "into the nonlinear PE region",
+                        name.c_str());
+                pe_of[n] = next_ordinary++;
+            }
+        }
+    }
+
+    std::vector<Word> input_imm(dfg.inputs().size(), 0);
+    std::vector<bool> input_bound(dfg.inputs().size(), false);
+    for (std::size_t i = 1; i < dfg.inputs().size(); ++i) {
+        auto it = input_bindings.find(dfg.inputs()[i].name);
+        if (it == input_bindings.end())
+            MARIONETTE_FATAL("kernel '%s': input '%s' has no "
+                             "binding", name.c_str(),
+                             dfg.inputs()[i].name.c_str());
+        input_imm[i] = it->second;
+        input_bound[i] = true;
+    }
+
+    ProgramBuilder builder(name, config);
+    builder.setNumOutputs(
+        std::max<int>(1, static_cast<int>(dfg.outputs().size())));
+
+    Instruction &gen = builder.place(0, 0);
+    gen.mode = SenderMode::LoopOp;
+    gen.op = Opcode::Loop;
+    gen.loopStart = loop.start;
+    gen.loopBound = loop.bound;
+    gen.loopStep = loop.step;
+    gen.pipelineII = loop.ii;
+    builder.setEntry(0, 0);
+
+    auto wire = [&](PeId pe, int slot,
+                    const Operand &src) -> OperandSel {
+        switch (src.kind) {
+          case OperandKind::None:
+            return OperandSel::none();
+          case OperandKind::Immediate:
+            return OperandSel::immediate(src.ref);
+          case OperandKind::Input:
+            if (src.ref == 0) {
+                gen.dests.push_back(DestSel::toPe(pe, slot));
+                return OperandSel::channel(slot);
+            }
+            MARIONETTE_ASSERT(
+                input_bound[static_cast<std::size_t>(src.ref)],
+                "unbound input %d", src.ref);
+            return OperandSel::immediate(
+                input_imm[static_cast<std::size_t>(src.ref)]);
+          case OperandKind::Node: {
+            auto cv = const_values.find(src.ref);
+            if (cv != const_values.end())
+                return OperandSel::immediate(cv->second);
+            return OperandSel::channel(slot);
+          }
+        }
+        return OperandSel::none();
+    };
+
+    for (NodeId nid : real_nodes) {
+        const DfgNode &n = dfg.node(nid);
+        PeId pe = pe_of[nid];
+        Instruction &in = builder.place(pe, 0);
+        in.mode = SenderMode::Dfg;
+        in.op = n.op;
+        in.a = wire(pe, 0, n.a);
+        in.b = wire(pe, 1, n.b);
+        in.c = wire(pe, 2, n.c);
+        builder.setEntry(pe, 0);
+    }
+
+    for (NodeId nid : real_nodes) {
+        PeId pe = pe_of[nid];
+        auto addDest = [&](const Operand &src, NodeId consumer,
+                           int slot) {
+            if (src.kind == OperandKind::Node && src.ref == nid) {
+                builder.place(pe_of[consumer], 0); // ensure exists
+                builder.place(pe, 0).dests.push_back(
+                    DestSel::toPe(pe_of[consumer], slot));
+            }
+        };
+        for (NodeId cid : real_nodes) {
+            const DfgNode &c = dfg.node(cid);
+            addDest(c.a, cid, 0);
+            addDest(c.b, cid, 1);
+            addDest(c.c, cid, 2);
+        }
+        for (std::size_t o = 0; o < dfg.outputs().size(); ++o) {
+            if (dfg.outputs()[o].producer == nid)
+                builder.place(pe, 0).dests.push_back(
+                    DestSel::toOutput(static_cast<int>(o)));
+        }
+    }
+
+    return builder.finish();
+}
+
+/** Map the canonical SPMV-shaped imperfect nest: an outer counted
+ *  generator streams i into the bounds DFG, whose start/bound
+ *  outputs feed Control FIFOs 0/1; the inner generator pops a pair
+ *  per round.  A body output named "partial" gets a self-loop
+ *  accumulator (seed it via injectData(accumulatorPe, 1, 0)). */
+inline MappedNest
+mapImperfectNest(const std::string &name,
+                 const MachineConfig &config, const LoopSpec &outer,
+                 const Dfg &bounds_dfg, const Dfg &body_dfg,
+                 const std::map<std::string, Word> &body_bindings = {})
+{
+    using mapped_kernels_detail::placeDfg;
+
+    int start_out = bounds_dfg.findOutput("start");
+    int bound_out = bounds_dfg.findOutput("bound");
+    if (start_out < 0 || bound_out < 0)
+        MARIONETTE_FATAL("nest '%s': bounds DFG must declare "
+                         "'start' and 'bound' outputs",
+                         name.c_str());
+
+    ProgramBuilder builder(name, config);
+    builder.setNumOutputs(1);
+
+    Instruction &outer_gen = builder.place(0, 0);
+    outer_gen.mode = SenderMode::LoopOp;
+    outer_gen.op = Opcode::Loop;
+    outer_gen.loopStart = outer.start;
+    outer_gen.loopBound = outer.bound;
+    outer_gen.loopStep = outer.step;
+    outer_gen.pipelineII = outer.ii;
+    builder.setEntry(0, 0);
+
+    auto bounds_pes = placeDfg(builder, bounds_dfg, 1, outer_gen,
+                               {}, config, name);
+
+    NodeId start_node =
+        bounds_dfg.outputs()[static_cast<std::size_t>(start_out)]
+            .producer;
+    NodeId bound_node =
+        bounds_dfg.outputs()[static_cast<std::size_t>(bound_out)]
+            .producer;
+    builder.place(bounds_pes.at(start_node), 0).pushFifo = 0;
+    builder.place(bounds_pes.at(bound_node), 0).pushFifo = 1;
+
+    PeId inner_pe = static_cast<PeId>(1 + bounds_pes.size());
+    Instruction &inner_gen = builder.place(inner_pe, 0);
+    inner_gen.mode = SenderMode::LoopOp;
+    inner_gen.op = Opcode::Loop;
+    inner_gen.startFifo = 0;
+    inner_gen.boundFifo = 1;
+    inner_gen.pipelineII = 1;
+    builder.setEntry(inner_pe, 0);
+
+    auto body_pes =
+        placeDfg(builder, body_dfg, inner_pe + 1, inner_gen,
+                 body_bindings, config, name);
+
+    MappedNest result;
+    result.innerLoopPe = inner_pe;
+
+    int partial = body_dfg.findOutput("partial");
+    if (partial >= 0) {
+        NodeId producer =
+            body_dfg.outputs()[static_cast<std::size_t>(partial)]
+                .producer;
+        PeId acc_pe =
+            static_cast<PeId>(inner_pe + 1 +
+                              static_cast<PeId>(body_pes.size()));
+        if (acc_pe >= config.numPes())
+            MARIONETTE_FATAL("nest '%s' does not fit (no PE left "
+                             "for the accumulator)", name.c_str());
+        builder.place(body_pes.at(producer), 0)
+            .dests.push_back(DestSel::toPe(acc_pe, 0));
+        Instruction &acc = builder.place(acc_pe, 0);
+        acc.mode = SenderMode::Dfg;
+        acc.op = Opcode::Add;
+        acc.a = OperandSel::channel(0);
+        acc.b = OperandSel::channel(1);
+        acc.dests = {DestSel::toPe(acc_pe, 1),
+                     DestSel::toOutput(0)};
+        builder.setEntry(acc_pe, 0);
+        result.accumulatorPe = acc_pe;
+    }
+
+    result.program = builder.finish();
+    return result;
+}
+
+} // namespace marionette
+
+#endif // MARIONETTE_TESTS_SUPPORT_MAPPED_KERNELS_H
