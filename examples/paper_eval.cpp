@@ -23,16 +23,30 @@
  *                  data points (BENCH_compile_coverage.json).
  *   --check-coverage=PATH
  *                  compare the current coverage (kernel, compiled,
- *                  failed pass) against a checked-in expectation
- *                  and exit non-zero on any difference, so a change
- *                  can never quietly drop a working kernel.
+ *                  failed pass, *and cycles within a tolerance
+ *                  band*) against a checked-in expectation and
+ *                  exit non-zero on any difference, so a change
+ *                  can never quietly drop a working kernel or
+ *                  regress its mapped cycles.
+ *   --placer=snake|cost
+ *                  backend placement algorithm for the machine
+ *                  validation (default: cost; snake is the legacy
+ *                  boustrophedon baseline).
+ *   --mapped-report=PATH
+ *                  run the snake-vs-cost placement A/B over both
+ *                  evaluation fabrics and write the mapped-cycles
+ *                  comparison (per-kernel cycles, hop/congestion
+ *                  stats, aggregate reduction) as JSON
+ *                  (BENCH_mapped_cycles.json).
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,6 +66,8 @@ struct Options
     std::vector<std::string> kernels; ///< empty = all 13.
     std::string reportPath;
     std::string checkCoveragePath;
+    std::string mappedReportPath;
+    PlacerKind placer = PlacerKind::Cost;
 };
 
 bool
@@ -88,12 +104,23 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (std::strncmp(arg, "--check-coverage=", 17) ==
                    0) {
             opts.checkCoveragePath = arg + 17;
+        } else if (std::strncmp(arg, "--mapped-report=", 16) == 0) {
+            opts.mappedReportPath = arg + 16;
+        } else if (std::strncmp(arg, "--placer=", 9) == 0) {
+            if (!parsePlacerName(arg + 9, opts.placer)) {
+                std::fprintf(stderr,
+                             "unknown placer '%s' (snake|cost)\n",
+                             arg + 9);
+                return false;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: paper_eval [--list] "
                          "[--kernels=a,b,c] [--jobs=N] "
                          "[--report=PATH] "
-                         "[--check-coverage=PATH]\n");
+                         "[--check-coverage=PATH] "
+                         "[--placer=snake|cost] "
+                         "[--mapped-report=PATH]\n");
             return false;
         }
     }
@@ -127,26 +154,42 @@ struct KernelCoverage
 /** Compile the selected kernels on two fabrics through the shared
  *  program cache and run them on the cycle-accurate machine.
  *  Returns the per-kernel coverage on the primary fabric. */
-std::vector<KernelCoverage>
-machineValidation(const Options &opts, const SweepRunner &runner)
+MachineConfig
+primaryFabric()
 {
     MachineConfig big;
     big.rows = 10;
     big.cols = 10;
     big.scratchpadBytes = 512 * 1024;
     big.instrMemBytes = 64 * 1024;
-    MachineConfig alt = big;
+    return big;
+}
+
+MachineConfig
+slowMeshFabric()
+{
+    MachineConfig alt = primaryFabric();
     alt.meshHopLatency = 2;
     alt.dataNetLatency = 12;
     alt.scratchpadBanks = 8;
+    return alt;
+}
 
+std::vector<KernelCoverage>
+machineValidation(const Options &opts, const SweepRunner &runner)
+{
+    MachineConfig big = primaryFabric();
+    MachineConfig alt = slowMeshFabric();
+
+    CompilerOptions copts;
+    copts.placer = opts.placer;
     std::vector<KernelSweepJob> jobs;
     std::vector<std::string> labels;
     for (const Workload *w : allWorkloads()) {
         if (!selected(opts, w->name()))
             continue;
         for (const MachineConfig &config : {big, alt}) {
-            jobs.push_back(KernelSweepJob{w, config});
+            jobs.push_back(KernelSweepJob{w, config, 0, copts});
             labels.push_back(w->name());
         }
     }
@@ -156,23 +199,28 @@ machineValidation(const Options &opts, const SweepRunner &runner)
         runner.runKernels(jobs, cache);
 
     std::printf("\n== Compiler pipeline: Table-5 kernels on the "
-                "cycle-accurate machine ==\n");
-    std::printf("  %-6s %-5s %10s %10s  %s\n", "kernel", "cfg",
-                "cycles", "model", "result");
+                "cycle-accurate machine (%s placer) ==\n",
+                std::string(placerName(opts.placer)).c_str());
+    std::printf("  %-6s %-5s %10s %10s %6s %8s  %s\n", "kernel",
+                "cfg", "cycles", "model", "hops", "maxlink",
+                "result");
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const KernelSweepResult &r = results[i];
         const char *cfg = (i % 2 == 0) ? "10x10" : "10x10s";
         if (!r.compiled) {
             if (i % 2 == 0) // report each kernel's rejection once.
-                std::printf("  %-6s %-5s %10s %10s  rejected: %s\n",
-                            labels[i].c_str(), "-", "-", "-",
-                            r.diagnostic.c_str());
+                std::printf("  %-6s %-5s %10s %10s %6s %8s  "
+                            "rejected: %s\n",
+                            labels[i].c_str(), "-", "-", "-", "-",
+                            "-", r.diagnostic.c_str());
             continue;
         }
-        std::printf("  %-6s %-5s %10llu %10.0f  %s\n",
+        std::printf("  %-6s %-5s %10llu %10.0f %6.2f %8llu  %s\n",
                     labels[i].c_str(), cfg,
                     static_cast<unsigned long long>(r.run.cycles),
-                    r.modelEstimate,
+                    r.modelEstimate, r.congestion.meanHops,
+                    static_cast<unsigned long long>(
+                        r.congestion.maxLinkLoad),
                     r.validated
                         ? "bit-exact vs golden"
                         : r.validationError.c_str());
@@ -186,7 +234,7 @@ machineValidation(const Options &opts, const SweepRunner &runner)
     // Coverage record from the primary-fabric results (even job
     // indices), with a freshly-timed compile per kernel.
     std::vector<KernelCoverage> coverage;
-    Compiler compiler(big);
+    Compiler compiler(big, copts);
     for (std::size_t i = 0; i < jobs.size(); i += 2) {
         const KernelSweepResult &r = results[i];
         KernelCoverage c;
@@ -209,6 +257,170 @@ machineValidation(const Options &opts, const SweepRunner &runner)
         coverage.push_back(std::move(c));
     }
     return coverage;
+}
+
+/** One (kernel, fabric) cell of the placement A/B. */
+struct MappedCell
+{
+    std::string kernel;
+    std::string fabric;
+    bool compiled = false;
+    std::uint64_t snakeCycles = 0;
+    std::uint64_t costCycles = 0;
+    bool snakeValidated = false;
+    bool costValidated = false;
+    double snakeMeanHops = 0.0;
+    double costMeanHops = 0.0;
+    std::uint64_t snakeMaxLinkLoad = 0;
+    std::uint64_t costMaxLinkLoad = 0;
+};
+
+/**
+ * The mapped-cycles ablation: every kernel on both evaluation
+ * fabrics, compiled with the legacy snake backend and with the
+ * cost-driven backend, run to completion and cross-validated.  The
+ * aggregate over NW+LDPC+GEMM (the kernels with the largest
+ * model-vs-machine gap) is the geomean speedup across the
+ * (kernel, fabric) points — the literature's standard aggregate
+ * for per-kernel cycle ratios of very different magnitudes — next
+ * to the raw per-fabric cycle sums.
+ */
+std::vector<MappedCell>
+mappedCyclesAb(const Options &opts, const SweepRunner &runner)
+{
+    const MachineConfig fabrics[] = {primaryFabric(),
+                                     slowMeshFabric()};
+    const char *fabric_names[] = {"10x10", "10x10s"};
+
+    std::vector<KernelSweepJob> jobs;
+    std::vector<MappedCell> cells;
+    for (const Workload *w : allWorkloads()) {
+        if (!selected(opts, w->name()))
+            continue;
+        for (int f = 0; f < 2; ++f) {
+            MappedCell cell;
+            cell.kernel = w->name();
+            cell.fabric = fabric_names[f];
+            cells.push_back(cell);
+            for (PlacerKind placer :
+                 {PlacerKind::Snake, PlacerKind::Cost}) {
+                CompilerOptions copts;
+                copts.placer = placer;
+                jobs.push_back(
+                    KernelSweepJob{w, fabrics[f], 0, copts});
+            }
+        }
+    }
+
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const KernelSweepResult &snake = results[2 * i];
+        const KernelSweepResult &cost = results[2 * i + 1];
+        MappedCell &cell = cells[i];
+        cell.compiled = snake.compiled && cost.compiled;
+        if (!cell.compiled)
+            continue;
+        cell.snakeCycles = snake.run.cycles;
+        cell.costCycles = cost.run.cycles;
+        cell.snakeValidated = snake.validated;
+        cell.costValidated = cost.validated;
+        cell.snakeMeanHops = snake.congestion.meanHops;
+        cell.costMeanHops = cost.congestion.meanHops;
+        cell.snakeMaxLinkLoad = snake.congestion.maxLinkLoad;
+        cell.costMaxLinkLoad = cost.congestion.maxLinkLoad;
+    }
+    return cells;
+}
+
+void
+writeMappedReport(const std::string &path,
+                  const std::vector<MappedCell> &cells)
+{
+    const std::set<std::string> aggregate_kernels = {"NW", "LDPC",
+                                                     "GEMM"};
+    double log_speedup_sum = 0.0;
+    int points = 0;
+    std::uint64_t snake_total = 0, cost_total = 0;
+    for (const MappedCell &c : cells) {
+        if (!c.compiled || !aggregate_kernels.count(c.kernel))
+            continue;
+        snake_total += c.snakeCycles;
+        cost_total += c.costCycles;
+        log_speedup_sum +=
+            std::log(static_cast<double>(c.snakeCycles) /
+                     static_cast<double>(c.costCycles));
+        ++points;
+    }
+    double geomean =
+        points > 0 ? std::exp(log_speedup_sum / points) : 1.0;
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write mapped report '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n  \"baseline\": \"snake (legacy backend: "
+           "boustrophedon placement + legacy drain bounds)\",\n"
+           "  \"cells\": [\n";
+    bool first = true;
+    for (const MappedCell &c : cells) {
+        if (!c.compiled)
+            continue;
+        if (!first)
+            out << ",\n";
+        first = false;
+        out << "    {\"kernel\": \"" << c.kernel
+            << "\", \"fabric\": \"" << c.fabric
+            << "\", \"snake_cycles\": " << c.snakeCycles
+            << ", \"cost_cycles\": " << c.costCycles
+            << ", \"speedup\": "
+            << static_cast<double>(c.snakeCycles) /
+                   static_cast<double>(c.costCycles)
+            << ", \"snake_mean_hops\": " << c.snakeMeanHops
+            << ", \"cost_mean_hops\": " << c.costMeanHops
+            << ", \"snake_max_link_load\": " << c.snakeMaxLinkLoad
+            << ", \"cost_max_link_load\": " << c.costMaxLinkLoad
+            << ", \"validated\": "
+            << (c.snakeValidated && c.costValidated ? "true"
+                                                    : "false")
+            << "}";
+    }
+    out << "\n";
+    out << "  ],\n  \"aggregate\": {\n"
+        << "    \"kernels\": [\"NW\", \"LDPC\", \"GEMM\"],\n"
+        << "    \"metric\": \"geomean speedup over the (kernel, "
+           "fabric) points\",\n"
+        << "    \"points\": " << points << ",\n"
+        << "    \"snake_cycles_total\": " << snake_total << ",\n"
+        << "    \"cost_cycles_total\": " << cost_total << ",\n"
+        << "    \"sum_reduction_pct\": "
+        << (snake_total > 0
+                ? 100.0 * (1.0 - static_cast<double>(cost_total) /
+                                     static_cast<double>(
+                                         snake_total))
+                : 0.0)
+        << ",\n"
+        << "    \"geomean_speedup\": " << geomean << ",\n"
+        << "    \"aggregate_reduction_pct\": "
+        << 100.0 * (1.0 - 1.0 / geomean) << "\n  }\n}\n";
+    std::printf("\nwrote mapped-cycles report: %s\n",
+                path.c_str());
+    std::printf("placement A/B aggregate (NW+LDPC+GEMM, both "
+                "fabrics): geomean speedup %.3fx "
+                "(%.1f%% cycle reduction; cycle sums %llu -> "
+                "%llu, %.1f%%)\n",
+                geomean, 100.0 * (1.0 - 1.0 / geomean),
+                static_cast<unsigned long long>(snake_total),
+                static_cast<unsigned long long>(cost_total),
+                snake_total > 0
+                    ? 100.0 * (1.0 -
+                               static_cast<double>(cost_total) /
+                                   static_cast<double>(
+                                       snake_total))
+                    : 0.0);
 }
 
 std::string
@@ -280,6 +492,19 @@ extractBool(const std::string &obj, const std::string &key)
            std::min(obj.find(',', at), obj.find('}', at));
 }
 
+/** Numeric field scan; -1 when the key is absent. */
+std::int64_t
+extractNumber(const std::string &obj, const std::string &key)
+{
+    std::size_t at = obj.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return -1;
+    at = obj.find(':', at);
+    if (at == std::string::npos)
+        return -1;
+    return std::atoll(obj.c_str() + at + 1);
+}
+
 /** Diff (kernel, compiled, failed_pass) against the expectation
  *  file; returns false (and prints every difference) on mismatch. */
 bool
@@ -337,6 +562,30 @@ checkCoverage(const std::string &path,
                          "bit-exact\n",
                          c.kernel.c_str());
             ok = false;
+        }
+        // Cycle regressions fail CI too, not just status flips: a
+        // compiled kernel's mapped cycles must stay within a
+        // tolerance band of the expectation (the band absorbs
+        // incidental drift from unrelated changes; a placement or
+        // timing regression blows through it).
+        constexpr double kCycleTolerance = 0.10;
+        std::int64_t want_cycles = extractNumber(obj, "cycles");
+        if (c.compiled && want_compiled && want_cycles > 0) {
+            double rel =
+                std::fabs(static_cast<double>(c.cycles) -
+                          static_cast<double>(want_cycles)) /
+                static_cast<double>(want_cycles);
+            if (rel > kCycleTolerance) {
+                std::fprintf(
+                    stderr,
+                    "coverage check: %s runs in %llu cycles, "
+                    "expected %lld (+/-%.0f%%)\n",
+                    c.kernel.c_str(),
+                    static_cast<unsigned long long>(c.cycles),
+                    static_cast<long long>(want_cycles),
+                    100.0 * kCycleTolerance);
+                ok = false;
+            }
         }
         ++checked;
     }
@@ -524,6 +773,9 @@ main(int argc, char **argv)
         machineValidation(opts, runner);
     if (!opts.reportPath.empty())
         writeReport(opts.reportPath, coverage);
+    if (!opts.mappedReportPath.empty())
+        writeMappedReport(opts.mappedReportPath,
+                          mappedCyclesAb(opts, runner));
     if (!opts.checkCoveragePath.empty() &&
         !checkCoverage(opts.checkCoveragePath, coverage))
         return 1;

@@ -361,7 +361,14 @@ MarionetteMachine::run(Cycle max_cycles)
             }
         }
 
-        if (progressed) {
+        // Quiescence needs both silence *and* empty networks: a
+        // word still in flight (a long mesh route can exceed the
+        // grace window) will make progress when it lands, so the
+        // idle streak must not run out underneath it.
+        bool in_flight = mesh_.inFlight() > 0 ||
+                         pendingCtrl_.size() > 0 ||
+                         pendingPush_.size() > 0;
+        if (progressed || in_flight) {
             idle_streak = 0;
         } else if (++idle_streak >= grace) {
             result.finished = true;
@@ -419,6 +426,27 @@ MarionetteMachine::renderAllStats() const
     return renderStats(groups);
 }
 
+CongestionReport
+MarionetteMachine::congestion() const
+{
+    CongestionReport report;
+    report.packets = mesh_.stats().value("packets");
+    report.hopTraversals = mesh_.stats().value("hop_traversals");
+    report.maxLinkLoad = mesh_.stats().value("max_link_load");
+    if (report.packets > 0)
+        report.meanHops =
+            static_cast<double>(report.hopTraversals) /
+            static_cast<double>(report.packets);
+    for (const auto &pe : pes_) {
+        const StatGroup &s = pe->stats();
+        report.stallOperand += s.value("stall_operand");
+        report.stallCredit += s.value("stall_credit");
+        report.stallMem += s.value("stall_mem");
+        report.stallGate += s.value("stall_gate");
+    }
+    return report;
+}
+
 void
 MarionetteMachine::injectData(PeId pe, int channel, Word value)
 {
@@ -434,6 +462,14 @@ MarionetteMachine::controlFifo(int i)
     MARIONETTE_ASSERT(i >= 0 && i < config_.controlFifoCount,
                       "bad FIFO index %d", i);
     return *fifos_[static_cast<std::size_t>(i)];
+}
+
+const Pe &
+MarionetteMachine::pe(PeId id) const
+{
+    MARIONETTE_ASSERT(id >= 0 && id < config_.numPes(),
+                      "bad PE id %d", id);
+    return *pes_[static_cast<std::size_t>(id)];
 }
 
 const StatGroup &

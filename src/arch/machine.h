@@ -51,6 +51,32 @@
 namespace marionette
 {
 
+/**
+ * Aggregate traffic/stall profile: mesh congestion (per-link loads
+ * folded into max/mean) plus the array-wide stall breakdown.  Like
+ * every machine statistic these are cumulative over the machine's
+ * lifetime; the sweeps run one kernel per machine, so per-kernel
+ * profiles fall out.  paper_eval reports these next to the
+ * mapped-cycle numbers so a placement change's effect on the
+ * network is visible, not just its cycle count.
+ */
+struct CongestionReport
+{
+    /** Words injected into the data mesh. */
+    std::uint64_t packets = 0;
+    /** Total router-hop traversals of those words. */
+    std::uint64_t hopTraversals = 0;
+    /** Busiest directed link's traversal count. */
+    std::uint64_t maxLinkLoad = 0;
+    /** Average hops per packet (0 when no traffic). */
+    double meanHops = 0.0;
+    /** Array-wide stall-cycle breakdown (summed over PEs). */
+    std::uint64_t stallOperand = 0;
+    std::uint64_t stallCredit = 0;
+    std::uint64_t stallMem = 0;
+    std::uint64_t stallGate = 0;
+};
+
 /** Outcome of one kernel execution. */
 struct RunResult
 {
@@ -102,6 +128,9 @@ class MarionetteMachine : public FabricIface
     /** Per-PE statistics. */
     const StatGroup &peStats(PeId pe) const;
 
+    /** Read-only PE access (tests, stuck-state diagnostics). */
+    const Pe &pe(PeId id) const;
+
     /** Machine-level statistics. */
     const StatGroup &stats() const { return stats_; }
 
@@ -115,6 +144,13 @@ class MarionetteMachine : public FabricIface
 
     /** The control network instance (area/ablation queries). */
     const ControlNetwork &controlNetwork() const { return ctrlNet_; }
+
+    /** The data mesh instance (geometry/congestion queries). */
+    const DataMesh &mesh() const { return mesh_; }
+
+    /** Mesh congestion + stall profile (cumulative; see
+     *  CongestionReport). */
+    CongestionReport congestion() const;
 
     // ---- FabricIface (called by PEs during tick) ----
     bool dataCredit(PeId dst, int channel) override;

@@ -1,14 +1,14 @@
 /**
  * @file
- * The emit pass: placement and binary construction.
+ * The emit pass: binary construction from a placed-and-routed
+ * mapping.
  *
- * Placement walks the boustrophedon (snake) PE order so consecutive
- * allocations stay mesh-adjacent; nonlinear operators take the next
- * capable PE (the top-id PEs of Table 4).  Serial phases chain
- * through loop-exit control emissions, with a *drain* loop between
- * phases: a destination-less generator that burns a conservative
- * number of cycles so every in-flight store of the finished phase
- * lands before the next phase's first load issues.
+ * Placement decisions live in backend/placement.cc and the derived
+ * timing in backend/route.cc; this pass only materializes the
+ * Program: per-PE instructions, operand/destination wiring, boot
+ * seeds, observation taps, the serial-phase control chain (with the
+ * route plan's drain bounds), and the capacity checks a bitstream
+ * generator owns (instruction memory, scratchpad extent).
  */
 
 #include <algorithm>
@@ -21,28 +21,8 @@
 namespace marionette
 {
 
-namespace
-{
-
-/** Boustrophedon PE order: consecutive allocations stay mesh-
- *  adjacent, which keeps recurrence round trips short. */
-std::vector<PeId>
-snakeOrder(const MachineConfig &config)
-{
-    std::vector<PeId> order;
-    for (int r = 0; r < config.rows; ++r)
-        for (int c = 0; c < config.cols; ++c) {
-            int col = (r % 2 == 0) ? c : config.cols - 1 - c;
-            order.push_back(
-                static_cast<PeId>(r * config.cols + col));
-        }
-    return order;
-}
-
-} // namespace
-
 // ------------------------------------------------------------------
-// Pass 7: emit
+// Pass 9: emit
 // ------------------------------------------------------------------
 
 bool
@@ -50,35 +30,8 @@ passEmit(Compilation &cc)
 {
     const MachineConfig &config = cc.config;
     CompiledKernel &out = *cc.out;
+    const Mapping &map = cc.mapping;
 
-    // Capacity pre-flight with diagnostics (the builder would
-    // assert-fatal instead).
-    int pes_needed = 0;
-    int nonlinear_needed = 0;
-    for (const FlatPhase &phase : cc.phases) {
-        pes_needed += 1; // the phase's loop generator.
-        for (NodeId id : phase.liveNodes)
-            if (isNonlinearOp(phase.body.node(id).op))
-                ++nonlinear_needed;
-        pes_needed += static_cast<int>(phase.liveNodes.size());
-    }
-    // One drain generator per phase boundary.
-    pes_needed += std::max<int>(
-        0, static_cast<int>(cc.phases.size()) - 1);
-    if (pes_needed > config.numPes()) {
-        std::ostringstream why;
-        why << "kernel needs " << pes_needed << " PEs, the "
-            << config.rows << "x" << config.cols << " array has "
-            << config.numPes();
-        return cc.fail(kPassEmit, why.str());
-    }
-    if (nonlinear_needed > config.nonlinearPes) {
-        std::ostringstream why;
-        why << "kernel needs " << nonlinear_needed
-            << " nonlinear-fitting PEs, the array has "
-            << config.nonlinearPes;
-        return cc.fail(kPassEmit, why.str());
-    }
     const int spad_words =
         config.scratchpadBytes / static_cast<int>(sizeof(Word));
     Word mem_extent =
@@ -100,53 +53,10 @@ passEmit(Compilation &cc)
     builder.setNumOutputs(std::max<int>(
         1, static_cast<int>(cc.spec.observePorts.size())));
 
-    // Placement: ordinary nodes walk the snake order; nonlinear
-    // nodes take the next capable PE.  Capable PEs double as
-    // ordinary slots, but enough of them are held back for the
-    // not-yet-placed nonlinear nodes, so with the pre-flight bounds
-    // above neither allocation can fail.
-    std::vector<PeId> order = snakeOrder(config);
-    std::vector<bool> taken(
-        static_cast<std::size_t>(config.numPes()), false);
-    const PeId first_nonlinear =
-        static_cast<PeId>(config.numPes() - config.nonlinearPes);
-    int nonlinear_unplaced = nonlinear_needed;
-    int capable_free = config.nonlinearPes;
-    std::size_t cursor = 0;
-    auto allocPe = [&](bool nonlinear) -> PeId {
-        if (nonlinear) {
-            for (PeId pe = first_nonlinear; pe < config.numPes();
-                 ++pe)
-                if (!taken[static_cast<std::size_t>(pe)]) {
-                    taken[static_cast<std::size_t>(pe)] = true;
-                    --capable_free;
-                    --nonlinear_unplaced;
-                    return pe;
-                }
-            return invalidPe; // reservation makes this unreachable.
-        }
-        for (std::size_t at = cursor; at < order.size(); ++at) {
-            PeId pe = order[at];
-            if (taken[static_cast<std::size_t>(pe)])
-                continue;
-            if (pe >= first_nonlinear &&
-                capable_free <= nonlinear_unplaced)
-                continue; // held back for a nonlinear node.
-            taken[static_cast<std::size_t>(pe)] = true;
-            if (pe >= first_nonlinear)
-                --capable_free;
-            if (at == cursor)
-                ++cursor;
-            return pe;
-        }
-        return invalidPe;
-    };
-
-    std::vector<PeId> phase_gen(cc.phases.size(), invalidPe);
     for (std::size_t p = 0; p < cc.phases.size(); ++p) {
         const FlatPhase &phase = cc.phases[p];
-        PeId gen_pe = allocPe(false);
-        phase_gen[p] = gen_pe;
+        const PlacedPhase &placed = map.phases[p];
+        PeId gen_pe = placed.generator;
         Instruction &gen = builder.place(gen_pe, 0);
         gen.mode = SenderMode::LoopOp;
         gen.op = Opcode::Loop;
@@ -157,21 +67,12 @@ passEmit(Compilation &cc)
         if (p == 0)
             builder.setEntry(gen_pe, 0);
 
-        // Place live nodes in creation order (data flows forward,
-        // so snake adjacency tracks the dependence chains).
-        std::map<NodeId, PeId> pe_of;
-        for (const DfgNode &n : phase.body.nodes()) {
-            if (!phase.liveNodes.count(n.id))
-                continue;
-            pe_of[n.id] = allocPe(isNonlinearOp(n.op));
-        }
-
         // Wire operands; producers (generator, upstream nodes,
         // carried finals) push into the consumer slot's channel.
         for (const DfgNode &n : phase.body.nodes()) {
             if (!phase.liveNodes.count(n.id))
                 continue;
-            PeId pe = pe_of.at(n.id);
+            PeId pe = placed.peOf.at(n.id);
             Instruction &in = builder.place(pe, 0);
             in.mode = SenderMode::Dfg;
             in.op = n.op;
@@ -200,7 +101,8 @@ passEmit(Compilation &cc)
                             out.boots.push_back(
                                 BootInjection{pe, slot, cv.seed});
                             builder
-                                .place(pe_of.at(cv.finalVal.ref),
+                                .place(placed.peOf.at(
+                                           cv.finalVal.ref),
                                        0)
                                 .dests.push_back(
                                     DestSel::toPe(pe, slot));
@@ -208,7 +110,7 @@ passEmit(Compilation &cc)
                     }
                     return OperandSel::channel(slot);
                   case OperandKind::Node:
-                    builder.place(pe_of.at(src.ref), 0)
+                    builder.place(placed.peOf.at(src.ref), 0)
                         .dests.push_back(DestSel::toPe(pe, slot));
                     return OperandSel::channel(slot);
                 }
@@ -223,7 +125,7 @@ passEmit(Compilation &cc)
         for (const Observation &ob : cc.observations) {
             if (ob.phase != static_cast<int>(p))
                 continue;
-            builder.place(pe_of.at(ob.node), 0)
+            builder.place(placed.peOf.at(ob.node), 0)
                 .dests.push_back(DestSel::toOutput(ob.fifo));
         }
     }
@@ -231,27 +133,24 @@ passEmit(Compilation &cc)
     // Serial phases chain through loop-exit control emissions via a
     // drain loop: the finished phase's generator configures a
     // destination-less generator that idles long enough for every
-    // in-flight store to land, then configures the next phase.
+    // in-flight store to land, then configures the next phase.  The
+    // drain length comes from the route plan's pipeline-flush bound
+    // instead of the old all-operators-serialize guess.
     for (std::size_t p = 0; p + 1 < cc.phases.size(); ++p) {
-        PeId drain_pe = allocPe(false);
-        // Worst case: every channel along the longest dependence
-        // chain is full (8 words x one hop per live node) and each
-        // buffered slot retires at the per-slot serialization bound
-        // the cycle budget also uses.
-        Cycle n = static_cast<Cycle>(cc.phases[p].liveNodes.size());
-        Cycle drain = 64 + 8 * n * (3 * (n + 2) + 16);
-        Instruction &gen = builder.place(phase_gen[p], 0);
+        PeId drain_pe = map.drainPes[p];
+        Instruction &gen =
+            builder.place(map.phases[p].generator, 0);
         gen.loopExitAddr = 0;
         gen.ctrlDests = {drain_pe};
         Instruction &dr = builder.place(drain_pe, 0);
         dr.mode = SenderMode::LoopOp;
         dr.op = Opcode::Loop;
         dr.loopStart = 0;
-        dr.loopBound = drain;
+        dr.loopBound = cc.routes.drainCycles[p];
         dr.loopStep = 1;
         dr.pipelineII = 1;
         dr.loopExitAddr = 0;
-        dr.ctrlDests = {phase_gen[p + 1]};
+        dr.ctrlDests = {map.phases[p + 1].generator};
     }
 
     out.program = builder.finish();
@@ -286,11 +185,13 @@ passEmit(Compilation &cc)
                        16u) +
                   64 + 16 * static_cast<Cycle>(
                                 phase.liveNodes.size());
+    for (Cycles d : cc.routes.drainCycles)
+        budget += d + 64;
     out.cycleBudget = budget;
 
     std::ostringstream note;
-    note << "placed " << pes_needed << "/" << config.numPes()
-         << " PEs (" << nonlinear_needed << " nonlinear), "
+    note << "emitted " << map.pesUsed << "/" << config.numPes()
+         << " PEs (" << map.nonlinearUsed << " nonlinear), "
          << out.program.numOutputs << " output FIFO(s), "
          << config_bytes << " config bytes, " << out.boots.size()
          << " boot seed(s)";

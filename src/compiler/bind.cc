@@ -132,17 +132,17 @@ computeSpan(Region &r)
 } // namespace
 
 // ------------------------------------------------------------------
-// Pass 4: assignment (the Fig. 8 planner, for the record)
+// Pass 4: assignment (the Fig. 8 planner; the backend's place pass
+// consumes the plan for its recurrence weighting)
 // ------------------------------------------------------------------
 
 bool
 passAssign(Compilation &cc)
 {
-    AssignmentPlan plan =
-        agileSchedule(cc.cdfg, cc.loops, cc.config.numPes());
+    cc.plan = agileSchedule(cc.cdfg, cc.loops, cc.config.numPes());
     std::ostringstream note;
-    note << "agile plan over " << plan.blocks.size()
-         << " blocks, total PE waste " << plan.totalWaste;
+    note << "agile plan over " << cc.plan.blocks.size()
+         << " blocks, total PE waste " << cc.plan.totalWaste;
     cc.report.note(kPassAssign, note.str());
     return true;
 }

@@ -124,7 +124,34 @@ CompiledKernel::validate(const MarionetteMachine &machine,
 // Driver
 // ------------------------------------------------------------------
 
-Compiler::Compiler(const MachineConfig &config) : config_(config)
+std::string_view
+placerName(PlacerKind kind)
+{
+    return kind == PlacerKind::Snake ? "snake" : "cost";
+}
+
+bool
+parsePlacerName(const std::string &name, PlacerKind &out)
+{
+    if (name == "snake") {
+        out = PlacerKind::Snake;
+        return true;
+    }
+    if (name == "cost") {
+        out = PlacerKind::Cost;
+        return true;
+    }
+    return false;
+}
+
+Compiler::Compiler(const MachineConfig &config)
+    : Compiler(config, CompilerOptions{})
+{
+}
+
+Compiler::Compiler(const MachineConfig &config,
+                   const CompilerOptions &options)
+    : config_(config), options_(options)
 {
     config_.validate();
 }
@@ -132,7 +159,7 @@ Compiler::Compiler(const MachineConfig &config) : config_(config)
 CompileResult
 Compiler::compile(const Workload &workload) const
 {
-    Compilation cc(workload, config_);
+    Compilation cc(workload, config_, options_);
     auto kernel = std::make_shared<CompiledKernel>();
     cc.out = kernel.get();
 
@@ -143,6 +170,8 @@ Compiler::compile(const Workload &workload) const
         .add(kPassAssign, passAssign)
         .add(kPassBind, passBind)
         .add(kPassLower, passLower)
+        .add(kPassPlace, passPlace)
+        .add(kPassRoute, passRoute)
         .add(kPassEmit, passEmit);
     bool ok = pm.run(cc);
 

@@ -30,10 +30,18 @@
  *                    round entry/exit; outer-level stores become
  *                    last-wins stores; serial phases chain through
  *                    loop-exit control emissions.
- *   7. emit        — placement (snake order for recurrence
- *                    locality, nonlinear ops onto capable PEs) and
- *                    ProgramBuilder emission + capacity checks
- *                    (PEs, FIFOs, instruction memory, scratchpad).
+ *   7. place       — the backend's placement: every generator and
+ *                    live DFG node gets a PE, cost-driven over the
+ *                    mesh distance model with recurrence cycles
+ *                    clustered (or the legacy snake walk for the
+ *                    ablation baseline); PE capacity checks.
+ *   8. route       — data edges materialized as dimension-ordered
+ *                    mesh paths with machine-exact latencies;
+ *                    derives recurrence II, pipeline fill and the
+ *                    serial-phase drain bounds.
+ *   9. emit        — ProgramBuilder binary construction from the
+ *                    placed-and-routed mapping + capacity checks
+ *                    (instruction memory, scratchpad).
  *
  * The driver never calls MARIONETTE_FATAL for an unsupported
  * kernel: unsupported means a clean CompileReport explaining which
@@ -45,6 +53,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "isa/instruction.h"
@@ -129,13 +138,41 @@ struct CompileResult
     bool ok() const { return kernel != nullptr; }
 };
 
+/** Which placement algorithm the backend's place pass runs. */
+enum class PlacerKind : std::uint8_t
+{
+    /** Boustrophedon walk in node-creation order — the legacy
+     *  mesh-oblivious baseline, kept for the mapped-cycles A/B. */
+    Snake,
+    /** Cost-driven: weighted wirelength with recurrence-loop edges
+     *  dominating, greedy seed + deterministic iterative
+     *  improvement over the mesh distance model.  The default. */
+    Cost,
+};
+
+/** Mnemonic of a placer kind ("snake" / "cost"). */
+std::string_view placerName(PlacerKind kind);
+
+/** Parse a placer mnemonic; returns false on unknown names. */
+bool parsePlacerName(const std::string &name, PlacerKind &out);
+
+/** Compile-time options (policy, not architecture: a machine runs
+ *  any correctly-placed program regardless of these). */
+struct CompilerOptions
+{
+    PlacerKind placer = PlacerKind::Cost;
+};
+
 /** The pass-based compiler driver. */
 class Compiler
 {
   public:
     explicit Compiler(const MachineConfig &config);
+    Compiler(const MachineConfig &config,
+             const CompilerOptions &options);
 
     const MachineConfig &config() const { return config_; }
+    const CompilerOptions &options() const { return options_; }
 
     /** Compile @p workload for this compiler's machine. */
     CompileResult compile(const Workload &workload) const;
@@ -146,6 +183,7 @@ class Compiler
 
   private:
     MachineConfig config_;
+    CompilerOptions options_;
 };
 
 /** Names of the workloads @p config can compile (runs the full

@@ -8,13 +8,15 @@
  *   analyze    CDFG + machine data            (structure.cc)
  *   predicate  branch diamonds -> selects     (structure.cc)
  *   structure  CDFG -> RegionTree             (structure.cc)
- *   assign     Fig. 8 planner, for the record (bind.cc)
+ *   assign     Fig. 8 planner -> AssignmentPlan (bind.cc)
  *   bind       trips, spans, seeds resolved   (bind.cc)
  *   lower      RegionTree -> FlatPhases       (lower.cc)
- *   emit       placement + ProgramBuilder     (emit.cc)
+ *   place      FlatPhases -> Mapping          (backend/placement.cc)
+ *   route      Mapping -> RoutePlan           (backend/route.cc)
+ *   emit       binary construction            (backend/emit.cc)
  *
- * Only the driver (compiler.cc) and the pass translation units
- * include this header.
+ * Only the driver (compiler.cc), the pass translation units and
+ * backend-focused tests include this header.
  */
 
 #ifndef MARIONETTE_COMPILER_PIPELINE_H
@@ -23,8 +25,11 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "compiler/assignment.h"
+#include "compiler/backend/mapping.h"
 #include "compiler/compiler.h"
 #include "compiler/region.h"
 #include "ir/dfg.h"
@@ -69,6 +74,7 @@ struct Compilation
 {
     const Workload &workload;
     const MachineConfig &config;
+    CompilerOptions options;
     CompileReport report;
 
     Cdfg cdfg{"empty"};
@@ -78,11 +84,18 @@ struct Compilation
     std::map<std::string, Word> initEnv;
     std::vector<FlatPhase> phases;
     std::vector<Observation> observations;
+    /** Filled by assign: the Fig. 8 plan the placer consumes. */
+    AssignmentPlan plan;
+    /** Filled by place. */
+    Mapping mapping;
+    /** Filled by route. */
+    RoutePlan routes;
     /** Filled by emit. */
     CompiledKernel *out = nullptr;
 
-    Compilation(const Workload &w, const MachineConfig &c)
-        : workload(w), config(c)
+    Compilation(const Workload &w, const MachineConfig &c,
+                const CompilerOptions &o = {})
+        : workload(w), config(c), options(o)
     {}
 
     bool
@@ -100,7 +113,17 @@ inline constexpr const char *kPassStructure = "structure";
 inline constexpr const char *kPassAssign = "assign";
 inline constexpr const char *kPassBind = "bind";
 inline constexpr const char *kPassLower = "lower";
+inline constexpr const char *kPassPlace = "place";
+inline constexpr const char *kPassRoute = "route";
 inline constexpr const char *kPassEmit = "emit";
+
+/** The edges that close a phase's loop-carried cycles (source =
+ *  carried final value, destination = a consumer of that carried
+ *  input).  Shared by the place and route passes so the two can
+ *  never disagree on what is a recurrence closure.  Defined in
+ *  backend/placement.cc. */
+std::set<std::pair<NodeId, NodeId>> closingEdges(
+    const FlatPhase &phase);
 
 // Pass entry points (one translation unit each).
 bool passAnalyze(Compilation &cc);     // structure.cc
@@ -109,7 +132,9 @@ bool passStructure(Compilation &cc);   // structure.cc
 bool passAssign(Compilation &cc);      // bind.cc
 bool passBind(Compilation &cc);        // bind.cc
 bool passLower(Compilation &cc);       // lower.cc
-bool passEmit(Compilation &cc);        // emit.cc
+bool passPlace(Compilation &cc);       // backend/placement.cc
+bool passRoute(Compilation &cc);       // backend/route.cc
+bool passEmit(Compilation &cc);        // backend/emit.cc
 
 } // namespace marionette
 

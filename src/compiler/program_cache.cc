@@ -5,10 +5,16 @@ namespace marionette
 
 CompileResult
 ProgramCache::getOrCompile(const Workload &workload,
-                           const MachineConfig &config)
+                           const MachineConfig &config,
+                           const CompilerOptions &options)
 {
+    // Fold the compile options into the architectural hash: a
+    // snake-placed and a cost-placed program are distinct entries.
+    const std::uint64_t opts_bits =
+        options.placer == PlacerKind::Snake ? 0x9e3779b97f4a7c15ull
+                                            : 0;
     const std::pair<std::string, std::uint64_t> key{
-        workload.name(), configHash(config)};
+        workload.name(), configHash(config) ^ opts_bits};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -21,7 +27,8 @@ ProgramCache::getOrCompile(const Workload &workload,
     // Compile outside the lock: distinct keys compile in parallel.
     // A racing duplicate of the same key is harmless — the kernels
     // are deterministic, and first-insert wins below.
-    CompileResult result = Compiler(config).compile(workload);
+    CompileResult result =
+        Compiler(config, options).compile(workload);
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = entries_.emplace(key, result);

@@ -34,13 +34,16 @@ namespace marionette
 class ProgramCache
 {
   public:
-    /** Compile (or reuse) @p workload for @p config. */
+    /** Compile (or reuse) @p workload for @p config under
+     *  @p options (the placer choice is part of the key: snake and
+     *  cost mappings are different programs). */
     CompileResult getOrCompile(const Workload &workload,
-                               const MachineConfig &config);
+                               const MachineConfig &config,
+                               const CompilerOptions &options = {});
 
     std::uint64_t hits() const;
     std::uint64_t misses() const;
-    /** Distinct (workload, config) entries held. */
+    /** Distinct (workload, config, options) entries held. */
     std::size_t size() const;
 
   private:

@@ -42,6 +42,14 @@ Dfg::node(NodeId id) const
     return nodes_[static_cast<std::size_t>(id)];
 }
 
+DfgNode &
+Dfg::node(NodeId id)
+{
+    MARIONETTE_ASSERT(id >= 0 && id < numNodes(),
+                      "node id %d out of range", id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
 int
 Dfg::numMemoryOps() const
 {

@@ -102,6 +102,9 @@ class Dfg
 
     const DfgNode &node(NodeId id) const;
 
+    /** Mutable node access (backend rewrites, e.g. fence fusion). */
+    DfgNode &node(NodeId id);
+
     /** Number of operation nodes. */
     int numNodes() const { return static_cast<int>(nodes_.size()); }
 

@@ -96,6 +96,12 @@ delaySweep()
     return out;
 }
 
+int
+controlNetworkLatencyCycles(int num_pes, double freq_ghz)
+{
+    return timeControlNetwork(num_pes, freq_ghz).latencyCycles;
+}
+
 std::string
 toString(const std::vector<NetworkTiming> &sweep)
 {

@@ -49,6 +49,14 @@ int controlNetworkStages(int num_pes);
 NetworkTiming timeControlNetwork(int num_pes, double freq_ghz);
 
 /**
+ * Pipelined latency (cycles) of the CS-Benes control network sized
+ * for @p num_pes at @p freq_ghz — the latency query the compiler
+ * backend's route pass uses when it records control-network routes
+ * next to the mesh hop paths.
+ */
+int controlNetworkLatencyCycles(int num_pes, double freq_ghz);
+
+/**
  * The Fig. 13 sweep: array sizes 2x2 .. 16x16 crossed with
  * frequency targets 0.5 .. 2.0 GHz.
  */

@@ -8,44 +8,102 @@
 namespace marionette
 {
 
-DataMesh::DataMesh(int rows, int cols, Cycles hop_latency)
-    : rows_(rows),
-      cols_(cols),
-      hopLatency_(hop_latency),
-      stats_("datamesh"),
-      flight_(static_cast<Cycles>(rows + cols) * hop_latency + 2),
-      statPackets_(stats_.stat("packets")),
-      statHopTraversals_(stats_.stat("hop_traversals"))
-{
-    MARIONETTE_ASSERT(rows > 0 && cols > 0,
-                      "mesh dimensions must be positive");
-    MARIONETTE_ASSERT(hop_latency >= 1, "hop latency must be >= 1");
-}
+// ------------------------------------------------------------------
+// MeshGeometry
+// ------------------------------------------------------------------
 
 int
-DataMesh::hops(PeId src, PeId dst) const
+MeshGeometry::hops(PeId src, PeId dst) const
 {
-    MARIONETTE_ASSERT(src >= 0 && src < rows_ * cols_,
+    MARIONETTE_ASSERT(src >= 0 && src < rows * cols,
                       "mesh source %d out of range", src);
-    MARIONETTE_ASSERT(dst >= 0 && dst < rows_ * cols_,
+    MARIONETTE_ASSERT(dst >= 0 && dst < rows * cols,
                       "mesh destination %d out of range", dst);
-    int sr = src / cols_, sc = src % cols_;
-    int dr = dst / cols_, dc = dst % cols_;
+    int sr = src / cols, sc = src % cols;
+    int dr = dst / cols, dc = dst % cols;
     return std::abs(sr - dr) + std::abs(sc - dc);
 }
 
 Cycles
-DataMesh::latency(PeId src, PeId dst) const
+MeshGeometry::latency(PeId src, PeId dst) const
 {
     int h = hops(src, dst);
     return std::max<Cycles>(1,
-                            static_cast<Cycles>(h) * hopLatency_);
+                            static_cast<Cycles>(h) * hopLatency);
 }
 
 Cycles
-DataMesh::maxLatency() const
+MeshGeometry::maxLatency() const
 {
-    return static_cast<Cycles>(rows_ - 1 + cols_ - 1) * hopLatency_;
+    return static_cast<Cycles>(rows - 1 + cols - 1) * hopLatency;
+}
+
+std::vector<PeId>
+MeshGeometry::xyPath(PeId src, PeId dst) const
+{
+    MARIONETTE_ASSERT(src >= 0 && src < rows * cols,
+                      "mesh source %d out of range", src);
+    MARIONETTE_ASSERT(dst >= 0 && dst < rows * cols,
+                      "mesh destination %d out of range", dst);
+    std::vector<PeId> path;
+    int r = src / cols, c = src % cols;
+    int dr = dst / cols, dc = dst % cols;
+    path.push_back(src);
+    // Dimension order: traverse the row (X) first, then the column.
+    while (c != dc) {
+        c += c < dc ? 1 : -1;
+        path.push_back(static_cast<PeId>(r * cols + c));
+    }
+    while (r != dr) {
+        r += r < dr ? 1 : -1;
+        path.push_back(static_cast<PeId>(r * cols + c));
+    }
+    return path;
+}
+
+int
+MeshGeometry::numLinks() const
+{
+    // Directed horizontal + vertical links.
+    return 2 * (rows * (cols - 1) + cols * (rows - 1));
+}
+
+int
+MeshGeometry::linkIndex(PeId from, PeId to) const
+{
+    MARIONETTE_ASSERT(hops(from, to) == 1,
+                      "link %d -> %d is not a mesh edge", from, to);
+    int fr = from / cols, fc = from % cols;
+    int tc = to % cols;
+    // Layout: [east | west | south | north] link blocks.
+    const int h = rows * (cols - 1);
+    const int v = cols * (rows - 1);
+    if (fr == to / cols) {
+        // Horizontal: (row, min col) identifies the edge.
+        int edge = fr * (cols - 1) + std::min(fc, tc);
+        return tc > fc ? edge : h + edge;
+    }
+    // Vertical: (min row, col) identifies the edge.
+    int edge = std::min(fr, to / cols) * cols + fc;
+    return to > from ? 2 * h + edge : 2 * h + v + edge;
+}
+
+// ------------------------------------------------------------------
+// DataMesh
+// ------------------------------------------------------------------
+
+DataMesh::DataMesh(int rows, int cols, Cycles hop_latency)
+    : geom_(rows, cols, hop_latency),
+      stats_("datamesh"),
+      flight_(static_cast<Cycles>(rows + cols) * hop_latency + 2),
+      linkLoads_(static_cast<std::size_t>(geom_.numLinks()), 0),
+      statPackets_(stats_.stat("packets")),
+      statHopTraversals_(stats_.stat("hop_traversals")),
+      statMaxLinkLoad_(stats_.stat("max_link_load"))
+{
+    MARIONETTE_ASSERT(rows > 0 && cols > 0,
+                      "mesh dimensions must be positive");
+    MARIONETTE_ASSERT(hop_latency >= 1, "hop latency must be >= 1");
 }
 
 void
@@ -61,6 +119,37 @@ DataMesh::send(Cycle now, PeId src, PeId dst, Word value,
     flight_.schedule(pkt.arrival, pkt);
     statPackets_.inc();
     statHopTraversals_.inc(static_cast<std::uint64_t>(hops(src, dst)));
+    // Charge every directed link of the XY route (congestion
+    // profile) by stepping the coordinates in place — same walk
+    // as MeshGeometry::xyPath, without materializing the path
+    // (send() is on the simulator's hot path).
+    const int cols = geom_.cols;
+    int r = src / cols, c = src % cols;
+    int dr = dst / cols, dc = dst % cols;
+    PeId at = src;
+    auto charge = [&](PeId next) {
+        std::uint64_t &load = linkLoads_[static_cast<std::size_t>(
+            geom_.linkIndex(at, next))];
+        ++load;
+        if (load > statMaxLinkLoad_.value())
+            statMaxLinkLoad_.set(load);
+        at = next;
+    };
+    while (c != dc) {
+        c += c < dc ? 1 : -1;
+        charge(static_cast<PeId>(r * cols + c));
+    }
+    while (r != dr) {
+        r += r < dr ? 1 : -1;
+        charge(static_cast<PeId>(r * cols + c));
+    }
+}
+
+void
+DataMesh::clearLinkLoads()
+{
+    std::fill(linkLoads_.begin(), linkLoads_.end(), 0);
+    statMaxLinkLoad_.set(0);
 }
 
 std::vector<MeshPacket>

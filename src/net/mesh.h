@@ -9,9 +9,19 @@
  * between non-adjacent PEs; the performance models query hop
  * latencies from it.
  *
+ * The pure geometry — hop counts, end-to-end latencies and the
+ * dimension-ordered paths themselves — lives in MeshGeometry, a
+ * plain value type the compiler backend shares with the machine:
+ * the placement pass scores candidate mappings with the same
+ * distance function the mesh will charge at run time, and the
+ * route pass materializes the exact XY link sequence every data
+ * edge traverses.
+ *
  * In-flight words live in a calendar queue bucketed by arrival
  * cycle, so the machine drains exactly the packets landing this
- * cycle instead of scanning everything pending.
+ * cycle instead of scanning everything pending.  Each send also
+ * charges the directed links of its XY path, giving the per-link
+ * congestion counters the evaluation reports (max/total link load).
  */
 
 #ifndef MARIONETTE_NET_MESH_H
@@ -25,6 +35,52 @@
 
 namespace marionette
 {
+
+/**
+ * Pure 2-D mesh geometry with dimension-ordered (XY) routing.
+ *
+ * Shared between the cycle-accurate DataMesh and the compiler
+ * backend, so placement cost and routed-edge latencies are by
+ * construction the latencies the machine delivers.
+ */
+struct MeshGeometry
+{
+    int rows = 0;
+    int cols = 0;
+    Cycles hopLatency = 1;
+
+    MeshGeometry() = default;
+    MeshGeometry(int rows_in, int cols_in, Cycles hop_latency)
+        : rows(rows_in), cols(cols_in), hopLatency(hop_latency)
+    {}
+
+    int numPes() const { return rows * cols; }
+
+    /** Manhattan hop count between two PEs. */
+    int hops(PeId src, PeId dst) const;
+
+    /** End-to-end latency: one cycle minimum, hopLatency per hop. */
+    Cycles latency(PeId src, PeId dst) const;
+
+    /** Worst-case (corner-to-corner) latency of this mesh. */
+    Cycles maxLatency() const;
+
+    /**
+     * The dimension-ordered route from @p src to @p dst: every PE
+     * the packet passes through, endpoints included (column-first,
+     * then row — "XY").  Size is hops(src, dst) + 1.
+     */
+    std::vector<PeId> xyPath(PeId src, PeId dst) const;
+
+    /** Directed mesh links (each adjacent PE pair, both ways). */
+    int numLinks() const;
+
+    /**
+     * Dense index of the directed link @p from -> @p to; the two
+     * PEs must be mesh-adjacent.  Used for per-link load counters.
+     */
+    int linkIndex(PeId from, PeId to) const;
+};
 
 /** A word in flight on the mesh. */
 struct MeshPacket
@@ -49,17 +105,22 @@ class DataMesh
      */
     DataMesh(int rows, int cols, Cycles hop_latency);
 
-    int rows() const { return rows_; }
-    int cols() const { return cols_; }
+    int rows() const { return geom_.rows; }
+    int cols() const { return geom_.cols; }
+
+    /** The mesh's geometry (shared with the compiler backend). */
+    const MeshGeometry &geometry() const { return geom_; }
 
     /** Manhattan hop count between two PEs. */
-    int hops(PeId src, PeId dst) const;
+    int hops(PeId src, PeId dst) const
+    { return geom_.hops(src, dst); }
 
     /** End-to-end latency: one cycle minimum, hop_latency per hop. */
-    Cycles latency(PeId src, PeId dst) const;
+    Cycles latency(PeId src, PeId dst) const
+    { return geom_.latency(src, dst); }
 
     /** Worst-case (corner-to-corner) latency of this mesh. */
-    Cycles maxLatency() const;
+    Cycles maxLatency() const { return geom_.maxLatency(); }
 
     /**
      * Inject a word at @p now; it becomes visible to the consumer at
@@ -95,16 +156,27 @@ class DataMesh
     /** Drop all in-flight packets (kernel-boundary reset). */
     void clearInFlight() { flight_.clear(); }
 
+    /** Cumulative traversals of every directed link — like every
+     *  other statistic, over the machine's lifetime (sweeps run
+     *  one kernel per machine, so per-kernel profiles fall out). */
+    const std::vector<std::uint64_t> &linkLoads() const
+    { return linkLoads_; }
+
+    /** Reset the per-link counters and their max stat together
+     *  (keeps max_link_load == max(linkLoads())). */
+    void clearLinkLoads();
+
     const StatGroup &stats() const { return stats_; }
 
   private:
-    int rows_;
-    int cols_;
-    Cycles hopLatency_;
+    MeshGeometry geom_;
     StatGroup stats_;
     CalendarQueue<MeshPacket> flight_;
+    /** Traversal count per directed link (XY-routed). */
+    std::vector<std::uint64_t> linkLoads_;
     Stat &statPackets_;
     Stat &statHopTraversals_;
+    Stat &statMaxLinkLoad_;
 };
 
 } // namespace marionette

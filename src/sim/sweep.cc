@@ -96,8 +96,8 @@ SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
             jobs[static_cast<std::size_t>(i)];
         KernelSweepResult &out =
             results[static_cast<std::size_t>(i)];
-        CompileResult compiled =
-            cache.getOrCompile(*job.workload, job.config);
+        CompileResult compiled = cache.getOrCompile(
+            *job.workload, job.config, job.options);
         if (!compiled.ok()) {
             out.diagnostic = compiled.report.failedPass + ": " +
                              compiled.report.reason;
@@ -114,6 +114,7 @@ SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
                                   : kernel.cycleBudget);
         out.validationError = kernel.validate(machine, out.run);
         out.validated = out.validationError.empty();
+        out.congestion = machine.congestion();
     });
     return results;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "arch/machine.h"
+#include "compiler/compiler.h"
 #include "sim/config.h"
 
 namespace marionette
@@ -68,6 +69,9 @@ struct KernelSweepJob
     MachineConfig config;
     /** 0 uses the compiled kernel's own cycle budget. */
     Cycle maxCycles = 0;
+    /** Compile options (placer ablations share the cache safely:
+     *  the options are part of the cache key). */
+    CompilerOptions options;
 };
 
 /** Outcome of one compiled-kernel grid cell. */
@@ -84,6 +88,9 @@ struct KernelSweepResult
     std::string validationError;
     /** Analytic Marionette model estimate (cycles). */
     double modelEstimate = 0.0;
+    /** Mesh traffic / stall profile of the run (hop and link-load
+     *  statistics the mapped-cycles report prints). */
+    CongestionReport congestion;
 };
 
 /** Deterministic thread-pool runner for independent jobs. */

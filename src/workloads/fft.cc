@@ -97,10 +97,17 @@ class FftWorkload : public Workload
             d.addOutput("vi", vi);
         }
         {
+            // The not-taken path defines 'vi' too (the untouched
+            // element reads as 0 downstream): without a value on
+            // both paths the swap guard cannot predicate away and
+            // the whole kernel used to stall at the predicate
+            // pass.
             Dfg &d = b.dfg(revskip);
             int x = d.addInput("x");
             NodeId c = d.addNode(Opcode::Copy, Operand::input(x));
+            NodeId z = d.addNode(Opcode::Const, Operand::imm(0));
             d.addOutput("x", c);
+            d.addOutput("vi", z);
         }
         {
             Dfg &d = b.dfg(revlatch);

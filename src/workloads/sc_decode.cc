@@ -97,11 +97,26 @@ class ScDecodeWorkload : public Workload
             Dfg &d = b.dfg(hdr);
             dfg_patterns::addCountedLoop(d, 0, 1, "bound");
         }
-        {   // f: sign-min of the two child LLRs.
+        {   // f: sign-min of the two child LLRs.  The loads are
+            // fenced on the llr store chain (the carried store
+            // token, LDPC's idiom) so the flattened pipeline
+            // respects memory order; the store's own address stays
+            // unfenced (its value chain already orders it) so the
+            // backend can fuse the fence into the loads.
             Dfg &d = b.dfg(fnode);
             int i = d.addInput("i");
-            NodeId a = d.addNode(Opcode::Load, Operand::input(i));
-            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(i));
+            int lw = d.addInput("llrw");
+            NodeId z = d.addNode(Opcode::And, Operand::input(lw),
+                                 Operand::imm(0), Operand::none(),
+                                 "fence");
+            NodeId la = d.addNode(Opcode::Add, Operand::input(i),
+                                  Operand::node(z));
+            NodeId a = d.addNode(Opcode::Load, Operand::node(la),
+                                 Operand::none(), Operand::none(),
+                                 "llr");
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::node(la),
+                                   Operand::none(), Operand::none(),
+                                   "llr");
             NodeId aa = d.addNode(Opcode::Abs, Operand::node(a));
             NodeId ab = d.addNode(Opcode::Abs, Operand::node(bb2));
             NodeId mn = d.addNode(Opcode::Min, Operand::node(aa),
@@ -114,16 +129,29 @@ class ScDecodeWorkload : public Workload
             NodeId r = d.addNode(Opcode::Select, Operand::node(sg),
                                  Operand::node(nm),
                                  Operand::node(mn), "f");
-            d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(r));
+            NodeId st = d.addNode(Opcode::Store, Operand::input(i),
+                                  Operand::node(r),
+                                  Operand::none(), "llr");
             d.addOutput("f", r);
+            d.addOutput("llrw", st);
         }
-        {   // g: b +/- a by the partial sum bit.
+        {   // g: b +/- a by the partial sum bit, fenced on f's
+            // store of the same slot (and the previous slot's g).
             Dfg &d = b.dfg(gnode);
             int i = d.addInput("i");
             int u = d.addInput("u");
-            NodeId a = d.addNode(Opcode::Load, Operand::input(i));
-            NodeId bb2 = d.addNode(Opcode::Load, Operand::input(i));
+            int lw = d.addInput("llrw");
+            NodeId z = d.addNode(Opcode::And, Operand::input(lw),
+                                 Operand::imm(0), Operand::none(),
+                                 "fence");
+            NodeId la = d.addNode(Opcode::Add, Operand::input(i),
+                                  Operand::node(z));
+            NodeId a = d.addNode(Opcode::Load, Operand::node(la),
+                                 Operand::none(), Operand::none(),
+                                 "llr");
+            NodeId bb2 = d.addNode(Opcode::Load, Operand::node(la),
+                                   Operand::none(), Operand::none(),
+                                   "llr");
             NodeId sub = d.addNode(Opcode::Sub, Operand::node(bb2),
                                    Operand::node(a));
             NodeId add = d.addNode(Opcode::Add, Operand::node(bb2),
@@ -131,9 +159,11 @@ class ScDecodeWorkload : public Workload
             NodeId r = d.addNode(Opcode::Select, Operand::input(u),
                                  Operand::node(sub),
                                  Operand::node(add), "g");
-            d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(r));
+            NodeId st = d.addNode(Opcode::Store, Operand::input(i),
+                                  Operand::node(r),
+                                  Operand::none(), "llr");
             d.addOutput("g", r);
+            d.addOutput("llrw", st);
         }
         {   // frozen or sign decision.
             Dfg &d = b.dfg(decide);
@@ -151,16 +181,27 @@ class ScDecodeWorkload : public Workload
         }
         copyBlock(setz);
         copyBlock(sets);
-        {   // partial-sum xor update.
+        {   // partial-sum xor update, fenced on its own store
+            // chain (the psum array is independent of llr).
             Dfg &d = b.dfg(psumb);
             int i = d.addInput("i");
             int bit = d.addInput("bit");
-            NodeId p = d.addNode(Opcode::Load, Operand::input(i));
+            int pw = d.addInput("psw");
+            NodeId z = d.addNode(Opcode::And, Operand::input(pw),
+                                 Operand::imm(0), Operand::none(),
+                                 "fence");
+            NodeId pa = d.addNode(Opcode::Add, Operand::input(i),
+                                  Operand::node(z));
+            NodeId p = d.addNode(Opcode::Load, Operand::node(pa),
+                                 Operand::none(), Operand::none(),
+                                 "psum");
             NodeId x = d.addNode(Opcode::Xor, Operand::node(p),
                                  Operand::input(bit));
-            d.addNode(Opcode::Store, Operand::input(i),
-                      Operand::node(x));
+            NodeId st = d.addNode(Opcode::Store, Operand::input(i),
+                                  Operand::node(x),
+                                  Operand::none(), "psum");
             d.addOutput("x", x);
+            d.addOutput("psw", st);
         }
         copyBlock(platch);
         copyBlock(done);
@@ -180,6 +221,98 @@ class ScDecodeWorkload : public Workload
         b.loopBack(platch, phase);
         b.loopExit(phase, done);
         return b.finish();
+    }
+
+    /**
+     * Machine-run data for the *static-schedule* decode the CDFG
+     * expresses: every phase recomputes the full LLR level and the
+     * full partial-sum update over fixed trip counts (the
+     * data-dependent SC schedule of runGolden needs loop bounds the
+     * counted-loop machine cannot express; the flattened form is
+     * the machine-sized variant, like VI's and HT's reduced runs).
+     * The fence chains in the block DFGs make the memory order —
+     * and therefore every golden value below — placement- and
+     * timing-independent.
+     */
+    WorkloadMachineSpec
+    machineSpec() const override
+    {
+        constexpr int kRounds = 7;
+        constexpr int kLanes = 64;  // llr entries = psum entries.
+        constexpr Word base_llr = 0;
+        constexpr Word base_psum = kLanes;
+
+        WorkloadMachineSpec spec;
+        spec.available = true;
+        spec.loopBounds["phase_loop"] = {0, kRounds, 1};
+        spec.loopBounds["llr_loop"] = {0, kLanes, 1};
+        spec.loopBounds["psum_loop"] = {0, kLanes, 1};
+        spec.inductionPorts["llr_loop"] = "i";
+        spec.inductionPorts["psum_loop"] = "i";
+        spec.arrayBases["llr"] = base_llr;
+        spec.arrayBases["psum"] = base_psum;
+        // Scalar live-ins: the decision threshold inputs (a frozen
+        // bit of 0 and a negative leaf LLR decide bit = 1) and the
+        // g-node's partial-sum steering; plus the boot seeds of the
+        // carried chains (store tokens, observed value).
+        spec.scalars["llr"] = -5;
+        spec.scalars["frozen"] = 0;
+        spec.scalars["u"] = 0;
+        spec.scalars["llrw"] = 0;
+        spec.scalars["psw"] = 0;
+        spec.scalars["x"] = 0;
+        spec.scalars["f"] = 0;
+        spec.scalars["g"] = 0;
+        spec.scalars["bit"] = 0;
+
+        Rng rng(0x5eed0008);
+        std::vector<Word> llr(static_cast<std::size_t>(kLanes));
+        std::vector<Word> psum(static_cast<std::size_t>(kLanes));
+        for (Word &v : llr)
+            v = static_cast<Word>(rng.nextRange(-99, 99));
+        for (Word &v : psum)
+            v = static_cast<Word>(rng.nextRange(0, 255));
+        spec.memoryImage.assign(
+            static_cast<std::size_t>(base_psum + kLanes), 0);
+        for (int k = 0; k < kLanes; ++k) {
+            spec.memoryImage[static_cast<std::size_t>(k)] =
+                llr[static_cast<std::size_t>(k)];
+            spec.memoryImage[static_cast<std::size_t>(base_psum +
+                                                      k)] =
+                psum[static_cast<std::size_t>(k)];
+        }
+
+        // Mirror the flattened per-slot semantics: 128 slots per
+        // round (64 llr + 64 psum; the decision rides the first
+        // psum slot, the latch the last).  The observed port 'x'
+        // (the partial-sum value) streams its gated value on every
+        // slot — frozen outside the psum range.
+        std::vector<Word> stream;
+        stream.reserve(
+            static_cast<std::size_t>(kRounds) * 2 * kLanes);
+        Word x = 0;
+        const Word bit = 1; // llr < 0 and not frozen.
+        for (int r = 0; r < kRounds; ++r) {
+            for (int k = 0; k < kLanes; ++k) {
+                Word v = llr[static_cast<std::size_t>(k)];
+                Word fv = v < 0 ? -v : v; // sign-min of (v, v).
+                Word gv = 2 * fv;         // u = 0: b + a.
+                llr[static_cast<std::size_t>(k)] = gv;
+                stream.push_back(x);
+            }
+            for (int k = 0; k < kLanes; ++k) {
+                Word p = psum[static_cast<std::size_t>(k)];
+                x = p ^ bit;
+                psum[static_cast<std::size_t>(k)] = x;
+                stream.push_back(x);
+            }
+        }
+        spec.observePorts = {"x"};
+        spec.expectedOutputs = {std::move(stream)};
+        spec.expectedMemory = {
+            {"llr", base_llr, llr},
+            {"psum", base_psum, psum}};
+        return spec;
     }
 
     std::uint64_t

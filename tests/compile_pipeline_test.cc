@@ -27,8 +27,8 @@ namespace
 
 /** The supported-workload matrix this repo commits to. */
 const std::set<std::string> kSupported = {
-    "CRC", "ADPCM", "GEMM", "CO", "SI", "GP",
-    "NW",  "VI",    "HT",   "LDPC"};
+    "CRC", "ADPCM", "GEMM", "CO",   "SI", "GP",
+    "NW",  "VI",    "HT",   "LDPC", "SCD"};
 
 MachineConfig
 bigConfig()
@@ -88,10 +88,12 @@ TEST_P(CompilePipeline, BitExactOnTwoConfigs)
         // memory-port II, so it is slower, never orders of
         // magnitude off).  Kernels whose lowering masks slots or
         // serializes through store-chain fences (NW, HT, LDPC) or
-        // runs a reduced machine size (VI, HT) get a wider band.
+        // runs a reduced machine size (VI, HT, SCD — SCD's static
+        // schedule is *smaller* than the profiled decode, so its
+        // machine run undercuts the model) get a wider band.
         ASSERT_GT(r.report.modelCycleEstimate, 0.0) << w.name();
         const std::set<std::string> wide_band = {"NW", "VI", "HT",
-                                                 "LDPC"};
+                                                 "LDPC", "SCD"};
         double lo = wide_band.count(w.name()) ? 0.05 : 0.5;
         double hi = wide_band.count(w.name()) ? 1024.0 : 64.0;
         double ratio = static_cast<double>(run.cycles) /
@@ -125,14 +127,14 @@ TEST(CompilePipeline, DiagnosticsNameTheBlocker)
     EXPECT_EQ(ms.report.failedPass, "structure");
     EXPECT_NE(ms.report.reason.find("pair_loop"),
               std::string::npos);
-    // FFT's bit-reverse swap defines a value on one path only.
+    // FFT's bit-reverse swap now predicates (the skip path defines
+    // 'vi' too); the frontier is the group loop's data-dependent
+    // stride.
     CompileResult fft = compiler.compile("FFT");
     ASSERT_FALSE(fft.ok());
-    EXPECT_EQ(fft.report.failedPass, "predicate");
-    // SCD's level structure is data-dependent: no machine data.
-    CompileResult scd = compiler.compile("SCD");
-    ASSERT_FALSE(scd.ok());
-    EXPECT_EQ(scd.report.failedPass, "bind");
+    EXPECT_EQ(fft.report.failedPass, "structure");
+    EXPECT_NE(fft.report.reason.find("group_loop"),
+              std::string::npos);
     // Unknown names fail in the driver, not with a crash.
     CompileResult nope = compiler.compile("nope");
     ASSERT_FALSE(nope.ok());
@@ -141,13 +143,14 @@ TEST(CompilePipeline, DiagnosticsNameTheBlocker)
 
 TEST(CompilePipeline, CapacityRejectionsAreClean)
 {
-    // A 4x4 array cannot hold CO's 8-tap pipeline...
+    // A 4x4 array cannot hold CO's 8-tap pipeline (PE capacity is
+    // a placement concern, so the place pass owns the rejection)...
     MachineConfig small = bigConfig();
     small.rows = 4;
     small.cols = 4;
     CompileResult co = Compiler(small).compile("CO");
     ASSERT_FALSE(co.ok());
-    EXPECT_EQ(co.report.failedPass, "emit");
+    EXPECT_EQ(co.report.failedPass, "place");
     EXPECT_NE(co.report.reason.find("PEs"), std::string::npos);
     // ...and the default 16 KiB scratchpad cannot hold CO's data.
     MachineConfig tiny = bigConfig();

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Backend tests: the placement-and-routing subsystem carved out of
+ * emit.
+ *
+ *  - determinism: the cost placer's iterated local search is keyed
+ *    by workload name only, so every compile — repeated, or racing
+ *    on several threads — produces the identical binary;
+ *  - snake-vs-cost A/B: both placers stay bit-exact on validated
+ *    kernels, and the cost backend beats the legacy baseline where
+ *    the recurrence cycles leave room (NW/LDPC);
+ *  - route plan exactness: every routed edge's latency and path
+ *    must match what the cycle-accurate DataMesh actually charges;
+ *  - the quiescence fix the cost placer exposed: a word still in
+ *    flight on a long mesh route must hold the machine open past
+ *    the idle grace window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "arch/machine.h"
+#include "compiler/backend/mapping.h"
+#include "compiler/compiler.h"
+#include "compiler/pass_manager.h"
+#include "compiler/pipeline.h"
+#include "compiler/program_builder.h"
+#include "isa/encoding.h"
+
+namespace marionette
+{
+namespace
+{
+
+MachineConfig
+evalConfig()
+{
+    MachineConfig config;
+    config.rows = 10;
+    config.cols = 10;
+    config.scratchpadBytes = 512 * 1024;
+    config.instrMemBytes = 64 * 1024;
+    return config;
+}
+
+std::string
+placeNote(const CompileReport &report)
+{
+    std::string all;
+    for (const CompilerPassNote &n : report.notes)
+        if (n.pass == "place")
+            all += n.message + "\n";
+    return all;
+}
+
+// ------------------------------------------------------------------
+// Determinism: same binary every compile, on any thread.
+// ------------------------------------------------------------------
+
+TEST(Placement, DeterministicAcrossRunsAndThreads)
+{
+    MachineConfig config = evalConfig();
+    auto encode = [&](const char *kernel) {
+        CompileResult r = Compiler(config).compile(kernel);
+        EXPECT_TRUE(r.ok()) << r.report.toString();
+        return encodeProgram(r.kernel->program);
+    };
+
+    for (const char *kernel : {"NW", "LDPC", "CRC"}) {
+        std::vector<std::uint32_t> reference = encode(kernel);
+        EXPECT_EQ(encode(kernel), reference) << kernel;
+
+        std::vector<std::vector<std::uint32_t>> from_threads(4);
+        std::vector<std::thread> pool;
+        for (int t = 0; t < 4; ++t)
+            pool.emplace_back([&, t] {
+                CompileResult r =
+                    Compiler(config).compile(kernel);
+                if (r.ok())
+                    from_threads[static_cast<std::size_t>(t)] =
+                        encodeProgram(r.kernel->program);
+            });
+        for (std::thread &t : pool)
+            t.join();
+        for (const auto &enc : from_threads)
+            EXPECT_EQ(enc, reference) << kernel;
+    }
+}
+
+// ------------------------------------------------------------------
+// Snake vs cost: both bit-exact; cost wins where recurrences
+// leave room.
+// ------------------------------------------------------------------
+
+TEST(Placement, SnakeAndCostBothBitExact)
+{
+    MachineConfig config = evalConfig();
+    std::map<std::string, std::uint64_t> cycles_of[2];
+    for (const char *kernel :
+         {"NW", "LDPC", "GEMM", "SCD", "CRC", "SI", "GP"}) {
+        for (PlacerKind placer :
+             {PlacerKind::Snake, PlacerKind::Cost}) {
+            CompilerOptions opts;
+            opts.placer = placer;
+            CompileResult r =
+                Compiler(config, opts).compile(kernel);
+            ASSERT_TRUE(r.ok())
+                << kernel << "\n" << r.report.toString();
+            MarionetteMachine machine(config);
+            r.kernel->prepare(machine);
+            RunResult run = machine.run(r.kernel->cycleBudget);
+            EXPECT_EQ(r.kernel->validate(machine, run), "")
+                << kernel << " (" << placerName(placer) << ")";
+            cycles_of[placer == PlacerKind::Cost][kernel] =
+                run.cycles;
+        }
+    }
+
+    // The cost backend never loses to the legacy baseline by more
+    // than noise, and wins decisively on the recurrence-bound
+    // kernels (the ISSUE's mapped-cycles gap).
+    for (const auto &[kernel, snake] : cycles_of[0]) {
+        std::uint64_t cost = cycles_of[1].at(kernel);
+        EXPECT_LE(cost, snake + snake / 20) << kernel;
+    }
+    std::uint64_t snake_gap = cycles_of[0]["NW"] +
+                              cycles_of[0]["LDPC"] +
+                              cycles_of[0]["GEMM"];
+    std::uint64_t cost_gap = cycles_of[1]["NW"] +
+                             cycles_of[1]["LDPC"] +
+                             cycles_of[1]["GEMM"];
+    EXPECT_LT(cost_gap, snake_gap - snake_gap / 8)
+        << "cost placer should cut the NW+LDPC+GEMM cycle sum by "
+           "well over 12.5% on the primary fabric";
+}
+
+TEST(Placement, FenceFusionOnlyOnTheCostPath)
+{
+    MachineConfig config = evalConfig();
+    CompilerOptions cost;
+    CompileResult r = Compiler(config, cost).compile("LDPC");
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(placeNote(r.report).find("fused"),
+              std::string::npos);
+
+    CompilerOptions snake;
+    snake.placer = PlacerKind::Snake;
+    CompileResult s = Compiler(config, snake).compile("LDPC");
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(placeNote(s.report).find("fused"),
+              std::string::npos)
+        << "the snake baseline must reproduce the legacy program";
+}
+
+// ------------------------------------------------------------------
+// Route plan: latencies and paths must match the machine's mesh.
+// ------------------------------------------------------------------
+
+TEST(RoutePlan, LatenciesMatchTheCycleAccurateMesh)
+{
+    for (Cycles hop : {Cycles{1}, Cycles{2}}) {
+        MachineConfig config = evalConfig();
+        config.meshHopLatency = hop;
+        const Workload *w = findWorkload("NW");
+        ASSERT_NE(w, nullptr);
+        Compilation cc(*w, config, CompilerOptions{});
+        CompiledKernel out;
+        cc.out = &out;
+        PassManager pm;
+        pm.add(kPassAnalyze, passAnalyze)
+            .add(kPassPredicate, passPredicate)
+            .add(kPassStructure, passStructure)
+            .add(kPassAssign, passAssign)
+            .add(kPassBind, passBind)
+            .add(kPassLower, passLower)
+            .add(kPassPlace, passPlace)
+            .add(kPassRoute, passRoute);
+        ASSERT_TRUE(pm.run(cc)) << cc.report.toString();
+
+        DataMesh mesh(config.rows, config.cols,
+                      config.meshHopLatency);
+        int edges = 0;
+        for (const PhaseRoute &route : cc.routes.phases) {
+            for (const RoutedEdge &e : route.edges) {
+                ++edges;
+                EXPECT_EQ(e.hops, mesh.hops(e.srcPe, e.dstPe));
+                EXPECT_EQ(e.latency,
+                          mesh.latency(e.srcPe, e.dstPe));
+                // The materialized path is a valid XY route:
+                // right endpoints, unit steps, length = hops + 1.
+                ASSERT_GE(e.path.size(), 1u);
+                EXPECT_EQ(e.path.front(), e.srcPe);
+                EXPECT_EQ(e.path.back(), e.dstPe);
+                EXPECT_EQ(static_cast<int>(e.path.size()),
+                          e.hops + 1);
+                for (std::size_t i = 0; i + 1 < e.path.size();
+                     ++i)
+                    EXPECT_EQ(mesh.hops(e.path[i],
+                                        e.path[i + 1]),
+                              1);
+            }
+        }
+        EXPECT_GT(edges, 0);
+        // The derived timing feeds emit: every drain bound must be
+        // present and sane (positive, no larger than the legacy
+        // all-operators-serialize guess).
+        ASSERT_EQ(cc.routes.drainCycles.size(),
+                  cc.phases.size() - 1);
+        for (std::size_t p = 0; p < cc.routes.drainCycles.size();
+             ++p) {
+            Cycles n = static_cast<Cycles>(
+                cc.phases[p].liveNodes.size());
+            EXPECT_GE(cc.routes.drainCycles[p], 128u);
+            EXPECT_LE(cc.routes.drainCycles[p],
+                      64 + 8 * n * (3 * (n + 2) + 16));
+        }
+    }
+}
+
+TEST(MeshGeometry, XyPathsAndLinkIndices)
+{
+    MeshGeometry geom(4, 5, 2);
+    EXPECT_EQ(geom.hops(0, 19), 7);
+    EXPECT_EQ(geom.latency(0, 19), 14u);
+    EXPECT_EQ(geom.latency(7, 7), 1u); // self-sends still cost 1.
+
+    std::vector<PeId> path = geom.xyPath(0, 19);
+    ASSERT_EQ(path.size(), 8u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 19);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_EQ(geom.hops(path[i], path[i + 1]), 1);
+
+    // Every directed mesh link maps to a distinct dense index.
+    std::set<int> seen;
+    for (PeId a = 0; a < geom.numPes(); ++a)
+        for (PeId b = 0; b < geom.numPes(); ++b) {
+            if (geom.hops(a, b) != 1)
+                continue;
+            int idx = geom.linkIndex(a, b);
+            EXPECT_GE(idx, 0);
+            EXPECT_LT(idx, geom.numLinks());
+            EXPECT_TRUE(seen.insert(idx).second)
+                << a << "->" << b;
+        }
+    EXPECT_EQ(static_cast<int>(seen.size()), geom.numLinks());
+}
+
+// ------------------------------------------------------------------
+// The quiescence bug the cost placer exposed: a packet on a mesh
+// route longer than the idle grace window must not be stranded.
+// ------------------------------------------------------------------
+
+TEST(Machine, QuiescenceWaitsForWordsInFlight)
+{
+    MachineConfig config;
+    config.rows = 10;
+    config.cols = 10;
+    config.meshHopLatency = 2; // corner-to-corner: 36 cycles,
+                               // longer than the idle grace window.
+    ProgramBuilder b("long_edge", config);
+    b.setNumOutputs(1);
+    Instruction &gen = b.place(0, 0);
+    gen.mode = SenderMode::LoopOp;
+    gen.op = Opcode::Loop;
+    gen.loopStart = 7;
+    gen.loopBound = 8;
+    gen.loopStep = 1;
+    gen.pipelineII = 1;
+    gen.dests = {DestSel::toPe(99, 0)};
+    b.setEntry(0, 0);
+    Instruction &sink = b.place(99, 0);
+    sink.mode = SenderMode::Dfg;
+    sink.op = Opcode::Copy;
+    sink.a = OperandSel::channel(0);
+    sink.dests = {DestSel::toOutput(0)};
+    b.setEntry(99, 0);
+
+    MarionetteMachine machine(config);
+    machine.load(b.finish());
+    RunResult run = machine.run(10'000);
+    ASSERT_TRUE(run.finished);
+    std::vector<Word> want = {7};
+    EXPECT_EQ(run.outputs[0], want)
+        << "the corner-to-corner word was stranded in flight";
+    EXPECT_EQ(machine.mesh().inFlight(), 0u);
+
+    // The congestion counters saw the route: 18 hops, one packet.
+    CongestionReport cg = machine.congestion();
+    EXPECT_EQ(cg.packets, 1u);
+    EXPECT_EQ(cg.hopTraversals, 18u);
+    EXPECT_EQ(cg.maxLinkLoad, 1u);
+}
+
+} // namespace
+} // namespace marionette
