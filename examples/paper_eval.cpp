@@ -68,7 +68,44 @@ struct Options
     std::string checkCoveragePath;
     std::string mappedReportPath;
     PlacerKind placer = PlacerKind::Cost;
+    /** Fault-resilience mode: sweep seeded fault plans over the
+     *  selected kernels instead of the model tour. */
+    bool faults = false;
+    /** Single (dead PEs, dead links) cell; -1 = the full grid. */
+    int faultDeadPes = -1;
+    int faultDeadLinks = -1;
+    std::uint64_t faultSeed = 1;
+    std::string resilienceReportPath;
 };
+
+bool
+usageError(const char *why, const char *detail)
+{
+    std::fprintf(stderr, "paper_eval: %s%s%s\n", why,
+                 detail ? ": " : "", detail ? detail : "");
+    std::fprintf(stderr,
+                 "usage: paper_eval [--list] [--kernels=a,b,c] "
+                 "[--jobs=N] [--report=PATH] "
+                 "[--check-coverage=PATH] [--placer=snake|cost] "
+                 "[--mapped-report=PATH] [--faults] "
+                 "[--fault-grid=DEADPES,DEADLINKS] "
+                 "[--fault-seed=N] [--resilience-report=PATH]\n");
+    return false;
+}
+
+/** Strict bounded integer parse; no atoi silence. */
+bool
+parseCount(const char *text, long min, long max, long &out)
+{
+    if (*text == '\0')
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < min || v > max)
+        return false;
+    out = v;
+    return true;
+}
 
 bool
 parseArgs(int argc, char **argv, Options &opts)
@@ -78,9 +115,17 @@ parseArgs(int argc, char **argv, Options &opts)
         if (std::strcmp(arg, "--list") == 0) {
             opts.list = true;
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            opts.jobs = std::atoi(arg + 7);
+            long jobs = 0;
+            if (!parseCount(arg + 7, 1, 4096, jobs))
+                return usageError("bad --jobs value (want 1..4096)",
+                                  arg + 7);
+            opts.jobs = static_cast<int>(jobs);
         } else if (std::strncmp(arg, "--kernels=", 10) == 0) {
             std::string rest = arg + 10;
+            if (rest.empty())
+                return usageError("--kernels needs at least one "
+                                  "name (see --list)",
+                                  nullptr);
             std::size_t pos = 0;
             while (pos < rest.size()) {
                 std::size_t comma = rest.find(',', pos);
@@ -88,42 +133,77 @@ parseArgs(int argc, char **argv, Options &opts)
                     comma = rest.size();
                 std::string name = rest.substr(pos, comma - pos);
                 if (!name.empty()) {
-                    if (findWorkload(name) == nullptr) {
-                        std::fprintf(stderr,
-                                     "unknown kernel '%s' (see "
-                                     "--list)\n",
-                                     name.c_str());
-                        return false;
-                    }
+                    if (findWorkload(name) == nullptr)
+                        return usageError(
+                            "unknown kernel (see --list)",
+                            name.c_str());
                     opts.kernels.push_back(name);
                 }
                 pos = comma + 1;
             }
+            if (opts.kernels.empty())
+                return usageError("--kernels needs at least one "
+                                  "name (see --list)",
+                                  nullptr);
         } else if (std::strncmp(arg, "--report=", 9) == 0) {
+            if (arg[9] == '\0')
+                return usageError("--report needs a path", nullptr);
             opts.reportPath = arg + 9;
         } else if (std::strncmp(arg, "--check-coverage=", 17) ==
                    0) {
+            if (arg[17] == '\0')
+                return usageError("--check-coverage needs a path",
+                                  nullptr);
             opts.checkCoveragePath = arg + 17;
         } else if (std::strncmp(arg, "--mapped-report=", 16) == 0) {
+            if (arg[16] == '\0')
+                return usageError("--mapped-report needs a path",
+                                  nullptr);
             opts.mappedReportPath = arg + 16;
         } else if (std::strncmp(arg, "--placer=", 9) == 0) {
-            if (!parsePlacerName(arg + 9, opts.placer)) {
-                std::fprintf(stderr,
-                             "unknown placer '%s' (snake|cost)\n",
-                             arg + 9);
-                return false;
-            }
+            if (!parsePlacerName(arg + 9, opts.placer))
+                return usageError("unknown placer (snake|cost)",
+                                  arg + 9);
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            opts.faults = true;
+        } else if (std::strncmp(arg, "--fault-grid=", 13) == 0) {
+            std::string rest = arg + 13;
+            std::size_t comma = rest.find(',');
+            long dead_pes = 0, dead_links = 0;
+            if (comma == std::string::npos ||
+                !parseCount(rest.substr(0, comma).c_str(), 0, 99,
+                            dead_pes) ||
+                !parseCount(rest.substr(comma + 1).c_str(), 0, 99,
+                            dead_links))
+                return usageError(
+                    "bad --fault-grid value (want DEADPES,"
+                    "DEADLINKS, each 0..99)",
+                    arg + 13);
+            opts.faultDeadPes = static_cast<int>(dead_pes);
+            opts.faultDeadLinks = static_cast<int>(dead_links);
+        } else if (std::strncmp(arg, "--fault-seed=", 13) == 0) {
+            long seed = 0;
+            if (!parseCount(arg + 13, 0, 1'000'000'000, seed))
+                return usageError("bad --fault-seed value",
+                                  arg + 13);
+            opts.faultSeed = static_cast<std::uint64_t>(seed);
+        } else if (std::strncmp(arg, "--resilience-report=", 20) ==
+                   0) {
+            if (arg[20] == '\0')
+                return usageError("--resilience-report needs a "
+                                  "path",
+                                  nullptr);
+            opts.resilienceReportPath = arg + 20;
         } else {
-            std::fprintf(stderr,
-                         "usage: paper_eval [--list] "
-                         "[--kernels=a,b,c] [--jobs=N] "
-                         "[--report=PATH] "
-                         "[--check-coverage=PATH] "
-                         "[--placer=snake|cost] "
-                         "[--mapped-report=PATH]\n");
-            return false;
+            return usageError("unknown flag", arg);
         }
     }
+    if (!opts.faults &&
+        (opts.faultDeadPes >= 0 ||
+         !opts.resilienceReportPath.empty()))
+        return usageError("--fault-grid/--resilience-report "
+                          "require --faults",
+                          nullptr);
     return true;
 }
 
@@ -615,6 +695,268 @@ checkCoverage(const std::string &path,
     return ok;
 }
 
+// ------------------------------------------------------------------
+// Fault-resilience sweep (--faults)
+// ------------------------------------------------------------------
+
+/** One (kernel, fault-grid cell) outcome of the resilience sweep. */
+struct ResilienceCell
+{
+    std::string kernel;
+    int deadPes = 0;
+    int deadLinks = 0;
+    bool compiled = false;
+    std::string diagnostic;
+    bool validated = false;
+    std::string runError;    ///< structured error name, or "".
+    std::string errorDetail;
+    int retries = 0;
+    bool recompiled = false;
+    std::string jobError;
+    std::uint64_t cycles = 0;
+    /** Validated cycles / the kernel's zero-fault validated cycles;
+     *  0 when either side is unavailable. */
+    double overhead = 0.0;
+};
+
+/**
+ * Sweep seeded fault plans over the selected kernels on the primary
+ * 10x10 fabric.  Every cell compiles fault-obliviously first, runs
+ * on the faulted machine, and on a structured run error re-places/
+ * re-routes against the discovered fault set and reruns (the
+ * KernelSweepJob discovery mode).  The acceptance bar: every cell
+ * must either stay bit-exact vs the goldens, reject with a
+ * pass-attributed "unmappable under faults" diagnostic, or end in
+ * bounded time with a structured RunResult error — silent corruption
+ * or a thrown job fails the sweep (nonzero exit).
+ */
+int
+runResilienceSweep(const Options &opts, const SweepRunner &runner)
+{
+    const MachineConfig base = primaryFabric();
+    CompilerOptions copts;
+    copts.placer = opts.placer;
+
+    // ISSUE grid: dead-PE counts spanning 0..8, dead-link counts
+    // spanning 0..4 — or the single --fault-grid cell (always with
+    // the zero-fault baseline so overhead is measurable).
+    std::vector<std::pair<int, int>> cells;
+    cells.emplace_back(0, 0);
+    if (opts.faultDeadPes >= 0) {
+        if (opts.faultDeadPes != 0 || opts.faultDeadLinks != 0)
+            cells.emplace_back(opts.faultDeadPes,
+                               opts.faultDeadLinks);
+    } else {
+        for (int d : {0, 1, 2, 4, 8})
+            for (int l : {0, 1, 2, 4})
+                if (d != 0 || l != 0)
+                    cells.emplace_back(d, l);
+    }
+
+    std::vector<KernelSweepJob> jobs;
+    std::vector<ResilienceCell> table;
+    for (const Workload *w : allWorkloads()) {
+        if (!selected(opts, w->name()))
+            continue;
+        for (const auto &[dead_pes, dead_links] : cells) {
+            MachineConfig config = base;
+            config.faults = FaultPlan::seeded(
+                config.rows, config.cols, dead_pes, dead_links,
+                opts.faultSeed);
+            KernelSweepJob job{w, config, 0, copts};
+            job.discoverFaults = true;
+            job.maxRetries = 1;
+            jobs.push_back(std::move(job));
+            ResilienceCell cell;
+            cell.kernel = w->name();
+            cell.deadPes = dead_pes;
+            cell.deadLinks = dead_links;
+            table.push_back(std::move(cell));
+        }
+    }
+
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+
+    // Zero-fault baselines (cycles; cell (0,0) leads each kernel's
+    // block) for the overhead ratios, and the set of kernels the
+    // clean compiler accepts — only those count toward survival.
+    std::size_t per_kernel = cells.size();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const KernelSweepResult &r = results[i];
+        ResilienceCell &cell = table[i];
+        cell.compiled = r.compiled;
+        cell.diagnostic = r.diagnostic;
+        cell.validated = r.validated;
+        cell.retries = r.retries;
+        cell.recompiled = r.recompiled;
+        cell.jobError = r.jobError;
+        if (r.compiled) {
+            cell.cycles = r.run.cycles;
+            if (r.run.error != RunError::None) {
+                cell.runError = runErrorName(r.run.error);
+                cell.errorDetail = r.run.errorDetail;
+            }
+        }
+        const ResilienceCell &zero =
+            table[i - (i % per_kernel)];
+        if (cell.validated && zero.validated && zero.cycles > 0)
+            cell.overhead = static_cast<double>(cell.cycles) /
+                            static_cast<double>(zero.cycles);
+    }
+
+    std::printf("== Fault resilience: seeded fault sweep on the "
+                "10x10 fabric (seed %llu, %s placer) ==\n",
+                static_cast<unsigned long long>(opts.faultSeed),
+                std::string(placerName(opts.placer)).c_str());
+    std::printf("  %-6s %4s %5s %10s %7s %8s  %s\n", "kernel",
+                "dead", "links", "cycles", "retry", "overhead",
+                "result");
+    bool failed = false;
+    int survivable = 0, survived = 0, recompiles = 0,
+        recoveries = 0;
+    double overhead_log_sum = 0.0;
+    int overhead_count = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const ResilienceCell &cell = table[i];
+        const ResilienceCell &zero = table[i - (i % per_kernel)];
+        const char *verdict = nullptr;
+        if (!cell.jobError.empty()) {
+            verdict = "JOB THREW";
+            failed = true;
+        } else if (!cell.compiled) {
+            // A clean rejection is acceptable under faults only if
+            // it is the pass-attributed unmappable diagnostic (or
+            // the kernel is rejected even fault-free, e.g. MS/FFT).
+            verdict = "rejected";
+            if (zero.compiled &&
+                cell.diagnostic.find("unmappable under faults") ==
+                    std::string::npos)
+                failed = true;
+        } else if (cell.validated) {
+            verdict = "bit-exact";
+        } else if (!cell.runError.empty()) {
+            verdict = "structured error";
+        } else {
+            verdict = "SILENT CORRUPTION";
+            failed = true;
+        }
+        if (zero.compiled && zero.validated) {
+            ++survivable;
+            if (cell.validated)
+                ++survived;
+        }
+        if (cell.recompiled) {
+            ++recompiles;
+            if (cell.validated)
+                ++recoveries;
+        }
+        if (cell.overhead > 0.0 &&
+            (cell.deadPes != 0 || cell.deadLinks != 0)) {
+            overhead_log_sum += std::log(cell.overhead);
+            ++overhead_count;
+        }
+        std::printf(
+            "  %-6s %4d %5d %10llu %7d %8s  %s%s%s\n",
+            cell.kernel.c_str(), cell.deadPes, cell.deadLinks,
+            static_cast<unsigned long long>(cell.cycles),
+            cell.retries,
+            cell.overhead > 0.0
+                ? (std::to_string(cell.overhead).substr(0, 5) + "x")
+                      .c_str()
+                : "-",
+            verdict,
+            (!cell.jobError.empty() || !cell.runError.empty() ||
+             (!cell.compiled && !cell.diagnostic.empty()))
+                ? ": "
+                : "",
+            !cell.jobError.empty()
+                ? cell.jobError.c_str()
+                : (!cell.runError.empty()
+                       ? cell.errorDetail.c_str()
+                       : (!cell.compiled ? cell.diagnostic.c_str()
+                                         : "")));
+    }
+
+    KernelSweepStats stats = summarizeKernelSweep(results);
+    double survival =
+        survivable > 0 ? 100.0 * survived / survivable : 0.0;
+    double recompile_rate =
+        recompiles > 0 ? 100.0 * recoveries / recompiles : 0.0;
+    double overhead_geomean =
+        overhead_count > 0
+            ? std::exp(overhead_log_sum / overhead_count)
+            : 1.0;
+    std::printf("\n  survival %d/%d (%.1f%%), %d recompile(s) "
+                "(%d recovered, %.1f%%), cycle overhead geomean "
+                "%.3fx, %d run error(s), %d rejected, %d job "
+                "error(s)\n",
+                survived, survivable, survival, recompiles,
+                recoveries, recompile_rate, overhead_geomean,
+                stats.runErrors, stats.rejected, stats.jobErrors);
+    std::printf("  program cache: %llu compile(s), %llu hit(s) "
+                "across %zu jobs\n",
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.hits()),
+                jobs.size());
+
+    if (!opts.resilienceReportPath.empty()) {
+        std::ofstream out(opts.resilienceReportPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write report '%s'\n",
+                         opts.resilienceReportPath.c_str());
+            return 1;
+        }
+        out << "{\n  \"fabric\": \"10x10\",\n  \"seed\": "
+            << opts.faultSeed << ",\n  \"survival_rate\": "
+            << survival / 100.0
+            << ",\n  \"recompile_success_rate\": "
+            << recompile_rate / 100.0
+            << ",\n  \"cycle_overhead_geomean\": "
+            << overhead_geomean
+            << ",\n  \"retried\": " << stats.retried
+            << ",\n  \"recovered_by_recompile\": "
+            << stats.recoveredByRecompile
+            << ",\n  \"cells\": [\n";
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            const ResilienceCell &cell = table[i];
+            out << "    {\"kernel\": \"" << cell.kernel
+                << "\", \"dead_pes\": " << cell.deadPes
+                << ", \"dead_links\": " << cell.deadLinks
+                << ", \"compiled\": "
+                << (cell.compiled ? "true" : "false")
+                << ", \"validated\": "
+                << (cell.validated ? "true" : "false")
+                << ", \"cycles\": " << cell.cycles
+                << ", \"retries\": " << cell.retries
+                << ", \"recompiled\": "
+                << (cell.recompiled ? "true" : "false")
+                << ", \"overhead\": " << cell.overhead
+                << ", \"run_error\": \""
+                << jsonEscape(cell.runError)
+                << "\", \"diagnostic\": \""
+                << jsonEscape(!cell.jobError.empty()
+                                  ? cell.jobError
+                                  : (!cell.errorDetail.empty()
+                                         ? cell.errorDetail
+                                         : cell.diagnostic))
+                << "\"}" << (i + 1 < table.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ]\n}\n";
+        std::printf("  wrote resilience report: %s\n",
+                    opts.resilienceReportPath.c_str());
+    }
+
+    if (failed)
+        std::fprintf(stderr,
+                     "paper_eval: fault sweep FAILED — a cell "
+                     "neither validated, rejected cleanly, nor "
+                     "errored with a structured RunResult\n");
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -629,6 +971,10 @@ main(int argc, char **argv)
                         w->fullName().c_str(),
                         w->sizeDesc().c_str());
         return 0;
+    }
+    if (opts.faults) {
+        SweepRunner fault_runner(opts.jobs);
+        return runResilienceSweep(opts, fault_runner);
     }
 
     ModelParams params;

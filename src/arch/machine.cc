@@ -4,11 +4,33 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "sim/logging.h"
 
 namespace marionette
 {
+
+const char *
+runErrorName(RunError error)
+{
+    switch (error) {
+      case RunError::None:
+        return "none";
+      case RunError::DeadPe:
+        return "dead_pe";
+      case RunError::Deadlock:
+        return "deadlock";
+      case RunError::CycleLimit:
+        return "cycle_limit";
+      case RunError::BadProgram:
+        return "bad_program";
+      case RunError::Protocol:
+        return "protocol";
+    }
+    return "unknown";
+}
 
 MarionetteMachine::MarionetteMachine(const MachineConfig &config)
     : config_(config),
@@ -20,6 +42,16 @@ MarionetteMachine::MarionetteMachine(const MachineConfig &config)
       statTotalFires_(stats_.stat("total_fires"))
 {
     config_.validate();
+    // Install the fault plan as hardware state: dead PEs never boot
+    // or tick, and the mesh routes around (or drops on) dead links.
+    // A PE whose every incident link is down is effectively dead
+    // too — it could boot but never exchange a word.
+    peDead_.assign(static_cast<std::size_t>(config_.numPes()), 0);
+    for (PeId p :
+         config_.faults.effectiveDeadPes(config_.rows, config_.cols))
+        peDead_[static_cast<std::size_t>(p)] = 1;
+    if (!config_.faults.deadLinks.empty())
+        mesh_.setDeadLinks(config_.faults.deadLinks);
     scratchpad_ = std::make_unique<Scratchpad>(
         config_.scratchpadBytes, config_.scratchpadBanks,
         /*ports_per_bank=*/2);
@@ -221,7 +253,16 @@ MarionetteMachine::scheduleCtrl(Cycle now, const CtrlSend &send,
         if (config_.features.controlNetwork) {
             lat = ctrlNet_.latency();
         } else {
-            lat = std::max<Cycles>(mesh_.latency(src, dst),
+            // Mesh-routed control ablation: the address rides the
+            // data mesh, so dead links detour it — or lose it when
+            // the endpoints are disconnected (the watchdog turns
+            // the loss into a structured deadlock).
+            Cycles mesh_lat = mesh_.routedLatency(src, dst);
+            if (mesh_lat == 0) {
+                ++lostCtrlWords_;
+                continue;
+            }
+            lat = std::max<Cycles>(mesh_lat,
                                    config_.controlNetLatency);
         }
         pendingCtrl_.schedule(now + lat,
@@ -233,6 +274,8 @@ MarionetteMachine::scheduleCtrl(Cycle now, const CtrlSend &send,
 void
 MarionetteMachine::wake(PeId pe)
 {
+    if (peDead(pe))
+        return;
     awake_[static_cast<std::size_t>(pe)] = 1;
     idleTicks_[static_cast<std::size_t>(pe)] = 0;
 }
@@ -241,6 +284,23 @@ RunResult
 MarionetteMachine::run(Cycle max_cycles)
 {
     MARIONETTE_ASSERT(loaded_, "run() before load()");
+    RunResult result;
+
+    // Graceful refusal: a program mapped onto a dead PE can only
+    // wedge, so report the conflict instead of booting.  This is
+    // also the retry loop's discovery signal — a fault-oblivious
+    // compile learns which PE it must avoid from faultPe.
+    for (const PeProgram &p : program_.pes) {
+        if (peDead(p.pe)) {
+            result.error = RunError::DeadPe;
+            result.faultPe = p.pe;
+            result.errorDetail = "program '" + program_.name +
+                                 "' targets dead PE " +
+                                 std::to_string(p.pe);
+            result.outputs = outputs_;
+            return result;
+        }
+    }
     bootPes();
 
     const bool event_driven = config_.eventDrivenSim;
@@ -249,10 +309,36 @@ MarionetteMachine::run(Cycle max_cycles)
                         config_.configLatency + 8;
     const int num_pes = config_.numPes();
     Cycle idle_streak = 0;
-    RunResult result;
+
+    // Watchdog baselines: the mesh's drop counter is cumulative
+    // across runs, so losses are measured as deltas from here.
+    const std::uint64_t dropped_before = mesh_.droppedWords();
+    const std::uint64_t lost_ctrl_before = lostCtrlWords_;
+    const Cycles watchdog = config_.watchdogCycles;
+    Cycle last_progress = 0;
+    auto fail = [&](RunError kind, std::string why) {
+        if (result.error == RunError::None) {
+            result.error = kind;
+            result.errorDetail = std::move(why);
+            result.stalledCycle = last_progress;
+        }
+    };
+
+    // Scheduled transient upsets, applied in cycle order.
+    std::vector<TransientFault> upsets = config_.faults.transients;
+    std::stable_sort(upsets.begin(), upsets.end(),
+                     [](const TransientFault &a,
+                        const TransientFault &b) {
+                         return a.cycle < b.cycle;
+                     });
+    std::size_t next_upset = 0;
 
     // Everyone starts on the worklist; PEs prove themselves idle.
+    // Dead PEs never join it (wake() refuses them), on either path.
     std::fill(awake_.begin(), awake_.end(), 1);
+    for (PeId p = 0; p < num_pes; ++p)
+        if (peDead(p))
+            awake_[static_cast<std::size_t>(p)] = 0;
     std::fill(lastTick_.begin(), lastTick_.end(), 0);
     std::fill(idleTicks_.begin(), idleTicks_.end(), 0);
     bool ran_any_cycle = false;
@@ -284,15 +370,32 @@ MarionetteMachine::run(Cycle max_cycles)
         pendingPush_.drain(now_, [&](const PendingPush &p) {
             ControlFifo &fifo =
                 *fifos_[static_cast<std::size_t>(p.fifo)];
-            if (!fifo.push(p.value))
-                MARIONETTE_FATAL("control FIFO %d overflow "
-                                 "(credit protocol bug)", p.fifo);
+            if (!fifo.push(p.value)) {
+                fail(RunError::Protocol,
+                     "control FIFO " + std::to_string(p.fifo) +
+                         " overflow (credit protocol violation)");
+                return;
+            }
             --fifoInflight_[static_cast<std::size_t>(p.fifo)];
             for (PeId q :
                  wakeOnFifoPush_[static_cast<std::size_t>(p.fifo)])
                 wake(q);
             progressed = true;
         });
+
+        // Scheduled transient upsets land after deliveries and
+        // before any PE ticks: a word arriving this very cycle is
+        // corruptible, and both run paths see the same ordering.
+        while (next_upset < upsets.size() &&
+               upsets[next_upset].cycle == now_) {
+            const TransientFault &t = upsets[next_upset++];
+            if (peDead(t.pe))
+                continue;
+            pes_[static_cast<std::size_t>(t.pe)]->corruptChannel(
+                t.channel, t.xorMask);
+            stats_.stat("transient_upsets").inc();
+            wake(t.pe);
+        }
 
         // Tick the active worklist in PE-id order (id order is
         // architectural: it decides same-cycle arbitration for
@@ -313,19 +416,35 @@ MarionetteMachine::run(Cycle max_cycles)
             PeTickResult r = pe.tick(now_, *this);
             lastTick_[pi] = now_;
             for (const DataSend &s : r.dataSends) {
-                MARIONETTE_ASSERT(s.dstPe >= 0 &&
-                                      s.dstPe < config_.numPes(),
-                                  "data send to bad PE %d", s.dstPe);
+                if (s.dstPe < 0 || s.dstPe >= config_.numPes()) {
+                    fail(RunError::BadProgram,
+                         "data send to out-of-range PE " +
+                             std::to_string(s.dstPe));
+                    result.faultPe = pe.id();
+                    continue;
+                }
+                if (peDead(s.dstPe)) {
+                    fail(RunError::DeadPe,
+                         "data send from PE " +
+                             std::to_string(pe.id()) +
+                             " to dead PE " +
+                             std::to_string(s.dstPe));
+                    result.faultPe = s.dstPe;
+                    continue;
+                }
                 mesh_.send(now_, pe.id(), s.dstPe, s.value,
                            s.channel);
                 progressed = true;
             }
             for (const auto &[fifo_id, value] : r.outputs) {
-                MARIONETTE_ASSERT(
-                    fifo_id >= 0 &&
-                        fifo_id <
-                            static_cast<int>(outputs_.size()),
-                    "output to bad FIFO %d", fifo_id);
+                if (fifo_id < 0 ||
+                    fifo_id >= static_cast<int>(outputs_.size())) {
+                    fail(RunError::BadProgram,
+                         "output to bad FIFO " +
+                             std::to_string(fifo_id));
+                    result.faultPe = pe.id();
+                    continue;
+                }
                 outputs_[static_cast<std::size_t>(fifo_id)]
                     .push_back(value);
                 progressed = true;
@@ -335,10 +454,14 @@ MarionetteMachine::run(Cycle max_cycles)
                 progressed = true;
             }
             for (const FifoPush &push : r.fifoPushes) {
-                MARIONETTE_ASSERT(
-                    push.fifo >= 0 &&
-                        push.fifo < config_.controlFifoCount,
-                    "push to bad FIFO %d", push.fifo);
+                if (push.fifo < 0 ||
+                    push.fifo >= config_.controlFifoCount) {
+                    fail(RunError::BadProgram,
+                         "push to bad FIFO " +
+                             std::to_string(push.fifo));
+                    result.faultPe = pe.id();
+                    continue;
+                }
                 pendingPush_.schedule(
                     now_ + ctrlNet_.latency(),
                     PendingPush{push.fifo, push.value});
@@ -361,17 +484,74 @@ MarionetteMachine::run(Cycle max_cycles)
             }
         }
 
+        // A structured failure ends the run at the cycle boundary.
+        if (result.error != RunError::None)
+            break;
+
         // Quiescence needs both silence *and* empty networks: a
         // word still in flight (a long mesh route can exceed the
         // grace window) will make progress when it lands, so the
         // idle streak must not run out underneath it.
+        if (progressed)
+            last_progress = now_;
         bool in_flight = mesh_.inFlight() > 0 ||
                          pendingCtrl_.size() > 0 ||
                          pendingPush_.size() > 0;
         if (progressed || in_flight) {
             idle_streak = 0;
+            // Watchdog: work claimed or in flight but nothing
+            // moving for longer than any in-fabric latency can
+            // explain means the fabric is wedged — terminate with
+            // a diagnosis instead of spinning to the cycle limit.
+            if (!progressed && watchdog != 0 &&
+                now_ - last_progress >= watchdog) {
+                std::ostringstream why;
+                why << (mesh_.inFlight() + pendingCtrl_.size() +
+                        pendingPush_.size())
+                    << " word(s) in flight but no forward "
+                       "progress since cycle " << last_progress;
+                fail(RunError::Deadlock, why.str());
+                break;
+            }
         } else if (++idle_streak >= grace) {
-            result.finished = true;
+            // The fabric is silent.  Before declaring success, the
+            // watchdog checks the silence is healthy: no words were
+            // lost on dead links, and no loop generator is stranded
+            // mid-iteration (it would still be producing if its
+            // operands could reach it).
+            const std::uint64_t lost =
+                (mesh_.droppedWords() - dropped_before) +
+                (lostCtrlWords_ - lost_ctrl_before);
+            PeId stranded = invalidPe;
+            for (const PeProgram &p : program_.pes) {
+                if (pes_[static_cast<std::size_t>(p.pe)]
+                        ->midLoop()) {
+                    stranded = p.pe;
+                    break;
+                }
+            }
+            if (lost > 0) {
+                std::ostringstream why;
+                why << lost << " word(s) lost on dead links (last "
+                    << mesh_.lastDropSrc() << " -> "
+                    << mesh_.lastDropDst()
+                    << "); fabric silent since cycle "
+                    << last_progress;
+                fail(RunError::Deadlock, why.str());
+                result.faultPe = stranded;
+                result.faultLinkSrc = mesh_.lastDropSrc();
+                result.faultLinkDst = mesh_.lastDropDst();
+            } else if (stranded != invalidPe) {
+                std::ostringstream why;
+                why << "loop on PE " << stranded
+                    << " stranded mid-iteration at quiescence "
+                       "(silent since cycle " << last_progress
+                    << ")";
+                fail(RunError::Deadlock, why.str());
+                result.faultPe = stranded;
+            } else {
+                result.finished = true;
+            }
             break;
         }
     }
@@ -384,19 +564,37 @@ MarionetteMachine::run(Cycle max_cycles)
     // applies.  PEs that ticked in the final cycle have
     // lastTick_ == last_cycle and backfill zero.
     if (ran_any_cycle) {
+        // The last simulated cycle is now_ when the loop broke
+        // early (quiescence or a structured failure) and
+        // max_cycles - 1 when the budget ran out.
         const Cycle last_cycle =
-            result.finished ? now_ : max_cycles - 1;
+            now_ < max_cycles ? now_ : max_cycles - 1;
         for (PeId p = 0; p < num_pes; ++p) {
             const std::size_t pi = static_cast<std::size_t>(p);
+            if (peDead(p))
+                continue;
             if (lastTick_[pi] < last_cycle)
                 pes_[pi]->backfillIdle(last_cycle - lastTick_[pi]);
         }
     }
 
+    if (!result.finished && result.error == RunError::None) {
+        std::ostringstream why;
+        why << "cycle limit " << max_cycles
+            << " reached before quiescence";
+        fail(RunError::CycleLimit, why.str());
+    }
+
     // Report the last productive cycle, excluding the idle grace
-    // window used for quiescence detection.
-    result.cycles =
-        result.finished ? now_ + 1 - idle_streak : max_cycles;
+    // window used for quiescence detection.  A watchdog-terminated
+    // run reports the cycles it actually simulated — bounded, never
+    // the untouched remainder of the budget.
+    if (result.finished)
+        result.cycles = now_ + 1 - idle_streak;
+    else if (now_ < max_cycles)
+        result.cycles = now_ + 1;
+    else
+        result.cycles = max_cycles;
     result.outputs = outputs_;
     for (const auto &pe : pes_)
         result.totalFires += pe->fires();

@@ -77,6 +77,38 @@ struct CongestionReport
     std::uint64_t stallGate = 0;
 };
 
+/**
+ * Structured failure classification of a run.  The machine never
+ * asserts or spins on a runtime fault: every abnormal end is one of
+ * these kinds, with the stall site attached to the RunResult, so
+ * callers (sweeps, retry loops, serving layers) can react instead
+ * of dying with the process.
+ */
+enum class RunError : std::uint8_t
+{
+    /** The run is healthy (it may still be mid-flight if the cycle
+     *  limit cut it short — check RunResult::finished). */
+    None,
+    /** The loaded program targets a PE the fault plan marks dead. */
+    DeadPe,
+    /** The watchdog found the fabric wedged: words lost on dead
+     *  links, a loop generator stranded mid-round at quiescence, or
+     *  no forward progress with work still claimed or in flight. */
+    Deadlock,
+    /** max_cycles elapsed while the fabric was still progressing
+     *  (livelock or an undersized budget). */
+    CycleLimit,
+    /** The program emitted an out-of-range destination (bad PE,
+     *  output port, or control FIFO). */
+    BadProgram,
+    /** The fabric violated its own credit protocol (a simulator
+     *  bug surfaced as data instead of an abort). */
+    Protocol,
+};
+
+/** Stable lowercase name of a RunError ("deadlock", ...). */
+const char *runErrorName(RunError error);
+
 /** Outcome of one kernel execution. */
 struct RunResult
 {
@@ -90,6 +122,23 @@ struct RunResult
     std::uint64_t totalFires = 0;
     /** Average PE utilization: fires / (PEs * cycles). */
     double peUtilization = 0.0;
+
+    /** Structured failure kind; RunError::None on a healthy run. */
+    RunError error = RunError::None;
+    /** One-line description of the failure (empty when healthy). */
+    std::string errorDetail;
+    /** Last cycle that made forward progress before the failure. */
+    Cycle stalledCycle = 0;
+    /** Offending PE (dead target, stranded generator); invalidPe
+     *  when the failure has no single PE. */
+    PeId faultPe = invalidPe;
+    /** Offending mesh endpoints of a lost word (src, dst);
+     *  invalidPe when no word was lost. */
+    PeId faultLinkSrc = invalidPe;
+    PeId faultLinkDst = invalidPe;
+
+    /** Healthy and ran to quiescence. */
+    bool ok() const { return finished && error == RunError::None; }
 };
 
 /** The Marionette spatial-architecture instance. */
@@ -186,6 +235,8 @@ class MarionetteMachine : public FabricIface
     void scheduleCtrl(Cycle now, const CtrlSend &send, PeId src);
     void buildWakeLists();
     void wake(PeId pe);
+    bool peDead(PeId pe) const
+    { return peDead_[static_cast<std::size_t>(pe)] != 0; }
 
     MachineConfig config_;
     std::vector<std::unique_ptr<Pe>> pes_;
@@ -196,6 +247,14 @@ class MarionetteMachine : public FabricIface
 
     Program program_;
     bool loaded_ = false;
+
+    /** Dead flag per PE from the config's fault plan: a dead PE
+     *  never boots, never ticks, and never leaves the initial
+     *  asleep state on either run path. */
+    std::vector<std::uint8_t> peDead_;
+    /** Control words dropped because the (mesh-routed) control
+     *  ablation found no route; cumulative like every counter. */
+    std::uint64_t lostCtrlWords_ = 0;
 
     Cycle now_ = 0;
     CalendarQueue<PendingCtrl> pendingCtrl_;

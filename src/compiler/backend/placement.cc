@@ -321,6 +321,15 @@ placeSnake(Compilation &cc, Mapping &map, int nonlinear_total)
         static_cast<PeId>(config.numPes() - config.nonlinearPes);
     int nonlinear_unplaced = nonlinear_total;
     int capable_free = config.nonlinearPes;
+    // Dead PEs (and PEs isolated by dead links) are permanently
+    // taken; the pass pre-flight already sized the kernel against
+    // the alive pool, so allocation cannot run dry.
+    for (PeId p :
+         config.faults.effectiveDeadPes(config.rows, config.cols)) {
+        taken[static_cast<std::size_t>(p)] = true;
+        if (p >= first_nonlinear)
+            --capable_free;
+    }
     std::size_t cursor = 0;
     auto allocPe = [&](bool nonlinear) -> PeId {
         if (nonlinear) {
@@ -399,10 +408,23 @@ class CostPlacer
               cc.config.numPes() - cc.config.nonlinearPes)),
           taken_(static_cast<std::size_t>(cc.config.numPes()),
                  false),
+          deadPe_(static_cast<std::size_t>(cc.config.numPes()), 0),
           capableFree_(cc.config.nonlinearPes),
           nonlinearTotal_(nonlinear_total),
           nonlinearUnplaced_(nonlinear_total)
-    {}
+    {
+        // Dead PEs (and PEs isolated by dead links) are permanently
+        // taken in every search round; the capable-PE reserve
+        // shrinks by the dead capable ones.
+        for (PeId p : cc_.config.faults.effectiveDeadPes(
+                 cc_.config.rows, cc_.config.cols)) {
+            deadPe_[static_cast<std::size_t>(p)] = 1;
+            if (p >= firstNonlinear_)
+                ++deadCapable_;
+        }
+        markDead();
+        capableFree_ -= deadCapable_;
+    }
 
     void
     run()
@@ -808,12 +830,23 @@ class CostPlacer
         return ring;
     }
 
+    /** Re-mark the fault plan's dead PEs as taken (after any full
+     *  clear of taken_). */
+    void
+    markDead()
+    {
+        for (std::size_t p = 0; p < deadPe_.size(); ++p)
+            if (deadPe_[p])
+                taken_[p] = true;
+    }
+
     /** Back to the unplaced state (between search rounds). */
     void
     reset()
     {
         std::fill(taken_.begin(), taken_.end(), false);
-        capableFree_ = cc_.config.nonlinearPes;
+        markDead();
+        capableFree_ = cc_.config.nonlinearPes - deadCapable_;
         nonlinearUnplaced_ = nonlinearTotal_;
         for (Entity &e : entities_)
             e.pe = invalidPe;
@@ -826,7 +859,8 @@ class CostPlacer
     restore(const std::vector<PeId> &positions)
     {
         std::fill(taken_.begin(), taken_.end(), false);
-        capableFree_ = cc_.config.nonlinearPes;
+        markDead();
+        capableFree_ = cc_.config.nonlinearPes - deadCapable_;
         for (std::size_t i = 0; i < entities_.size(); ++i) {
             entities_[i].pe = positions[i];
             taken_[static_cast<std::size_t>(positions[i])] = true;
@@ -1464,6 +1498,10 @@ class CostPlacer
     Cycles exec_;
     PeId firstNonlinear_;
     std::vector<bool> taken_;
+    /** Dead flag per PE from the config's fault plan. */
+    std::vector<std::uint8_t> deadPe_;
+    /** How many of the nonlinear-capable PEs are dead. */
+    int deadCapable_ = 0;
     int capableFree_;
     int nonlinearTotal_;
     int nonlinearUnplaced_;
@@ -1524,18 +1562,44 @@ passPlace(Compilation &cc)
     // One drain generator per phase boundary.
     pes_needed += std::max<int>(
         0, static_cast<int>(cc.phases.size()) - 1);
-    if (pes_needed > config.numPes()) {
+    // Capacity is measured against the *alive* pool: the fault
+    // plan's dead PEs (and PEs isolated by dead links) are off
+    // limits to both placers.
+    const std::vector<PeId> dead_pes =
+        config.faults.effectiveDeadPes(config.rows, config.cols);
+    int dead_nonlinear = 0;
+    for (PeId p : dead_pes)
+        if (p >= config.numPes() - config.nonlinearPes)
+            ++dead_nonlinear;
+    const int alive = config.numPes() -
+                      static_cast<int>(dead_pes.size());
+    const int alive_nonlinear =
+        config.nonlinearPes - dead_nonlinear;
+    if (pes_needed > alive) {
         std::ostringstream why;
-        why << "kernel needs " << pes_needed << " PEs, the "
-            << config.rows << "x" << config.cols << " array has "
-            << config.numPes();
+        if (!dead_pes.empty())
+            why << "unmappable under faults: kernel needs "
+                << pes_needed << " PEs, only " << alive << " of "
+                << config.numPes() << " are alive ("
+                << dead_pes.size() << " dead)";
+        else
+            why << "kernel needs " << pes_needed << " PEs, the "
+                << config.rows << "x" << config.cols
+                << " array has " << config.numPes();
         return cc.fail(kPassPlace, why.str());
     }
-    if (nonlinear_needed > config.nonlinearPes) {
+    if (nonlinear_needed > alive_nonlinear) {
         std::ostringstream why;
-        why << "kernel needs " << nonlinear_needed
-            << " nonlinear-fitting PEs, the array has "
-            << config.nonlinearPes;
+        if (dead_nonlinear > 0)
+            why << "unmappable under faults: kernel needs "
+                << nonlinear_needed
+                << " nonlinear-fitting PEs, only "
+                << alive_nonlinear << " of " << config.nonlinearPes
+                << " are alive";
+        else
+            why << "kernel needs " << nonlinear_needed
+                << " nonlinear-fitting PEs, the array has "
+                << config.nonlinearPes;
         return cc.fail(kPassPlace, why.str());
     }
 

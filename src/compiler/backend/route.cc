@@ -84,6 +84,11 @@ passRoute(Compilation &cc)
     const MachineConfig &config = cc.config;
     MeshGeometry geom(config.rows, config.cols,
                       config.meshHopLatency);
+    // Fault-aware routing: the same MeshRouter the machine's
+    // DataMesh consults, so a routed edge's detour (and latency) is
+    // by construction what the mesh will charge.  Pass-through when
+    // the fault plan has no dead links.
+    MeshRouter router(geom, config.faults.deadLinks);
     RoutePlan &plan = cc.routes;
     plan.phases.resize(cc.phases.size());
 
@@ -109,9 +114,25 @@ passRoute(Compilation &cc)
             r.srcPe = e.src == invalidNode ? placed.generator
                                            : placed.peOf.at(e.src);
             r.dstPe = placed.peOf.at(e.dst);
-            r.hops = geom.hops(r.srcPe, r.dstPe);
-            r.latency = geom.latency(r.srcPe, r.dstPe);
-            r.path = geom.xyPath(r.srcPe, r.dstPe);
+            if (router.faulty()) {
+                const std::vector<PeId> &path =
+                    router.path(r.srcPe, r.dstPe);
+                if (path.empty()) {
+                    std::ostringstream why;
+                    why << "unmappable under faults: dead links "
+                           "disconnect PE " << r.srcPe
+                        << " from PE " << r.dstPe << " (phase "
+                        << p << " data edge)";
+                    return cc.fail(kPassRoute, why.str());
+                }
+                r.hops = router.hops(r.srcPe, r.dstPe);
+                r.latency = router.latency(r.srcPe, r.dstPe);
+                r.path = path;
+            } else {
+                r.hops = geom.hops(r.srcPe, r.dstPe);
+                r.latency = geom.latency(r.srcPe, r.dstPe);
+                r.path = geom.xyPath(r.srcPe, r.dstPe);
+            }
             route.maxEdgeLatency =
                 std::max(route.maxEdgeLatency, r.latency);
             plan.totalHops += static_cast<std::uint64_t>(r.hops);

@@ -47,7 +47,10 @@ class ProgramBuilder
     void validate() const;
 
     std::string name_;
-    const MachineConfig &config_;
+    /** By value: builders outlive temporary configs handed to the
+     *  constructor (a reference member here was a dangling-read
+     *  trap the sanitizers flagged). */
+    const MachineConfig config_;
     std::map<PeId, std::map<InstrAddr, Instruction>> instrs_;
     std::map<PeId, InstrAddr> entries_;
     int numOutputs_ = 1;

@@ -58,6 +58,7 @@
 #include "pe/pe.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/logging.h"
 #include "sim/rng.h"
 #include "sim/stats.h"

@@ -89,6 +89,121 @@ MeshGeometry::linkIndex(PeId from, PeId to) const
 }
 
 // ------------------------------------------------------------------
+// MeshRouter
+// ------------------------------------------------------------------
+
+MeshRouter::MeshRouter(const MeshGeometry &geom,
+                       const std::vector<DeadLink> &dead_links)
+    : geom_(geom)
+{
+    if (dead_links.empty())
+        return;
+    faulty_ = true;
+    linkDead_.assign(static_cast<std::size_t>(geom_.numLinks()), 0);
+    for (const DeadLink &l : dead_links) {
+        // Both directions of the physical link go down.
+        linkDead_[static_cast<std::size_t>(
+            geom_.linkIndex(l.a, l.b))] = 1;
+        linkDead_[static_cast<std::size_t>(
+            geom_.linkIndex(l.b, l.a))] = 1;
+    }
+}
+
+bool
+MeshRouter::linkDead(PeId from, PeId to) const
+{
+    if (!faulty_)
+        return false;
+    return linkDead_[static_cast<std::size_t>(
+               geom_.linkIndex(from, to))] != 0;
+}
+
+const std::vector<PeId> &
+MeshRouter::path(PeId src, PeId dst)
+{
+    const int key = src * geom_.numPes() + dst;
+    auto it = paths_.find(key);
+    if (it != paths_.end())
+        return it->second;
+
+    std::vector<PeId> &out = paths_[key];
+    // Healthy pairs keep their dimension-ordered route so faulted
+    // configs disturb only the traffic that actually crosses a
+    // dead link.
+    std::vector<PeId> xy = geom_.xyPath(src, dst);
+    bool clean = true;
+    for (std::size_t i = 0; i + 1 < xy.size() && clean; ++i)
+        clean = !linkDead(xy[i], xy[i + 1]);
+    if (clean) {
+        out = std::move(xy);
+        return out;
+    }
+
+    // Deterministic BFS over the intact links: fixed expansion
+    // order (east, west, south, north), first-found shortest path.
+    const int num_pes = geom_.numPes();
+    std::vector<PeId> parent(static_cast<std::size_t>(num_pes),
+                             invalidPe);
+    std::vector<std::uint8_t> seen(
+        static_cast<std::size_t>(num_pes), 0);
+    std::vector<PeId> queue;
+    queue.reserve(static_cast<std::size_t>(num_pes));
+    queue.push_back(src);
+    seen[static_cast<std::size_t>(src)] = 1;
+    const int cols = geom_.cols;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        PeId at = queue[head];
+        if (at == dst)
+            break;
+        int r = at / cols, c = at % cols;
+        PeId peers[4];
+        int n = 0;
+        if (c + 1 < cols)
+            peers[n++] = at + 1;
+        if (c > 0)
+            peers[n++] = at - 1;
+        if (r + 1 < geom_.rows)
+            peers[n++] = at + cols;
+        if (r > 0)
+            peers[n++] = at - cols;
+        for (int k = 0; k < n; ++k) {
+            PeId next = peers[k];
+            if (seen[static_cast<std::size_t>(next)] ||
+                linkDead(at, next))
+                continue;
+            seen[static_cast<std::size_t>(next)] = 1;
+            parent[static_cast<std::size_t>(next)] = at;
+            queue.push_back(next);
+        }
+    }
+    if (!seen[static_cast<std::size_t>(dst)])
+        return out; // disconnected: empty path.
+    for (PeId at = dst; at != src;
+         at = parent[static_cast<std::size_t>(at)])
+        out.push_back(at);
+    out.push_back(src);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+Cycles
+MeshRouter::latency(PeId src, PeId dst)
+{
+    const std::vector<PeId> &p = path(src, dst);
+    if (p.empty())
+        return 0;
+    return std::max<Cycles>(
+        1, static_cast<Cycles>(p.size() - 1) * geom_.hopLatency);
+}
+
+int
+MeshRouter::hops(PeId src, PeId dst)
+{
+    const std::vector<PeId> &p = path(src, dst);
+    return p.empty() ? -1 : static_cast<int>(p.size()) - 1;
+}
+
+// ------------------------------------------------------------------
 // DataMesh
 // ------------------------------------------------------------------
 
@@ -107,9 +222,51 @@ DataMesh::DataMesh(int rows, int cols, Cycles hop_latency)
 }
 
 void
+DataMesh::setDeadLinks(const std::vector<DeadLink> &dead_links)
+{
+    router_ = MeshRouter(geom_, dead_links);
+}
+
+void
 DataMesh::send(Cycle now, PeId src, PeId dst, Word value,
                int channel)
 {
+    if (router_.faulty()) {
+        // Fault mode: route on the shared MeshRouter's detours —
+        // the exact paths and latencies the compiler's route pass
+        // planned with.  Words whose endpoints the dead links
+        // disconnect are dropped (and counted): the physical
+        // router has nowhere to forward them, and the machine's
+        // watchdog turns the loss into a structured deadlock error.
+        const std::vector<PeId> &path = router_.path(src, dst);
+        if (path.empty()) {
+            ++dropped_;
+            lastDropSrc_ = src;
+            lastDropDst_ = dst;
+            stats_.stat("dropped_words").inc();
+            return;
+        }
+        MeshPacket pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.value = value;
+        pkt.channel = channel;
+        pkt.arrival = now + router_.latency(src, dst);
+        flight_.schedule(pkt.arrival, pkt);
+        statPackets_.inc();
+        statHopTraversals_.inc(
+            static_cast<std::uint64_t>(path.size() - 1));
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            std::uint64_t &load =
+                linkLoads_[static_cast<std::size_t>(
+                    geom_.linkIndex(path[i], path[i + 1]))];
+            ++load;
+            if (load > statMaxLinkLoad_.value())
+                statMaxLinkLoad_.set(load);
+        }
+        return;
+    }
+
     MeshPacket pkt;
     pkt.src = src;
     pkt.dst = dst;

@@ -27,9 +27,11 @@
 #ifndef MARIONETTE_NET_MESH_H
 #define MARIONETTE_NET_MESH_H
 
+#include <map>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -82,6 +84,65 @@ struct MeshGeometry
     int linkIndex(PeId from, PeId to) const;
 };
 
+/**
+ * Fault-aware routing over a MeshGeometry.
+ *
+ * The single source of truth for "which path does a word take when
+ * links are down", shared by the cycle-accurate DataMesh and the
+ * compiler's route pass so a routed edge's latency is still, by
+ * construction, what the machine charges.  Routing policy:
+ *
+ *  - with no dead links the router is pass-through: XY paths and
+ *    latencies, bit-identical to the fault-free mesh;
+ *  - a source-destination pair whose XY path avoids every dead
+ *    link keeps its XY route (healthy traffic is undisturbed);
+ *  - otherwise the shortest detour is found by deterministic BFS
+ *    (fixed east/west/south/north expansion order) over the intact
+ *    links; latency is hopLatency per hop of the detour;
+ *  - when the dead links disconnect the pair there is no route:
+ *    path() is empty and latency() returns 0 (a healthy latency is
+ *    always >= 1).  The machine drops such words and the watchdog
+ *    reports them; the compiler rejects the mapping.
+ *
+ * Paths are memoized per (src, dst); not thread-safe — each machine
+ * and each compilation owns its router.
+ */
+class MeshRouter
+{
+  public:
+    MeshRouter() = default;
+    MeshRouter(const MeshGeometry &geom,
+               const std::vector<DeadLink> &dead_links);
+
+    /** True when any link is dead (the non-pass-through mode). */
+    bool faulty() const { return faulty_; }
+
+    /** Is the directed link @p from -> @p to down?  (Links die in
+     *  both directions.)  @p from and @p to must be adjacent. */
+    bool linkDead(PeId from, PeId to) const;
+
+    /** The route from @p src to @p dst avoiding dead links; empty
+     *  when the pair is disconnected.  Self-sends route as the
+     *  trivial [src] path.  Only valid while the router lives. */
+    const std::vector<PeId> &path(PeId src, PeId dst);
+
+    /** End-to-end latency of path(); 0 when disconnected. */
+    Cycles latency(PeId src, PeId dst);
+
+    /** Hop count of path(); -1 when disconnected. */
+    int hops(PeId src, PeId dst);
+
+    const MeshGeometry &geometry() const { return geom_; }
+
+  private:
+    MeshGeometry geom_;
+    bool faulty_ = false;
+    /** Dead flag per directed link (geom_.linkIndex layout). */
+    std::vector<std::uint8_t> linkDead_;
+    /** Memoized paths keyed by src * numPes + dst. */
+    std::map<int, std::vector<PeId>> paths_;
+};
+
 /** A word in flight on the mesh. */
 struct MeshPacket
 {
@@ -110,6 +171,39 @@ class DataMesh
 
     /** The mesh's geometry (shared with the compiler backend). */
     const MeshGeometry &geometry() const { return geom_; }
+
+    /**
+     * Apply a dead-link set (kernel-independent hardware state; the
+     * machine installs its config's fault plan at construction).
+     * With dead links installed, send() detours words around them
+     * on the same deterministic routes MeshRouter hands the
+     * compiler, and *drops* words whose endpoints the dead links
+     * disconnect — see droppedWords().
+     */
+    void setDeadLinks(const std::vector<DeadLink> &dead_links);
+
+    /** True when a dead-link set is installed. */
+    bool faulty() const { return router_.faulty(); }
+
+    /** Words dropped because dead links disconnected their
+     *  endpoints (never nonzero on a healthy mesh). */
+    std::uint64_t droppedWords() const { return dropped_; }
+
+    /** Endpoints of the most recently dropped word (diagnostics);
+     *  invalidPe when nothing was dropped. */
+    PeId lastDropSrc() const { return lastDropSrc_; }
+    PeId lastDropDst() const { return lastDropDst_; }
+
+    /**
+     * Fault-aware end-to-end latency: geometry latency on a healthy
+     * mesh, detour latency with dead links installed, 0 when the
+     * pair is disconnected.  What send() actually charges.
+     */
+    Cycles routedLatency(PeId src, PeId dst)
+    {
+        return router_.faulty() ? router_.latency(src, dst)
+                                : geom_.latency(src, dst);
+    }
 
     /** Manhattan hop count between two PEs. */
     int hops(PeId src, PeId dst) const
@@ -174,6 +268,11 @@ class DataMesh
     CalendarQueue<MeshPacket> flight_;
     /** Traversal count per directed link (XY-routed). */
     std::vector<std::uint64_t> linkLoads_;
+    /** Fault-aware router; pass-through until setDeadLinks(). */
+    MeshRouter router_;
+    std::uint64_t dropped_ = 0;
+    PeId lastDropSrc_ = invalidPe;
+    PeId lastDropDst_ = invalidPe;
     Stat &statPackets_;
     Stat &statHopTraversals_;
     Stat &statMaxLinkLoad_;

@@ -58,6 +58,16 @@ class InputChannel
 
     void clear() { words_.clear(); }
 
+    /** Fault injection: XOR the head word with @p xor_mask (the
+     *  transient-upset model — a bit flip in the channel register
+     *  about to be consumed).  No-op on an empty channel. */
+    void
+    corruptFront(Word xor_mask)
+    {
+        if (!words_.empty())
+            words_.front() ^= xor_mask;
+    }
+
   private:
     int depth_;
     std::deque<Word> words_;

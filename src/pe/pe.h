@@ -180,6 +180,26 @@ class Pe
      */
     void backfillIdle(Cycles cycles);
 
+    /**
+     * True while the Loop operator is mid-round.  The machine's
+     * watchdog uses this as its strandedness probe: a generator
+     * still active when the whole fabric has gone silent can never
+     * finish (a healthy round always runs to its bound and clears
+     * the flag before quiescence).
+     */
+    bool midLoop() const { return loopActive_; }
+
+    /** Transient-upset injection: XOR the head of input channel
+     *  @p channel with @p xor_mask (no-op when empty). */
+    void
+    corruptChannel(int channel, Word xor_mask)
+    {
+        if (channel >= 0 &&
+            channel < static_cast<int>(channels_.size()))
+            channels_[static_cast<std::size_t>(channel)]
+                .corruptFront(xor_mask);
+    }
+
     /** Cumulative FU firings (utilization accounting). */
     std::uint64_t fires() const { return hot_.fires.value(); }
 

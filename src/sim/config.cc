@@ -31,6 +31,7 @@ MachineConfig::validate() const
     if (nonlinearPes < 0 || nonlinearPes > numPes())
         MARIONETTE_FATAL("nonlinearPes (%d) out of range for %d PEs",
                          nonlinearPes, numPes());
+    faults.validate(rows, cols);
 }
 
 std::string
@@ -44,6 +45,8 @@ MachineConfig::summary() const
         << "c, features{proactive=" << features.proactiveConfig
         << ",ctrlnet=" << features.controlNetwork
         << ",agile=" << features.agileAssignment << "}";
+    if (!faults.empty())
+        out << ", faults{" << faults.summary() << "}";
     return out.str();
 }
 
@@ -77,6 +80,11 @@ configHash(const MachineConfig &config)
     mix(config.features.proactiveConfig ? 1 : 0);
     mix(config.features.controlNetwork ? 2 : 0);
     mix(config.features.agileAssignment ? 4 : 0);
+    // The fault plan is architectural: placement and routing depend
+    // on it, so configs with different fault sets must not share a
+    // program-cache entry.  (watchdogCycles is a simulator knob
+    // like eventDrivenSim and stays out.)
+    mix(faultPlanHash(config.faults));
     return h;
 }
 

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "sim/fault.h"
 #include "sim/types.h"
 
 namespace marionette
@@ -84,6 +85,27 @@ struct MachineConfig
 
     /** Feature toggles for ablation studies. */
     Features features;
+
+    /**
+     * Hardware faults this instance suffers (sim/fault.h): dead
+     * PEs, dead mesh links, scheduled transient upsets.  Part of
+     * the architectural identity — the compiler places and routes
+     * around the same fault set the machine enforces, so the plan
+     * is covered by configHash().  Empty by default.
+     */
+    FaultPlan faults;
+
+    /**
+     * Watchdog window (cycles): a run that makes no forward
+     * progress for this long while words are still claimed or in
+     * flight is declared deadlocked and terminated with a
+     * structured RunResult error instead of spinning to the cycle
+     * limit.  A simulator knob like eventDrivenSim — it cannot
+     * change what a healthy run computes (any legal stall resolves
+     * within a few network latencies), so it is excluded from
+     * configHash().  0 disables the monitor.
+     */
+    Cycles watchdogCycles = 8192;
 
     /**
      * Simulator implementation toggle (not an architecture

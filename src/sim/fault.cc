@@ -1,0 +1,217 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/** Mesh adjacency without pulling in net/ (sim must stay below it
+ *  in the layering): two PEs are linked iff they differ by one row
+ *  or one column. */
+bool
+adjacent(PeId a, PeId b, int cols)
+{
+    int ar = a / cols, ac = a % cols;
+    int br = b / cols, bc = b % cols;
+    return std::abs(ar - br) + std::abs(ac - bc) == 1;
+}
+
+/** Canonical (min, max) endpoint order for set membership. */
+std::pair<PeId, PeId>
+canonical(const DeadLink &link)
+{
+    return {std::min(link.a, link.b), std::max(link.a, link.b)};
+}
+
+} // namespace
+
+bool
+FaultPlan::peDead(PeId pe) const
+{
+    return std::find(deadPes.begin(), deadPes.end(), pe) !=
+           deadPes.end();
+}
+
+std::vector<PeId>
+FaultPlan::effectiveDeadPes(int rows, int cols) const
+{
+    std::set<PeId> dead(deadPes.begin(), deadPes.end());
+    if (!deadLinks.empty()) {
+        std::set<std::pair<PeId, PeId>> down;
+        for (const DeadLink &l : deadLinks)
+            down.insert(canonical(l));
+        for (PeId pe = 0; pe < rows * cols; ++pe) {
+            if (dead.count(pe))
+                continue;
+            int r = pe / cols, c = pe % cols;
+            bool isolated = true;
+            const int dr[] = {0, 0, 1, -1};
+            const int dc[] = {1, -1, 0, 0};
+            for (int k = 0; k < 4 && isolated; ++k) {
+                int nr = r + dr[k], nc = c + dc[k];
+                if (nr < 0 || nr >= rows || nc < 0 || nc >= cols)
+                    continue;
+                PeId peer = static_cast<PeId>(nr * cols + nc);
+                if (!down.count(canonical(DeadLink{pe, peer})))
+                    isolated = false;
+            }
+            if (isolated)
+                dead.insert(pe);
+        }
+    }
+    return {dead.begin(), dead.end()};
+}
+
+void
+FaultPlan::validate(int rows, int cols) const
+{
+    const int num_pes = rows * cols;
+    std::set<PeId> seen_pes;
+    for (PeId pe : deadPes) {
+        if (pe < 0 || pe >= num_pes)
+            MARIONETTE_FATAL("fault plan marks PE %d dead outside "
+                             "the %dx%d array", pe, rows, cols);
+        if (!seen_pes.insert(pe).second)
+            MARIONETTE_FATAL("fault plan lists dead PE %d twice",
+                             pe);
+    }
+    std::set<std::pair<PeId, PeId>> seen_links;
+    for (const DeadLink &l : deadLinks) {
+        if (l.a < 0 || l.a >= num_pes || l.b < 0 || l.b >= num_pes)
+            MARIONETTE_FATAL("fault plan link %d-%d outside the "
+                             "%dx%d array", l.a, l.b, rows, cols);
+        if (!adjacent(l.a, l.b, cols))
+            MARIONETTE_FATAL("fault plan link %d-%d is not a mesh "
+                             "edge", l.a, l.b);
+        if (!seen_links.insert(canonical(l)).second)
+            MARIONETTE_FATAL("fault plan lists link %d-%d twice",
+                             l.a, l.b);
+    }
+    for (const TransientFault &t : transients) {
+        if (t.pe < 0 || t.pe >= num_pes)
+            MARIONETTE_FATAL("transient fault targets PE %d "
+                             "outside the %dx%d array", t.pe, rows,
+                             cols);
+        if (t.channel < 0)
+            MARIONETTE_FATAL("transient fault targets negative "
+                             "channel %d", t.channel);
+    }
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::ostringstream out;
+    out << deadPes.size() << " dead PE(s)";
+    if (!deadPes.empty()) {
+        out << " {";
+        for (std::size_t i = 0; i < deadPes.size(); ++i)
+            out << (i ? "," : "") << deadPes[i];
+        out << "}";
+    }
+    out << ", " << deadLinks.size() << " dead link(s)";
+    if (!deadLinks.empty()) {
+        out << " {";
+        for (std::size_t i = 0; i < deadLinks.size(); ++i)
+            out << (i ? "," : "") << deadLinks[i].a << "-"
+                << deadLinks[i].b;
+        out << "}";
+    }
+    if (!transients.empty())
+        out << ", " << transients.size() << " transient(s)";
+    return out.str();
+}
+
+FaultPlan
+FaultPlan::seeded(int rows, int cols, int dead_pes, int dead_links,
+                  std::uint64_t seed)
+{
+    MARIONETTE_ASSERT(rows > 0 && cols > 0,
+                      "fault plan for empty array");
+    const int num_pes = rows * cols;
+    // A plan that kills most of the array is a configuration error,
+    // not an experiment.
+    if (dead_pes < 0 || dead_pes > num_pes / 2)
+        MARIONETTE_FATAL("seeded fault plan wants %d dead PEs on a "
+                         "%d-PE array (max half)", dead_pes,
+                         num_pes);
+    const int num_undirected =
+        rows * (cols - 1) + cols * (rows - 1);
+    if (dead_links < 0 || dead_links > num_undirected / 2)
+        MARIONETTE_FATAL("seeded fault plan wants %d dead links of "
+                         "%d (max half)", dead_links,
+                         num_undirected);
+
+    // Distinct seed streams per fault class so adding links never
+    // reshuffles which PEs die.
+    FaultPlan plan;
+    Rng pe_rng(seed * 2654435761ull + 1);
+    std::set<PeId> pes;
+    while (static_cast<int>(pes.size()) < dead_pes) {
+        PeId pe = static_cast<PeId>(
+            pe_rng.nextBounded(static_cast<std::uint64_t>(num_pes)));
+        pes.insert(pe);
+    }
+    plan.deadPes.assign(pes.begin(), pes.end());
+
+    Rng link_rng(seed * 0x9e3779b97f4a7c15ull + 2);
+    std::set<std::pair<PeId, PeId>> links;
+    while (static_cast<int>(links.size()) < dead_links) {
+        PeId a = static_cast<PeId>(link_rng.nextBounded(
+            static_cast<std::uint64_t>(num_pes)));
+        int r = a / cols, c = a % cols;
+        // Pick one of the PE's mesh neighbours, deterministically.
+        std::vector<PeId> peers;
+        if (c + 1 < cols)
+            peers.push_back(a + 1);
+        if (c > 0)
+            peers.push_back(a - 1);
+        if (r + 1 < rows)
+            peers.push_back(a + cols);
+        if (r > 0)
+            peers.push_back(a - cols);
+        PeId b = peers[link_rng.nextBounded(peers.size())];
+        links.insert(canonical(DeadLink{a, b}));
+    }
+    for (const auto &[a, b] : links)
+        plan.deadLinks.push_back(DeadLink{a, b});
+    return plan;
+}
+
+std::uint64_t
+faultPlanHash(const FaultPlan &plan)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(plan.deadPes.size());
+    for (PeId pe : plan.deadPes)
+        mix(static_cast<std::uint64_t>(pe));
+    mix(plan.deadLinks.size());
+    for (const DeadLink &l : plan.deadLinks) {
+        mix(static_cast<std::uint64_t>(l.a));
+        mix(static_cast<std::uint64_t>(l.b));
+    }
+    mix(plan.transients.size());
+    for (const TransientFault &t : plan.transients) {
+        mix(t.cycle);
+        mix(static_cast<std::uint64_t>(t.pe));
+        mix(static_cast<std::uint64_t>(t.channel));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(t.xorMask)));
+    }
+    return h;
+}
+
+} // namespace marionette

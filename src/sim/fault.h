@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic hardware-fault injection plans.
+ *
+ * Real spatial fabrics lose tiles and links — yield faults at
+ * manufacture, in-field wear-out, transient upsets.  A FaultPlan is
+ * the simulator's reproducible description of one such broken
+ * machine: PEs that never tick, mesh links that drop every word
+ * routed across them, and scheduled single-word corruptions.  The
+ * plan rides on MachineConfig, so a faulted run is exactly as
+ * reproducible as a healthy one, and the compiler backend sees the
+ * same fault set the machine enforces (placement excludes dead PEs,
+ * routing detours around dead links).
+ *
+ * Plans are either written out explicitly (tests, targeted
+ * experiments) or drawn from the seeded generator (resilience
+ * sweeps): equal seeds give equal plans on every platform.
+ */
+
+#ifndef MARIONETTE_SIM_FAULT_H
+#define MARIONETTE_SIM_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** One dead mesh link, named by its adjacent endpoints.  Links are
+ *  undirected: both directed traversals of the pair are down. */
+struct DeadLink
+{
+    PeId a = invalidPe;
+    PeId b = invalidPe;
+};
+
+/** One scheduled transient upset: at @p cycle, the word at the head
+ *  of @p pe's input channel @p channel is XORed with @p xorMask (a
+ *  no-op when the channel is empty at that cycle). */
+struct TransientFault
+{
+    Cycle cycle = 0;
+    PeId pe = invalidPe;
+    int channel = 0;
+    Word xorMask = 0;
+};
+
+/** A reproducible set of hardware faults applied to one machine. */
+struct FaultPlan
+{
+    /** PEs that never boot and never tick. */
+    std::vector<PeId> deadPes;
+    /** Mesh links that drop every word routed across them. */
+    std::vector<DeadLink> deadLinks;
+    /** Scheduled single-word corruptions. */
+    std::vector<TransientFault> transients;
+
+    bool
+    empty() const
+    {
+        return deadPes.empty() && deadLinks.empty() &&
+               transients.empty();
+    }
+
+    /** Linear scan; fault sets are small by construction. */
+    bool peDead(PeId pe) const;
+
+    /**
+     * The dead-PE set the compiler must avoid: the declared dead
+     * PEs plus any PE whose every incident mesh link is dead — a
+     * fully isolated tile can neither receive operands nor deliver
+     * results, so placing work on it could only deadlock.
+     */
+    std::vector<PeId> effectiveDeadPes(int rows, int cols) const;
+
+    /** Check invariants against an @p rows x @p cols array; calls
+     *  fatal() on malformed plans (out-of-range ids, non-adjacent
+     *  link endpoints, duplicate entries). */
+    void validate(int rows, int cols) const;
+
+    /** One-line human-readable summary ("2 dead PE(s) ..."). */
+    std::string summary() const;
+
+    /**
+     * Draw a random plan for an @p rows x @p cols array: @p dead_pes
+     * distinct dead PEs and @p dead_links distinct dead links,
+     * deterministically from @p seed (equal arguments, equal plan).
+     * Transients are never generated — schedule those explicitly.
+     */
+    static FaultPlan seeded(int rows, int cols, int dead_pes,
+                            int dead_links, std::uint64_t seed);
+};
+
+/** Stable hash of a plan, mixed into configHash(): two configs with
+ *  different fault sets compile to different programs, so they must
+ *  occupy different program-cache entries. */
+std::uint64_t faultPlanHash(const FaultPlan &plan);
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_FAULT_H

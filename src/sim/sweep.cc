@@ -26,8 +26,20 @@ SweepRunner::dispatch(int n, const std::function<void(int)> &fn)
         return;
     int workers = std::min(numThreads_, n);
     if (workers <= 1) {
-        for (int i = 0; i < n; ++i)
-            fn(i);
+        // Same contract as the pool: a throwing job does not lose
+        // the rest of the sweep; the first exception is rethrown
+        // once every job has run.
+        std::exception_ptr first_error;
+        for (int i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
         return;
     }
 
@@ -71,17 +83,23 @@ SweepRunner::runMachines(const std::vector<MachineJob> &jobs) const
 {
     std::vector<SweepResult> results(jobs.size());
     dispatch(static_cast<int>(jobs.size()), [&](int i) {
-        const MachineJob &job =
-            jobs[static_cast<std::size_t>(i)];
-        // A machine is private to its job (and therefore to the
-        // worker thread running it); nothing is shared.
-        MarionetteMachine machine(job.config);
-        machine.load(job.program);
-        if (job.setup)
-            job.setup(machine);
         SweepResult &out = results[static_cast<std::size_t>(i)];
-        out.run = machine.run(job.maxCycles);
-        out.stats = machine.renderAllStats();
+        try {
+            const MachineJob &job =
+                jobs[static_cast<std::size_t>(i)];
+            // A machine is private to its job (and therefore to the
+            // worker thread running it); nothing is shared.
+            MarionetteMachine machine(job.config);
+            machine.load(job.program);
+            if (job.setup)
+                job.setup(machine);
+            out.run = machine.run(job.maxCycles);
+            out.stats = machine.renderAllStats();
+        } catch (const std::exception &e) {
+            out.jobError = e.what();
+        } catch (...) {
+            out.jobError = "unknown exception";
+        }
     });
     return results;
 }
@@ -92,31 +110,98 @@ SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
 {
     std::vector<KernelSweepResult> results(jobs.size());
     dispatch(static_cast<int>(jobs.size()), [&](int i) {
-        const KernelSweepJob &job =
-            jobs[static_cast<std::size_t>(i)];
         KernelSweepResult &out =
             results[static_cast<std::size_t>(i)];
-        CompileResult compiled = cache.getOrCompile(
-            *job.workload, job.config, job.options);
-        if (!compiled.ok()) {
-            out.diagnostic = compiled.report.failedPass + ": " +
-                             compiled.report.reason;
-            return;
-        }
-        out.compiled = true;
-        out.modelEstimate = compiled.report.modelCycleEstimate;
+        try {
+            const KernelSweepJob &job =
+                jobs[static_cast<std::size_t>(i)];
+            // Fault-discovery mode compiles as if the hardware were
+            // healthy; the faults are learned from the structured
+            // run error, then the retry re-places/re-routes against
+            // the full plan.  Compiles always run on the *faulted*
+            // machine (job.config); only the compiler's view of the
+            // fault plan varies, and the two views have distinct
+            // configHash cache keys.
+            MachineConfig compile_config = job.config;
+            if (job.discoverFaults)
+                compile_config.faults = FaultPlan{};
+            for (;;) {
+                CompileResult compiled = cache.getOrCompile(
+                    *job.workload, compile_config, job.options);
+                if (!compiled.ok()) {
+                    out.compiled = false;
+                    out.diagnostic =
+                        compiled.report.failedPass + ": " +
+                        compiled.report.reason;
+                    return;
+                }
+                out.compiled = true;
+                out.modelEstimate =
+                    compiled.report.modelCycleEstimate;
 
-        const CompiledKernel &kernel = *compiled.kernel;
-        MarionetteMachine machine(job.config);
-        kernel.prepare(machine);
-        out.run = machine.run(job.maxCycles > 0
-                                  ? job.maxCycles
-                                  : kernel.cycleBudget);
-        out.validationError = kernel.validate(machine, out.run);
-        out.validated = out.validationError.empty();
-        out.congestion = machine.congestion();
+                const CompiledKernel &kernel = *compiled.kernel;
+                MarionetteMachine machine(job.config);
+                kernel.prepare(machine);
+                out.run =
+                    machine.run(job.maxCycles > 0
+                                    ? job.maxCycles
+                                    : kernel.cycleBudget);
+                out.congestion = machine.congestion();
+                if (out.run.error != RunError::None &&
+                    out.retries < job.maxRetries &&
+                    configHash(compile_config) !=
+                        configHash(job.config)) {
+                    if (out.firstError.empty())
+                        out.firstError =
+                            std::string(
+                                runErrorName(out.run.error)) +
+                            ": " + out.run.errorDetail;
+                    ++out.retries;
+                    out.recompiled = true;
+                    compile_config = job.config;
+                    continue;
+                }
+                out.validationError =
+                    kernel.validate(machine, out.run);
+                out.validated = out.validationError.empty();
+                return;
+            }
+        } catch (const std::exception &e) {
+            out.jobError = e.what();
+        } catch (...) {
+            out.jobError = "unknown exception";
+        }
     });
     return results;
+}
+
+KernelSweepStats
+summarizeKernelSweep(const std::vector<KernelSweepResult> &results)
+{
+    KernelSweepStats stats;
+    stats.jobs = static_cast<int>(results.size());
+    for (const KernelSweepResult &r : results) {
+        if (!r.jobError.empty()) {
+            ++stats.jobErrors;
+            continue;
+        }
+        if (!r.compiled) {
+            ++stats.rejected;
+            continue;
+        }
+        ++stats.compiled;
+        if (r.validated)
+            ++stats.validated;
+        if (r.run.error != RunError::None)
+            ++stats.runErrors;
+        if (r.retries > 0) {
+            ++stats.retried;
+            stats.totalRetries += r.retries;
+            if (r.recompiled && r.validated)
+                ++stats.recoveredByRecompile;
+        }
+    }
+    return stats;
 }
 
 } // namespace marionette

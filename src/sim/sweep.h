@@ -60,6 +60,10 @@ struct SweepResult
     RunResult run;
     /** Full stat dump of the job's machine after the run. */
     std::string stats;
+    /** what() of an exception the job threw; empty when the job
+     *  completed.  A throwing job never takes the sweep down — the
+     *  other jobs' results are still returned. */
+    std::string jobError;
 };
 
 /** One (workload, configuration) cell of a compiled-kernel grid. */
@@ -72,6 +76,17 @@ struct KernelSweepJob
     /** Compile options (placer ablations share the cache safely:
      *  the options are part of the cache key). */
     CompilerOptions options;
+    /**
+     * Fault-discovery mode: compile fault-obliviously first (as if
+     * the hardware were healthy), run on the *faulted* machine, and
+     * on a structured run error re-place/re-route against the full
+     * fault plan and rerun — the dynamic story of a fabric whose
+     * faults are found at run time.  Off: the first compile already
+     * knows the fault plan (static story), and no retry can help.
+     */
+    bool discoverFaults = false;
+    /** Retry budget of the discovery mode (recompiles per job). */
+    int maxRetries = 1;
 };
 
 /** Outcome of one compiled-kernel grid cell. */
@@ -91,7 +106,43 @@ struct KernelSweepResult
     /** Mesh traffic / stall profile of the run (hop and link-load
      *  statistics the mapped-cycles report prints). */
     CongestionReport congestion;
+    /** Fault-discovery retries taken (see
+     *  KernelSweepJob::discoverFaults). */
+    int retries = 0;
+    /** True when a retry re-placed/re-routed around the faults. */
+    bool recompiled = false;
+    /** The structured error that triggered the first retry. */
+    std::string firstError;
+    /** what() of an exception the job threw; empty when the job
+     *  completed (see SweepResult::jobError). */
+    std::string jobError;
 };
+
+/** Aggregate counts over a kernel sweep's results. */
+struct KernelSweepStats
+{
+    int jobs = 0;
+    /** Compiler accepted the (kernel, config) cell. */
+    int compiled = 0;
+    /** Compiler rejected it (pass-attributed diagnostic). */
+    int rejected = 0;
+    /** Run finished healthy and matched the goldens. */
+    int validated = 0;
+    /** Run ended with a structured RunError. */
+    int runErrors = 0;
+    /** Jobs that took at least one fault-discovery retry. */
+    int retried = 0;
+    /** Total retries across all jobs. */
+    int totalRetries = 0;
+    /** Retries whose recompile then validated. */
+    int recoveredByRecompile = 0;
+    /** Jobs that threw (jobError set). */
+    int jobErrors = 0;
+};
+
+/** Fold a kernel sweep's results into aggregate counts. */
+KernelSweepStats
+summarizeKernelSweep(const std::vector<KernelSweepResult> &results);
 
 /** Deterministic thread-pool runner for independent jobs. */
 class SweepRunner

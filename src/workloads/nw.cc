@@ -306,7 +306,9 @@ class NwWorkload : public Workload
             int ii = kLen - jt;
             Word v = m[static_cast<std::size_t>(ii * w + ii)];
             trace[static_cast<std::size_t>(jt)] = v;
-            tsum = tsum * 31 + v;
+            tsum = static_cast<Word>(
+                static_cast<std::uint32_t>(tsum) * 31u +
+                static_cast<std::uint32_t>(v));
             tsum_stream.push_back(tsum);
         }
 

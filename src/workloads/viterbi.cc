@@ -351,7 +351,9 @@ class ViterbiWorkload : public Workload
             bstate =
                 bp[static_cast<std::size_t>(tt * 64 + bstate)];
             trace[static_cast<std::size_t>(j)] = bstate;
-            bsum = bsum * 31 + bstate;
+            bsum = static_cast<Word>(
+                static_cast<std::uint32_t>(bsum) * 31u +
+                static_cast<std::uint32_t>(bstate));
             bsum_stream.push_back(bsum);
         }
 
