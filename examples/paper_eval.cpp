@@ -38,6 +38,19 @@
  *                  comparison (per-kernel cycles, hop/congestion
  *                  stats, aggregate reduction) as JSON
  *                  (BENCH_mapped_cycles.json).
+ *   --unroll=N     spatial unroll factor cap for the machine
+ *                  validation (0 = automatic, 1 = replication
+ *                  off; see CompilerOptions::unrollFactor).
+ *   --unroll-ablation=PATH
+ *                  compile GEMM and LDPC at a ladder of unroll
+ *                  caps on the primary fabric, run each on the
+ *                  machine, and write the per-factor cycles /
+ *                  chosen-factor / bit-exactness table as JSON
+ *                  (BENCH_unroll_ablation.json).
+ *
+ * Every JSON artifact opens with a "schema_version" field (see
+ * kReportSchemaVersion) so downstream consumers can detect shape
+ * changes.
  */
 
 #include <chrono>
@@ -68,6 +81,12 @@ struct Options
     std::string checkCoveragePath;
     std::string mappedReportPath;
     PlacerKind placer = PlacerKind::Cost;
+    /** Unroll cap forwarded to CompilerOptions::unrollFactor
+     *  (0 = automatic, 1 = replication off). */
+    int unrollFactor = 0;
+    /** Unroll-factor ablation mode: compile GEMM/LDPC at a ladder
+     *  of caps and write the table to this path. */
+    std::string unrollAblationPath;
     /** Fault-resilience mode: sweep seeded fault plans over the
      *  selected kernels instead of the model tour. */
     bool faults = false;
@@ -87,7 +106,8 @@ usageError(const char *why, const char *detail)
                  "usage: paper_eval [--list] [--kernels=a,b,c] "
                  "[--jobs=N] [--report=PATH] "
                  "[--check-coverage=PATH] [--placer=snake|cost] "
-                 "[--mapped-report=PATH] [--faults] "
+                 "[--mapped-report=PATH] [--unroll=N] "
+                 "[--unroll-ablation=PATH] [--faults] "
                  "[--fault-grid=DEADPES,DEADLINKS] "
                  "[--fault-seed=N] [--resilience-report=PATH]\n");
     return false;
@@ -160,6 +180,19 @@ parseArgs(int argc, char **argv, Options &opts)
                 return usageError("--mapped-report needs a path",
                                   nullptr);
             opts.mappedReportPath = arg + 16;
+        } else if (std::strncmp(arg, "--unroll=", 9) == 0) {
+            long factor = 0;
+            if (!parseCount(arg + 9, 0, 1024, factor))
+                return usageError("bad --unroll value (want "
+                                  "0..1024; 0 = automatic)",
+                                  arg + 9);
+            opts.unrollFactor = static_cast<int>(factor);
+        } else if (std::strncmp(arg, "--unroll-ablation=", 18) ==
+                   0) {
+            if (arg[18] == '\0')
+                return usageError("--unroll-ablation needs a path",
+                                  nullptr);
+            opts.unrollAblationPath = arg + 18;
         } else if (std::strncmp(arg, "--placer=", 9) == 0) {
             if (!parsePlacerName(arg + 9, opts.placer))
                 return usageError("unknown placer (snake|cost)",
@@ -228,6 +261,9 @@ struct KernelCoverage
     bool validated = false;
     std::uint64_t cycles = 0;
     double modelCycles = 0.0;
+    /** Schedule-aware model estimate (trip counts, recurrence IIs
+     *  and predicted link loads of the placed program). */
+    double scheduledCycles = 0.0;
     std::int64_t compileMicros = 0;
 };
 
@@ -263,6 +299,7 @@ machineValidation(const Options &opts, const SweepRunner &runner)
 
     CompilerOptions copts;
     copts.placer = opts.placer;
+    copts.unrollFactor = opts.unrollFactor;
     std::vector<KernelSweepJob> jobs;
     std::vector<std::string> labels;
     for (const Workload *w : allWorkloads()) {
@@ -334,6 +371,7 @@ machineValidation(const Options &opts, const SweepRunner &runner)
                 .count();
         c.failedPass = cr.report.failedPass;
         c.reason = cr.report.reason;
+        c.scheduledCycles = cr.report.scheduledCycleEstimate;
         coverage.push_back(std::move(c));
     }
     return coverage;
@@ -386,6 +424,7 @@ mappedCyclesAb(const Options &opts, const SweepRunner &runner)
                  {PlacerKind::Snake, PlacerKind::Cost}) {
                 CompilerOptions copts;
                 copts.placer = placer;
+                copts.unrollFactor = opts.unrollFactor;
                 jobs.push_back(
                     KernelSweepJob{w, fabrics[f], 0, copts});
             }
@@ -414,6 +453,40 @@ mappedCyclesAb(const Options &opts, const SweepRunner &runner)
     return cells;
 }
 
+/**
+ * Shared machine-readable report writer.  Every JSON artifact
+ * paper_eval emits (compile coverage, mapped cycles, unroll
+ * ablation, fault resilience) opens through openReport so they all
+ * lead with the same "schema_version" field, and closes through
+ * closeReport for the uniform confirmation line.  Bump the version
+ * when an existing field changes meaning — added fields are not a
+ * version bump.
+ */
+constexpr int kReportSchemaVersion = 2;
+
+bool
+openReport(std::ofstream &out, const std::string &path,
+           const char *kind)
+{
+    out.open(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s report '%s'\n", kind,
+                     path.c_str());
+        return false;
+    }
+    out << "{\n  \"schema_version\": " << kReportSchemaVersion
+        << ",\n";
+    return true;
+}
+
+void
+closeReport(std::ofstream &out, const std::string &path,
+            const char *kind)
+{
+    out << "}\n";
+    std::printf("wrote %s report: %s\n", kind, path.c_str());
+}
+
 void
 writeMappedReport(const std::string &path,
                   const std::vector<MappedCell> &cells)
@@ -436,13 +509,10 @@ writeMappedReport(const std::string &path,
     double geomean =
         points > 0 ? std::exp(log_speedup_sum / points) : 1.0;
 
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write mapped report '%s'\n",
-                     path.c_str());
+    std::ofstream out;
+    if (!openReport(out, path, "mapped-cycles"))
         return;
-    }
-    out << "{\n  \"baseline\": \"snake (legacy backend: "
+    out << "  \"baseline\": \"snake (legacy backend: "
            "boustrophedon placement + legacy drain bounds)\",\n"
            "  \"cells\": [\n";
     bool first = true;
@@ -485,9 +555,9 @@ writeMappedReport(const std::string &path,
         << ",\n"
         << "    \"geomean_speedup\": " << geomean << ",\n"
         << "    \"aggregate_reduction_pct\": "
-        << 100.0 * (1.0 - 1.0 / geomean) << "\n  }\n}\n";
-    std::printf("\nwrote mapped-cycles report: %s\n",
-                path.c_str());
+        << 100.0 * (1.0 - 1.0 / geomean) << "\n  }\n";
+    std::printf("\n");
+    closeReport(out, path, "mapped-cycles");
     std::printf("placement A/B aggregate (NW+LDPC+GEMM, both "
                 "fabrics): geomean speedup %.3fx "
                 "(%.1f%% cycle reduction; cycle sums %llu -> "
@@ -519,15 +589,19 @@ void
 writeReport(const std::string &path,
             const std::vector<KernelCoverage> &coverage)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot write report '%s'\n",
-                     path.c_str());
+    std::ofstream out;
+    if (!openReport(out, path, "compile-coverage"))
         return;
-    }
-    out << "{\n  \"fabric\": \"10x10\",\n  \"kernels\": [\n";
+    out << "  \"fabric\": \"10x10\",\n  \"kernels\": [\n";
     for (std::size_t i = 0; i < coverage.size(); ++i) {
         const KernelCoverage &c = coverage[i];
+        // mapped / scheduled: how tight the schedule-aware model
+        // tracks the machine (1.0 = exact; the tentpole bar is
+        // "within ~2x").
+        double ratio = c.scheduledCycles > 0.0
+                           ? static_cast<double>(c.cycles) /
+                                 c.scheduledCycles
+                           : 0.0;
         out << "    {\"kernel\": \"" << c.kernel
             << "\", \"compiled\": "
             << (c.compiled ? "true" : "false")
@@ -539,12 +613,15 @@ writeReport(const std::string &path,
             << ", \"cycles\": " << c.cycles
             << ", \"model_cycles\": "
             << static_cast<std::uint64_t>(c.modelCycles)
+            << ", \"scheduled_cycles\": "
+            << static_cast<std::uint64_t>(c.scheduledCycles)
+            << ", \"mapped_to_scheduled_ratio\": " << ratio
             << ", \"compile_us\": " << c.compileMicros << "}"
             << (i + 1 < coverage.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
-    std::printf("\nwrote compile-coverage report: %s\n",
-                path.c_str());
+    out << "  ]\n";
+    std::printf("\n");
+    closeReport(out, path, "compile-coverage");
 }
 
 /** Minimal field scan over one JSON object body. */
@@ -647,8 +724,9 @@ checkCoverage(const std::string &path,
         // compiled kernel's mapped cycles must stay within a
         // tolerance band of the expectation (the band absorbs
         // incidental drift from unrelated changes; a placement or
-        // timing regression blows through it).
-        constexpr double kCycleTolerance = 0.10;
+        // timing regression blows through it).  The run is fully
+        // deterministic, so the band can be tight.
+        constexpr double kCycleTolerance = 0.05;
         std::int64_t want_cycles = extractNumber(obj, "cycles");
         if (c.compiled && want_compiled && want_cycles > 0) {
             double rel =
@@ -696,6 +774,153 @@ checkCoverage(const std::string &path,
 }
 
 // ------------------------------------------------------------------
+// Unroll-factor ablation (--unroll-ablation)
+// ------------------------------------------------------------------
+
+/** The replication factor the backend actually committed to (the
+ *  lower pass's capacity refinement may shrink the unroll pass's
+ *  candidate), parsed from the pinned "replicated xN" note; 1 when
+ *  no phase replicated. */
+int
+chosenUnrollFactor(const CompileReport &report)
+{
+    int factor = 1;
+    for (const CompilerPassNote &n : report.notes) {
+        std::size_t at = n.message.find("replicated x");
+        if (at == std::string::npos)
+            continue;
+        factor = std::max(
+            factor, std::atoi(n.message.c_str() + at + 12));
+    }
+    return factor;
+}
+
+/**
+ * The unroll-factor ablation: GEMM and LDPC on the primary fabric
+ * at explicit caps 1/2/4/8/16 plus the automatic cap, each run to
+ * completion on the cycle-accurate machine and cross-validated.
+ * The JSON (BENCH_unroll_ablation.json) records the requested cap,
+ * the factor the backend actually chose, mapped cycles, the
+ * schedule-aware estimate, and bit-exactness — the evidence that
+ * replication is where the mapped-cycle reduction comes from and
+ * that every factor stays bit-exact.
+ */
+int
+runUnrollAblation(const Options &opts, const SweepRunner &runner)
+{
+    const MachineConfig fabric = primaryFabric();
+    // 0 = automatic comes last so the table reads cap-then-auto.
+    const int caps[] = {1, 2, 4, 8, 16, 0};
+
+    struct AblationCell
+    {
+        std::string kernel;
+        int requestedFactor = 0;
+        int chosenFactor = 1;
+        bool compiled = false;
+        bool validated = false;
+        std::uint64_t cycles = 0;
+        double scheduledCycles = 0.0;
+    };
+
+    std::vector<KernelSweepJob> jobs;
+    std::vector<AblationCell> cells;
+    for (const char *name : {"GEMM", "LDPC"}) {
+        const Workload *w = findWorkload(name);
+        if (w == nullptr || !selected(opts, w->name()))
+            continue;
+        for (int cap : caps) {
+            CompilerOptions copts;
+            copts.placer = opts.placer;
+            copts.unrollFactor = cap;
+            jobs.push_back(KernelSweepJob{w, fabric, 0, copts});
+            AblationCell cell;
+            cell.kernel = w->name();
+            cell.requestedFactor = cap;
+            cells.push_back(std::move(cell));
+        }
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr,
+                     "paper_eval: --unroll-ablation needs GEMM "
+                     "or LDPC selected\n");
+        return 1;
+    }
+
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+
+    std::printf("== Unroll-factor ablation: GEMM+LDPC on the "
+                "10x10 fabric (%s placer) ==\n",
+                std::string(placerName(opts.placer)).c_str());
+    std::printf("  %-6s %4s %6s %10s %10s  %s\n", "kernel", "cap",
+                "chosen", "cycles", "scheduled", "result");
+    bool failed = false;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const KernelSweepResult &r = results[i];
+        AblationCell &cell = cells[i];
+        cell.compiled = r.compiled;
+        cell.validated = r.validated;
+        if (r.compiled)
+            cell.cycles = r.run.cycles;
+        // The sweep result carries no compile report; re-derive
+        // the chosen factor (and the scheduled estimate) with a
+        // fresh compile under the same options.
+        Compiler compiler(fabric, jobs[i].options);
+        CompileResult cr = compiler.compile(*jobs[i].workload);
+        cell.chosenFactor = chosenUnrollFactor(cr.report);
+        cell.scheduledCycles = cr.report.scheduledCycleEstimate;
+        if (!cell.compiled || !cell.validated)
+            failed = true;
+        std::printf(
+            "  %-6s %4s %6d %10llu %10.0f  %s\n",
+            cell.kernel.c_str(),
+            cell.requestedFactor == 0
+                ? "auto"
+                : std::to_string(cell.requestedFactor).c_str(),
+            cell.chosenFactor,
+            static_cast<unsigned long long>(cell.cycles),
+            cell.scheduledCycles,
+            !cell.compiled
+                ? ("rejected: " + r.diagnostic).c_str()
+                : (cell.validated ? "bit-exact vs golden"
+                                  : r.validationError.c_str()));
+    }
+
+    std::ofstream out;
+    if (!openReport(out, opts.unrollAblationPath,
+                    "unroll-ablation"))
+        return 1;
+    out << "  \"fabric\": \"10x10\",\n  \"placer\": \""
+        << placerName(opts.placer) << "\",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const AblationCell &cell = cells[i];
+        out << "    {\"kernel\": \"" << cell.kernel
+            << "\", \"requested_factor\": " << cell.requestedFactor
+            << ", \"auto\": "
+            << (cell.requestedFactor == 0 ? "true" : "false")
+            << ", \"chosen_factor\": " << cell.chosenFactor
+            << ", \"compiled\": "
+            << (cell.compiled ? "true" : "false")
+            << ", \"validated\": "
+            << (cell.validated ? "true" : "false")
+            << ", \"cycles\": " << cell.cycles
+            << ", \"scheduled_cycles\": "
+            << static_cast<std::uint64_t>(cell.scheduledCycles)
+            << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    closeReport(out, opts.unrollAblationPath, "unroll-ablation");
+    if (failed)
+        std::fprintf(stderr,
+                     "paper_eval: unroll ablation FAILED — a "
+                     "(kernel, factor) cell did not stay "
+                     "bit-exact\n");
+    return failed ? 1 : 0;
+}
+
+// ------------------------------------------------------------------
 // Fault-resilience sweep (--faults)
 // ------------------------------------------------------------------
 
@@ -736,6 +961,7 @@ runResilienceSweep(const Options &opts, const SweepRunner &runner)
     const MachineConfig base = primaryFabric();
     CompilerOptions copts;
     copts.placer = opts.placer;
+    copts.unrollFactor = opts.unrollFactor;
 
     // ISSUE grid: dead-PE counts spanning 0..8, dead-link counts
     // spanning 0..4 — or the single --fault-grid cell (always with
@@ -902,13 +1128,11 @@ runResilienceSweep(const Options &opts, const SweepRunner &runner)
                 jobs.size());
 
     if (!opts.resilienceReportPath.empty()) {
-        std::ofstream out(opts.resilienceReportPath);
-        if (!out) {
-            std::fprintf(stderr, "cannot write report '%s'\n",
-                         opts.resilienceReportPath.c_str());
+        std::ofstream out;
+        if (!openReport(out, opts.resilienceReportPath,
+                        "resilience"))
             return 1;
-        }
-        out << "{\n  \"fabric\": \"10x10\",\n  \"seed\": "
+        out << "  \"fabric\": \"10x10\",\n  \"seed\": "
             << opts.faultSeed << ",\n  \"survival_rate\": "
             << survival / 100.0
             << ",\n  \"recompile_success_rate\": "
@@ -944,9 +1168,9 @@ runResilienceSweep(const Options &opts, const SweepRunner &runner)
                 << "\"}" << (i + 1 < table.size() ? "," : "")
                 << "\n";
         }
-        out << "  ]\n}\n";
-        std::printf("  wrote resilience report: %s\n",
-                    opts.resilienceReportPath.c_str());
+        out << "  ]\n";
+        std::printf("  ");
+        closeReport(out, opts.resilienceReportPath, "resilience");
     }
 
     if (failed)
@@ -975,6 +1199,10 @@ main(int argc, char **argv)
     if (opts.faults) {
         SweepRunner fault_runner(opts.jobs);
         return runResilienceSweep(opts, fault_runner);
+    }
+    if (!opts.unrollAblationPath.empty()) {
+        SweepRunner ab_runner(opts.jobs);
+        return runUnrollAblation(opts, ab_runner);
     }
 
     ModelParams params;

@@ -415,26 +415,56 @@ MarionetteMachine::run(Cycle max_cycles)
                 pe.backfillIdle(now_ - 1 - lastTick_[pi]);
             PeTickResult r = pe.tick(now_, *this);
             lastTick_[pi] = now_;
-            for (const DataSend &s : r.dataSends) {
-                if (s.dstPe < 0 || s.dstPe >= config_.numPes()) {
-                    fail(RunError::BadProgram,
-                         "data send to out-of-range PE " +
-                             std::to_string(s.dstPe));
-                    result.faultPe = pe.id();
-                    continue;
+            // Sends sharing a group are one firing's fan-out: the
+            // mesh forwards them as a single multicast word whose
+            // route tree charges every shared link once.  Groups
+            // are consecutive in dataSends; per-destination
+            // validity checks stay exactly as on the unicast path
+            // (the dead-PE fault is discovery mode's re-place
+            // signal).
+            for (std::size_t si = 0; si < r.dataSends.size();) {
+                std::size_t group_end = si + 1;
+                while (group_end < r.dataSends.size() &&
+                       r.dataSends[group_end].group ==
+                           r.dataSends[si].group)
+                    ++group_end;
+                multicastDests_.clear();
+                for (std::size_t k = si; k < group_end; ++k) {
+                    const DataSend &s = r.dataSends[k];
+                    if (s.dstPe < 0 ||
+                        s.dstPe >= config_.numPes()) {
+                        fail(RunError::BadProgram,
+                             "data send to out-of-range PE " +
+                                 std::to_string(s.dstPe));
+                        result.faultPe = pe.id();
+                        continue;
+                    }
+                    if (peDead(s.dstPe)) {
+                        fail(RunError::DeadPe,
+                             "data send from PE " +
+                                 std::to_string(pe.id()) +
+                                 " to dead PE " +
+                                 std::to_string(s.dstPe));
+                        result.faultPe = s.dstPe;
+                        continue;
+                    }
+                    multicastDests_.emplace_back(s.dstPe,
+                                                 s.channel);
                 }
-                if (peDead(s.dstPe)) {
-                    fail(RunError::DeadPe,
-                         "data send from PE " +
-                             std::to_string(pe.id()) +
-                             " to dead PE " +
-                             std::to_string(s.dstPe));
-                    result.faultPe = s.dstPe;
-                    continue;
+                if (multicastDests_.size() == 1) {
+                    // Unicast fast path (no route-tree union).
+                    mesh_.send(now_, pe.id(),
+                               multicastDests_.front().first,
+                               r.dataSends[si].value,
+                               multicastDests_.front().second);
+                    progressed = true;
+                } else if (!multicastDests_.empty()) {
+                    mesh_.multicast(now_, pe.id(),
+                                    multicastDests_,
+                                    r.dataSends[si].value);
+                    progressed = true;
                 }
-                mesh_.send(now_, pe.id(), s.dstPe, s.value,
-                           s.channel);
-                progressed = true;
+                si = group_end;
             }
             for (const auto &[fifo_id, value] : r.outputs) {
                 if (fifo_id < 0 ||

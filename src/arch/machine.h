@@ -262,6 +262,9 @@ class MarionetteMachine : public FabricIface
     /** Claimed-but-undelivered words per (pe, channel): reserved at
      *  issue, released when the word lands in the channel. */
     std::vector<std::vector<int>> meshInflight_;
+    /** Scratch buffer for batching one firing's fan-out into a
+     *  mesh multicast (run-loop hot path; avoids reallocation). */
+    std::vector<std::pair<PeId, int>> multicastDests_;
     /** Claimed-but-unapplied control FIFO slots. */
     std::vector<int> fifoInflight_;
     std::vector<std::vector<Word>> outputs_;

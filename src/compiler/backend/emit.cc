@@ -50,8 +50,11 @@ passEmit(Compilation &cc)
 
     ProgramBuilder builder(cc.workload.name() + ".compiled",
                            config);
+    // One FIFO per observation: an unrolled phase splits each
+    // observed port into one tap per replica (lower.cc assembled
+    // the matching golden streams in cc.goldenOutputs).
     builder.setNumOutputs(std::max<int>(
-        1, static_cast<int>(cc.spec.observePorts.size())));
+        1, static_cast<int>(cc.observations.size())));
 
     for (std::size_t p = 0; p < cc.phases.size(); ++p) {
         const FlatPhase &phase = cc.phases[p];
@@ -98,8 +101,19 @@ passEmit(Compilation &cc)
                             if (cv.inputIdx !=
                                 static_cast<int>(src.ref))
                                 continue;
-                            out.boots.push_back(
-                                BootInjection{pe, slot, cv.seed});
+                            // Slack-seeded recurrence: non-self
+                            // closing channels get cv.slack boot
+                            // words so the consumer can run that
+                            // many slots ahead; the final value's
+                            // own pass-through edge keeps the
+                            // single-token ordering chain.
+                            const Cycles seeds =
+                                n.id == cv.finalVal.ref
+                                    ? 1
+                                    : cv.slack;
+                            for (Cycles s = 0; s < seeds; ++s)
+                                out.boots.push_back(BootInjection{
+                                    pe, slot, cv.seed});
                             builder
                                 .place(placed.peOf.at(
                                            cv.finalVal.ref),
@@ -170,7 +184,7 @@ passEmit(Compilation &cc)
 
     out.workload = cc.workload.name();
     out.memoryImage = cc.spec.memoryImage;
-    out.expectedOutputs = cc.spec.expectedOutputs;
+    out.expectedOutputs = cc.goldenOutputs;
     out.memoryChecks = cc.spec.expectedMemory;
 
     // Generous cycle budget: full serialization of every operator

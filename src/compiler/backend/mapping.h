@@ -136,6 +136,18 @@ struct RoutePlan
     /** One-way latency of a control emission (network or mesh). */
     Cycles controlLatency = 1;
     std::uint64_t totalHops = 0;
+    /**
+     * Predicted per-link traversal counts (MeshGeometry::linkIndex
+     * layout) of the whole run, from the multicast route trees: a
+     * word fanned out from one producer to N consumers traverses
+     * each shared link of the union tree once, and every live
+     * producer fires exactly trips times per phase.  Matches the
+     * cycle-accurate DataMesh's linkLoads() on a fault-free run
+     * (asserted by tests).
+     */
+    std::vector<std::uint64_t> predictedLinkLoads;
+    /** max(predictedLinkLoads). */
+    std::uint64_t predictedMaxLinkLoad = 0;
 };
 
 } // namespace marionette

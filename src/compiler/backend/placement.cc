@@ -66,6 +66,33 @@ closingEdges(const FlatPhase &phase)
     return closing;
 }
 
+/** Pipeline slack of the closing edge src -> dst: the carried
+ *  value's slack for non-self edges, 1 for the final value's own
+ *  pass-through edge (the ordering chain must thread every slot).
+ *  When several carried values share the pair, the tightest one
+ *  governs.  Shared with the route pass (declared in pipeline.h). */
+Cycles
+closingEdgeSlack(const FlatPhase &phase, NodeId src, NodeId dst)
+{
+    Cycles slack = 0;
+    for (const CarriedValue &cv : phase.carried) {
+        if (!cv.live || cv.finalVal.kind != OperandKind::Node ||
+            cv.finalVal.ref != src)
+            continue;
+        const DfgNode &n = phase.body.node(dst);
+        bool consumes = false;
+        for (const Operand *op : {&n.a, &n.b, &n.c})
+            if (op->kind == OperandKind::Input &&
+                static_cast<int>(op->ref) == cv.inputIdx)
+                consumes = true;
+        if (!consumes)
+            continue;
+        const Cycles s = dst == src ? 1 : cv.slack;
+        slack = slack == 0 ? s : std::min(slack, s);
+    }
+    return std::max<Cycles>(1, slack);
+}
+
 namespace
 {
 
@@ -556,7 +583,9 @@ class CostPlacer
                     .adj.emplace_back(src, w);
                 if (e.src != invalidNode &&
                     closing.count({e.src, e.dst})) {
-                    closing_.back().emplace_back(src, dst);
+                    closing_.back().push_back(
+                        {src, dst,
+                         closingEdgeSlack(phase, e.src, e.dst)});
                     continue;
                 }
                 // Feed-forward edge (generator feeds included):
@@ -676,14 +705,18 @@ class CostPlacer
     {
         Cycles max_ii = 0;
         std::uint64_t sq = 0;
-        for (const auto &[fin, consumer] :
+        for (const ClosingPair &cp :
              closing_[static_cast<std::size_t>(phase)]) {
             std::map<int, std::int64_t> memo;
-            std::int64_t body = longestTo(consumer, fin, memo);
+            std::int64_t body = longestTo(cp.consumer, cp.fin, memo);
             if (body < 0)
                 continue;
-            Cycles ii = static_cast<Cycles>(body) +
-                        lat(fin, consumer);
+            // A closing channel seeded `slack` words deep lets the
+            // consumer run that many slots ahead, so the cycle
+            // sustains II = ceil(round-trip / slack).
+            const Cycles rt = static_cast<Cycles>(body) +
+                              lat(cp.fin, cp.consumer);
+            const Cycles ii = (rt + cp.slack - 1) / cp.slack;
             max_ii = std::max(max_ii, ii);
             sq += static_cast<std::uint64_t>(ii) * ii;
         }
@@ -900,14 +933,14 @@ class CostPlacer
                 Cycles worst = 0;
                 // Positions unknown yet: rank cycles by stage
                 // count (latency-free proxy).
-                for (const auto &[fin, consumer] : closing_[p]) {
+                for (const ClosingPair &cp : closing_[p]) {
                     std::map<int, std::int64_t> memo;
                     std::int64_t k =
-                        stagesTo(consumer, fin, memo);
+                        stagesTo(cp.consumer, cp.fin, memo);
                     if (k > 0 && static_cast<Cycles>(k) > worst) {
                         worst = static_cast<Cycles>(k);
-                        crit_consumer = consumer;
-                        crit_fin = fin;
+                        crit_consumer = cp.consumer;
+                        crit_fin = cp.fin;
                     }
                 }
                 if (crit_consumer >= 0)
@@ -1216,19 +1249,19 @@ class CostPlacer
     {
         int best_fin = -1, best_consumer = -1;
         std::int64_t worst = -1;
-        for (const auto &[fin, consumer] :
+        for (const ClosingPair &cp :
              closing_[static_cast<std::size_t>(phase)]) {
             std::map<int, std::int64_t> memo;
-            std::int64_t body = longestTo(consumer, fin, memo);
+            std::int64_t body = longestTo(cp.consumer, cp.fin, memo);
             if (body < 0)
                 continue;
             std::int64_t total =
                 body + static_cast<std::int64_t>(
-                           lat(fin, consumer));
+                           lat(cp.fin, cp.consumer));
             if (total > worst) {
                 worst = total;
-                best_fin = fin;
-                best_consumer = consumer;
+                best_fin = cp.fin;
+                best_consumer = cp.consumer;
             }
         }
         std::vector<int> chain;
@@ -1519,8 +1552,15 @@ class CostPlacer
     std::vector<Entity> entities_;
     std::vector<int> genIdx_; ///< entity index per phase generator.
     std::map<std::pair<int, NodeId>, int> nodeIdx_;
-    /** Closing carried edges per phase (entity indices). */
-    std::vector<std::vector<std::pair<int, int>>> closing_;
+    /** One closing carried edge (entity indices + channel slack). */
+    struct ClosingPair
+    {
+        int fin;
+        int consumer;
+        Cycles slack;
+    };
+    /** Closing carried edges per phase. */
+    std::vector<std::vector<ClosingPair>> closing_;
     /** Feed-forward directed edges per phase, topo-sorted by
      *  consumer (the skew DP's DAG; generator feeds included). */
     std::vector<std::vector<std::pair<int, int>>> skewEdges_;

@@ -159,7 +159,9 @@ passRoute(Compilation &cc)
 
         // Recurrence II: worst carried-cycle latency = closing-edge
         // transit + longest template path from the consumer back to
-        // the carried final value.
+        // the carried final value, amortized over the closing
+        // channel's boot seeds (slack): a channel seeded S words
+        // deep sustains II = ceil(round-trip / S).
         for (const RoutedEdge &r : route.edges) {
             if (!closing.count({r.edge.src, r.edge.dst}))
                 continue;
@@ -168,9 +170,12 @@ passRoute(Compilation &cc)
                 r.edge.dst, r.edge.src, out_edges, exec, memo);
             if (body < 0)
                 continue;
+            const Cycles slack = closingEdgeSlack(
+                phase, r.edge.src, r.edge.dst);
+            const Cycles rt =
+                static_cast<Cycles>(body) + r.latency;
             route.recurrenceII = std::max(
-                route.recurrenceII,
-                static_cast<Cycles>(body) + r.latency);
+                route.recurrenceII, (rt + slack - 1) / slack);
         }
 
         // Feed-forward critical path: longest latency chain from
@@ -215,6 +220,83 @@ passRoute(Compilation &cc)
         if (route.criticalPathDepth == 0 && !phase.liveNodes.empty())
             route.criticalPathDepth =
                 static_cast<int>(phase.liveNodes.size());
+
+        // ----------------------------------------------------------
+        // Multicast route trees -> predicted per-link loads.
+        //
+        // The machine sends one word per producer firing and fans
+        // it out along the union of the per-consumer paths, so a
+        // link shared by several consumers is traversed *once* per
+        // firing.  Firing counts are exact: every live producer
+        // fires trips times, plus the head start its seeded closing
+        // channels allow — extra(n) = min over data in-channels of
+        // (boot seeds + extra(producer)), a min-monotone fixpoint
+        // (the generator never over-fires).  Fault-free this
+        // reproduces DataMesh::linkLoads() word for word (asserted
+        // by tests).
+        // ----------------------------------------------------------
+        {
+            if (plan.predictedLinkLoads.empty())
+                plan.predictedLinkLoads.assign(
+                    static_cast<std::size_t>(geom.numLinks()), 0);
+
+            // Per-consumer-channel seeds: the boot words the emit
+            // pass deposits on closing edges.
+            std::map<NodeId, std::vector<std::pair<NodeId, Cycles>>>
+                in_channels; // dst -> [(src or invalidNode, seeds)]
+            for (const RoutedEdge &r : route.edges) {
+                Cycles seeds = 0;
+                if (r.edge.src != invalidNode &&
+                    closing.count({r.edge.src, r.edge.dst}))
+                    seeds = closingEdgeSlack(phase, r.edge.src,
+                                             r.edge.dst);
+                in_channels[r.edge.dst].emplace_back(r.edge.src,
+                                                     seeds);
+            }
+            std::map<NodeId, std::uint64_t> extra;
+            const std::uint64_t kInf = 1u << 30;
+            for (NodeId id : phase.liveNodes)
+                extra[id] = kInf;
+            for (bool changed = true; changed;) {
+                changed = false;
+                for (auto &[dst, chans] : in_channels) {
+                    std::uint64_t best = kInf;
+                    for (const auto &[src, seeds] : chans) {
+                        const std::uint64_t up =
+                            src == invalidNode ? 0 : extra[src];
+                        best = std::min(best, seeds + up);
+                    }
+                    if (chans.empty())
+                        best = 0;
+                    if (best < extra[dst]) {
+                        extra[dst] = best;
+                        changed = true;
+                    }
+                }
+            }
+
+            // Group edges by producer; charge the union tree once
+            // per firing.
+            std::map<NodeId, std::set<int>> tree_links;
+            for (const RoutedEdge &r : route.edges) {
+                std::set<int> &links = tree_links[r.edge.src];
+                for (std::size_t h = 0; h + 1 < r.path.size(); ++h)
+                    links.insert(geom.linkIndex(r.path[h],
+                                                r.path[h + 1]));
+            }
+            const std::uint64_t trips =
+                static_cast<std::uint64_t>(phase.trips);
+            for (const auto &[src, links] : tree_links) {
+                std::uint64_t firings = trips;
+                if (src != invalidNode) {
+                    const std::uint64_t e = extra[src];
+                    firings += e >= kInf ? 0 : e;
+                }
+                for (int link : links)
+                    plan.predictedLinkLoads[static_cast<std::size_t>(
+                        link)] += firings;
+            }
+        }
 
         std::ostringstream note;
         note << "phase " << p << ": " << route.edges.size()
@@ -276,6 +358,16 @@ passRoute(Compilation &cc)
              << controlNetworkLatencyCycles(
                     config.numPes(), config.clockHz / 1e9)
              << " pipelined)";
+        cc.report.note(kPassRoute, note.str());
+    }
+
+    for (std::uint64_t load : plan.predictedLinkLoads)
+        plan.predictedMaxLinkLoad =
+            std::max(plan.predictedMaxLinkLoad, load);
+    if (plan.predictedMaxLinkLoad > 0) {
+        std::ostringstream note;
+        note << "multicast route trees predict max link load "
+             << plan.predictedMaxLinkLoad << " word(s)";
         cc.report.note(kPassRoute, note.str());
     }
     return true;

@@ -14,6 +14,7 @@
 #include "compiler/pass_manager.h"
 #include "compiler/pipeline.h"
 #include "model/arch_model.h"
+#include "model/schedule_model.h"
 
 namespace marionette
 {
@@ -167,6 +168,7 @@ Compiler::compile(const Workload &workload) const
     pm.add(kPassAnalyze, passAnalyze)
         .add(kPassPredicate, passPredicate)
         .add(kPassStructure, passStructure)
+        .add(kPassUnroll, passUnroll)
         .add(kPassAssign, passAssign)
         .add(kPassBind, passBind)
         .add(kPassLower, passLower)
@@ -196,6 +198,28 @@ Compiler::compile(const Workload &workload) const
             makeMarionette(params, config_.features)
                 ->run(profile)
                 .cycles;
+
+        // Scheduled-cycle estimate: the route pass's derived
+        // timing (slack-adjusted recurrence IIs, fill latencies,
+        // drain bounds, multicast link traffic) folded into the
+        // cycle count the placed pipeline should sustain.
+        ScheduleModelInput sched;
+        for (std::size_t p = 0; p < cc.phases.size(); ++p) {
+            ScheduledPhase sp;
+            sp.trips =
+                static_cast<std::uint64_t>(cc.phases[p].trips);
+            sp.initiationInterval =
+                cc.routes.phases[p].recurrenceII;
+            sp.fillLatency =
+                cc.routes.phases[p].criticalPathLatency;
+            sched.phases.push_back(sp);
+        }
+        sched.drainCycles = cc.routes.drainCycles;
+        sched.maxLinkLoad = cc.routes.predictedMaxLinkLoad;
+        sched.configCycles = 64;
+        cc.report.scheduledCycleEstimate =
+            scheduledCycleEstimate(sched);
+
         kernel->report = cc.report;
         result.kernel = std::move(kernel);
     }

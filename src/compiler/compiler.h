@@ -84,6 +84,12 @@ struct CompileReport
     /** Analytic Marionette model cycles for this workload on this
      *  fabric size (0 until the bind pass). */
     double modelCycleEstimate = 0.0;
+    /** Schedule-aware model cycles: derived from the placed-and-
+     *  routed program's own trip counts, recurrence IIs and
+     *  predicted link loads (0 until the route pass).  Unlike
+     *  modelCycleEstimate this tracks what the backend actually
+     *  scheduled, so it lands within ~2x of the machine. */
+    double scheduledCycleEstimate = 0.0;
 
     bool ok() const { return failedPass.empty(); }
     void note(const std::string &pass, const std::string &message);
@@ -161,6 +167,12 @@ bool parsePlacerName(const std::string &name, PlacerKind &out);
 struct CompilerOptions
 {
     PlacerKind placer = PlacerKind::Cost;
+    /** Spatial unroll factor cap for stripe-safe inner loops:
+     *  0 = automatic (largest legal factor that fits the fabric),
+     *  1 = replication off, N = replicate up to N ways.  Only the
+     *  cost placer unrolls; the snake baseline stays the legacy
+     *  program bit-for-bit. */
+    int unrollFactor = 0;
 };
 
 /** The pass-based compiler driver. */

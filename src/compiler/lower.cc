@@ -29,6 +29,19 @@
  * Values consumed before they are defined in the template are
  * loop-carried: they become extra body inputs fed by the producer
  * of their end-of-slot value, seeded at boot.
+ *
+ * Spatial unrolling (the unroll pass's plan) is applied here: a
+ * stripe-safe phase at factor F is lowered F times into the *same*
+ * FlatPhase through one shared BodyBuilder, each time against a
+ * clone of the bound region whose striped header is rewritten to
+ * replica r's stripe (start += r*step, step *= F, trips /= F).
+ * CSE automatically shares every replica-invariant node (the slot
+ * decode, induction arithmetic on the shared stream), so one loop
+ * generator feeds all replicas while the per-replica loads, stores
+ * and recurrences replicate across PEs.  The factor is refined
+ * downward (over divisors of the trip count) until the replicated
+ * body fits the alive-PE pool — fault plans shrink the pool, so a
+ * discovery-mode recompile may legitimately pick a smaller factor.
  */
 
 #include <algorithm>
@@ -65,7 +78,14 @@ log2Of(Word v)
 class BodyBuilder
 {
   public:
-    BodyBuilder() { dfg_.addInput("t"); }
+    /** @p minMaxPeephole folds compare-select idioms into Min/Max
+     *  nodes (cost path only: the snake baseline must reproduce
+     *  the legacy program bit-for-bit). */
+    explicit BodyBuilder(bool minMaxPeephole)
+        : peephole_(minMaxPeephole)
+    {
+        dfg_.addInput("t");
+    }
 
     Dfg &dfg() { return dfg_; }
 
@@ -83,6 +103,19 @@ class BodyBuilder
         if (pure && isImmish(a) && isImmish(b) && isImmish(c))
             return Operand::imm(evalOp(op, a.ref, b.ref, c.ref));
 
+        if (peephole_ && op == Opcode::Select &&
+            a.kind == OperandKind::Node) {
+            Opcode mm = selectAsMinMax(a, b, c);
+            if (mm != Opcode::Nop) {
+                const DfgNode &cmp = dfg_.node(a.ref);
+                return emit(mm, cmp.a, cmp.b, Operand::none(),
+                            name);
+            }
+            Operand three = selectAsMinMax3(a, b, c, name);
+            if (three.kind != OperandKind::None)
+                return three;
+        }
+
         if (pure) {
             auto key = std::make_tuple(
                 op, static_cast<int>(a.kind), a.ref,
@@ -99,7 +132,96 @@ class BodyBuilder
     }
 
   private:
+    /**
+     * Select(cmp(x,y), x, y) is a one-node Min/Max (value-exact:
+     * on ties both sides of the select are the same word).  NW's
+     * running score maximum is the motivating case — the fold
+     * shortens the phase's recurrence cycle by one PE hop.
+     */
+    Opcode
+    selectAsMinMax(const Operand &cond, const Operand &b,
+                   const Operand &c) const
+    {
+        const DfgNode &cmp = dfg_.node(cond.ref);
+        const bool straight = b == cmp.a && c == cmp.b;
+        const bool flipped = b == cmp.b && c == cmp.a;
+        if (!straight && !flipped)
+            return Opcode::Nop;
+        switch (cmp.op) {
+          case Opcode::CmpGe:
+          case Opcode::CmpGt:
+            return straight ? Opcode::Max : Opcode::Min;
+          case Opcode::CmpLt:
+          case Opcode::CmpLe:
+            return straight ? Opcode::Min : Opcode::Max;
+          default:
+            return Opcode::Nop;
+        }
+    }
+
+    /**
+     * Select(cmp(a, b), Max(a, c3), Max(b, c3)) is the three-way
+     * maximum Max(a, Max(b, c3)) — value-exact for every compare
+     * direction and every tie, because both select lanes then
+     * equal max(a, b, c3).  (Dual for Min with the lanes holding
+     * the compare *loser*.)  The rewrite collapses the two-lane
+     * diamond into one chain: NW's pick-the-best-of-three score
+     * keeps one Max on the carried cycle instead of two parallel
+     * lanes that cannot both sit hop-1 around the placement ring.
+     * Returns a none() operand when the pattern does not match.
+     */
+    Operand
+    selectAsMinMax3(const Operand &cond, const Operand &t,
+                    const Operand &f, const std::string &name)
+    {
+        if (t.kind != OperandKind::Node ||
+            f.kind != OperandKind::Node)
+            return Operand::none();
+        const DfgNode &cmp = dfg_.node(cond.ref);
+        const DfgNode &tn = dfg_.node(t.ref);
+        const DfgNode &fn = dfg_.node(f.ref);
+        if (tn.op != fn.op ||
+            (tn.op != Opcode::Max && tn.op != Opcode::Min))
+            return Operand::none();
+
+        // The operand the compare declares greater (or equal).
+        Operand hi, lo;
+        switch (cmp.op) {
+          case Opcode::CmpGe:
+          case Opcode::CmpGt:
+            hi = cmp.a;
+            lo = cmp.b;
+            break;
+          case Opcode::CmpLt:
+          case Opcode::CmpLe:
+            hi = cmp.b;
+            lo = cmp.a;
+            break;
+          default:
+            return Operand::none();
+        }
+        // For Max the taken lane keeps the compare winner; for Min
+        // the loser.  The other lane holds the remaining head, and
+        // both lanes must share the third operand.
+        const Operand &headT = tn.op == Opcode::Max ? hi : lo;
+        const Operand &headF = tn.op == Opcode::Max ? lo : hi;
+        auto third = [](const DfgNode &n,
+                        const Operand &head) -> Operand {
+            if (n.a == head)
+                return n.b;
+            if (n.b == head)
+                return n.a;
+            return Operand::none();
+        };
+        Operand c3t = third(tn, headT);
+        Operand c3f = third(fn, headF);
+        if (c3t.kind == OperandKind::None || !(c3t == c3f))
+            return Operand::none();
+        return emit(tn.op, headT, f, Operand::none(), name);
+    }
+
     Dfg dfg_;
+    bool peephole_ = false;
     std::map<std::tuple<Opcode, int, Word, int, Word, int, Word>,
              NodeId>
         cse_;
@@ -112,24 +234,40 @@ class BodyBuilder
 class PhaseLowering
 {
   public:
+    /** Lower @p root_in (replica @p replica_in of the phase) into
+     *  @p flat_in through the shared builder @p bb_in. */
     PhaseLowering(Compilation &cc_in, const Region &root_in,
-                  FlatPhase &flat_in)
-        : cc(cc_in), root(root_in), flat(flat_in)
+                  FlatPhase &flat_in, BodyBuilder &bb_in,
+                  int replica_in)
+        : cc(cc_in), root(root_in), flat(flat_in), bb(bb_in),
+          replica(replica_in)
     {}
 
-    bool run();
+    bool runImpl();
 
   private:
     Compilation &cc;
     const Region &root;
     FlatPhase &flat;
-    BodyBuilder bb;
+    BodyBuilder &bb;
+    int replica;
     std::map<std::string, Operand> env;
     std::set<std::string> definedNames;
     std::map<std::string, int> carriedIdx;
     /** Names whose seed is supplied structurally (round resets,
      *  synthetic while flags): no "unseeded" note for these. */
     std::set<std::string> structuralSeeds;
+
+    /** Report a lower-pass note unless an identical one exists
+     *  (replicas and refinement retries re-walk the same code). */
+    void
+    noteOnce(const std::string &msg)
+    {
+        for (const CompilerPassNote &n : cc.report.notes)
+            if (n.pass == kPassLower && n.message == msg)
+                return;
+        cc.report.note(kPassLower, msg);
+    }
 
     // ---- small expression helpers ----
 
@@ -191,7 +329,12 @@ class PhaseLowering
             if (c != carriedIdx.end()) {
                 idx = c->second;
             } else {
-                idx = bb.dfg().addInput("carry." + name);
+                std::string port =
+                    replica == 0
+                        ? "carry." + name
+                        : "carry.r" + std::to_string(replica) +
+                              "." + name;
+                idx = bb.dfg().addInput(std::move(port));
                 carriedIdx[name] = idx;
                 CarriedValue cv;
                 cv.name = name;
@@ -537,97 +680,114 @@ class PhaseLowering
         }
         return false;
     }
+};
 
-  public:
-    bool
-    runImpl()
-    {
-        // Every name defined anywhere in the iteration template —
-        // consumed-before-defined resolves as loop-carried.
-        root.forEach([&](const Region &r) {
-            auto addOutputs = [&](BlockId b) {
-                for (const DfgOutput &o :
-                     cc.cdfg.block(b).dfg.outputs())
-                    definedNames.insert(o.name);
-            };
-            switch (r.kind) {
-              case RegionKind::Block:
-                addOutputs(r.block);
-                break;
-              case RegionKind::Cond:
-                addOutputs(r.pred);
-                break;
-              case RegionKind::WhileLoop: {
-                addOutputs(r.header);
-                std::string act =
-                    "__while." + r.headerName + ".active";
-                definedNames.insert(act);
-                structuralSeeds.insert(act);
-                break;
-              }
-              case RegionKind::CountedLoop: {
-                auto resets =
-                    cc.spec.roundResets.find(r.headerName);
-                if (resets != cc.spec.roundResets.end()) {
-                    for (const auto &[name, value] :
-                         resets->second) {
-                        (void)value;
-                        definedNames.insert(name);
-                        structuralSeeds.insert(name);
-                    }
+bool
+PhaseLowering::runImpl()
+{
+    // Every name defined anywhere in the iteration template —
+    // consumed-before-defined resolves as loop-carried.
+    root.forEach([&](const Region &r) {
+        auto addOutputs = [&](BlockId b) {
+            for (const DfgOutput &o :
+                 cc.cdfg.block(b).dfg.outputs())
+                definedNames.insert(o.name);
+        };
+        switch (r.kind) {
+          case RegionKind::Block:
+            addOutputs(r.block);
+            break;
+          case RegionKind::Cond:
+            addOutputs(r.pred);
+            break;
+          case RegionKind::WhileLoop: {
+            addOutputs(r.header);
+            std::string act =
+                "__while." + r.headerName + ".active";
+            definedNames.insert(act);
+            structuralSeeds.insert(act);
+            break;
+          }
+          case RegionKind::CountedLoop: {
+            auto resets =
+                cc.spec.roundResets.find(r.headerName);
+            if (resets != cc.spec.roundResets.end()) {
+                for (const auto &[name, value] :
+                     resets->second) {
+                    (void)value;
+                    definedNames.insert(name);
+                    structuralSeeds.insert(name);
                 }
-                break;
-              }
-              case RegionKind::Seq:
-                break;
             }
-        });
+            break;
+          }
+          case RegionKind::Seq:
+            break;
+        }
+    });
 
-        flat.trips = root.span;
-        if (!lowerRegion(root, Operand::input(0), Operand::none()))
-            return false;
+    // Replicas append to a shared FlatPhase: only finalize the
+    // carried chains this replica created.
+    const std::size_t carriedBase = flat.carried.size();
 
-        // Finalize carried chains.
-        for (CarriedValue &cv : flat.carried) {
-            Operand fin = env.at(cv.name);
-            if (fin.kind == OperandKind::Input &&
-                fin.ref == static_cast<Word>(cv.inputIdx)) {
-                // Pure pass-through: nothing ever updates the
-                // value; liveness prunes it.
-                cv.finalVal = Operand::none();
-                continue;
-            }
-            if (fin.kind != OperandKind::Node)
-                return cc.fail(kPassLower,
-                               "loop-carried '" + cv.name +
-                                   "' collapses to a constant");
-            cv.finalVal = fin;
-            auto seed = cc.initEnv.find(cv.name);
-            if (seed != cc.initEnv.end()) {
-                cv.seed = seed->second;
+    flat.trips = root.span;
+    if (!lowerRegion(root, Operand::input(0), Operand::none()))
+        return false;
+
+    // Finalize carried chains.
+    for (std::size_t ci = carriedBase; ci < flat.carried.size();
+         ++ci) {
+        CarriedValue &cv = flat.carried[ci];
+        Operand fin = env.at(cv.name);
+        if (fin.kind == OperandKind::Input &&
+            fin.ref == static_cast<Word>(cv.inputIdx)) {
+            // Pure pass-through: nothing ever updates the
+            // value; liveness prunes it.
+            cv.finalVal = Operand::none();
+            continue;
+        }
+        if (fin.kind != OperandKind::Node)
+            return cc.fail(kPassLower,
+                           "loop-carried '" + cv.name +
+                               "' collapses to a constant");
+        cv.finalVal = fin;
+        auto seed = cc.initEnv.find(cv.name);
+        if (seed != cc.initEnv.end()) {
+            cv.seed = seed->second;
+        } else {
+            auto s = cc.spec.scalars.find(cv.name);
+            if (s != cc.spec.scalars.end()) {
+                cv.seed = s->second;
             } else {
-                auto s = cc.spec.scalars.find(cv.name);
-                if (s != cc.spec.scalars.end()) {
-                    cv.seed = s->second;
-                } else {
-                    // Reset-gated chains never read their seed; a
-                    // genuinely unseeded recurrence fails the
-                    // bit-exact golden validation instead.
-                    cv.seed = 0;
-                    if (!structuralSeeds.count(cv.name))
-                        cc.report.note(
-                            kPassLower,
-                            "loop-carried '" + cv.name +
-                                "' has no seed binding; seeding 0 "
-                                "(round-entry reset expected)");
-                }
+                // Reset-gated chains never read their seed; a
+                // genuinely unseeded recurrence fails the
+                // bit-exact golden validation instead.
+                cv.seed = 0;
+                if (!structuralSeeds.count(cv.name))
+                    noteOnce(
+                        "loop-carried '" + cv.name +
+                        "' has no seed binding; seeding 0 "
+                        "(round-entry reset expected)");
             }
         }
-        flat.finalEnv = env;
-        flat.body = std::move(bb.dfg());
-        return true;
+        // A fence-carried ordering token with a proven minimum
+        // store->load alias distance D may run D slots ahead:
+        // seed the closing channel with min(D, depth-1) words
+        // instead of 1.  Cost path only — the snake baseline
+        // keeps the legacy single-token recurrence.
+        if (cc.options.placer == PlacerKind::Cost) {
+            auto fd = cc.spec.fenceMinDistance.find(cv.name);
+            if (fd != cc.spec.fenceMinDistance.end() &&
+                fd->second > 1)
+                cv.slack = std::min<Cycles>(
+                    static_cast<Cycles>(fd->second), 7);
+        }
     }
-};
+    if (replica == 0)
+        flat.finalEnv = env;
+    flat.replicaEnvs.push_back(std::move(env));
+    return true;
+}
 
 /** Liveness: stores + observed ports root the graph; a carried
  *  chain is live only if its input port is consumed by live code. */
@@ -687,24 +847,71 @@ finalizePhase(Compilation &cc, FlatPhase &flat, int phase_idx)
     return true;
 }
 
-} // namespace
-
-// ------------------------------------------------------------------
-// Pass 6: lower
-// ------------------------------------------------------------------
-
-bool
-passLower(Compilation &cc)
+/** The bound phase region rewritten to replica @p r's stripe:
+ *  iterations r, r+F, r+2F, ... of the striped header. */
+Region
+stripedClone(const Region &phase, int r, int factor)
 {
-    cc.phases.resize(cc.top.phases.size());
-    for (std::size_t p = 0; p < cc.top.phases.size(); ++p) {
-        PhaseLowering lowering(cc, cc.top.phases[p], cc.phases[p]);
-        if (!lowering.runImpl())
-            return false;
-    }
+    Region clone = phase;
+    clone.start =
+        phase.start + static_cast<Word>(r) * phase.step;
+    clone.step = phase.step * factor;
+    clone.trips = phase.trips / factor;
+    clone.span = phase.span / factor;
+    return clone;
+}
 
-    // Resolve observation ports: each must be produced by exactly
-    // one phase's final environment.
+/** Lower every phase at the given factors (1 = plain). */
+bool
+lowerAllPhases(Compilation &cc, const std::vector<int> &factors)
+{
+    cc.phases.assign(cc.top.phases.size(), FlatPhase{});
+    const bool cost = cc.options.placer == PlacerKind::Cost;
+    for (std::size_t p = 0; p < cc.top.phases.size(); ++p) {
+        const Region &src = cc.top.phases[p];
+        FlatPhase &flat = cc.phases[p];
+        const int factor = factors[p];
+        BodyBuilder bb(cost);
+        if (factor <= 1) {
+            PhaseLowering lowering(cc, src, flat, bb, 0);
+            if (!lowering.runImpl())
+                return false;
+            flat.replicaEnvs.clear();
+        } else {
+            flat.unrollFactor = factor;
+            flat.stripeSpan =
+                std::max<Word>(1, src.span / src.trips);
+            for (int r = 0; r < factor; ++r) {
+                Region clone = stripedClone(src, r, factor);
+                PhaseLowering lowering(cc, clone, flat, bb, r);
+                if (!lowering.runImpl())
+                    return false;
+            }
+        }
+        flat.body = std::move(bb.dfg());
+    }
+    return true;
+}
+
+/**
+ * Resolve observation ports and build the golden streams the emit
+ * pass hands the kernel.  A port produced by an unrolled phase
+ * splits into one observation per replica (consecutive FIFOs); its
+ * golden value trace is de-interleaved to match — replica r's v-th
+ * firing is source slot ((v / Si)*F + r)*Si + v%Si of the original
+ * stream (Si = the striped loop's body span).  When a golden
+ * stream is not one-word-per-slot the split is impossible; the
+ * phase falls back to factor 1 (@p retryFactors signals the
+ * caller to re-lower).
+ */
+bool
+resolveObservations(Compilation &cc, std::vector<int> &factors,
+                    bool &retry)
+{
+    cc.observations.clear();
+    cc.goldenOutputs.clear();
+    int fifo = 0;
+    static const std::vector<Word> kNoGolden;
     for (std::size_t k = 0; k < cc.spec.observePorts.size(); ++k) {
         const std::string &port = cc.spec.observePorts[k];
         int found = -1;
@@ -727,16 +934,154 @@ passLower(Compilation &cc)
             return cc.fail(kPassLower,
                            "observed port '" + port +
                                "' folds to a constant");
-        Observation ob;
-        ob.fifo = static_cast<int>(k);
-        ob.phase = found;
-        ob.node = op.ref;
-        cc.observations.push_back(ob);
+
+        FlatPhase &flat = cc.phases[static_cast<std::size_t>(found)];
+        const std::vector<Word> &golden =
+            k < cc.spec.expectedOutputs.size()
+                ? cc.spec.expectedOutputs[k]
+                : kNoGolden;
+        if (flat.unrollFactor <= 1) {
+            Observation ob;
+            ob.fifo = fifo++;
+            ob.phase = found;
+            ob.node = op.ref;
+            cc.observations.push_back(ob);
+            cc.goldenOutputs.push_back(golden);
+            continue;
+        }
+
+        const int F = flat.unrollFactor;
+        const Word Si = flat.stripeSpan;
+        if (golden.size() !=
+            static_cast<std::size_t>(flat.trips) *
+                static_cast<std::size_t>(F)) {
+            factors[static_cast<std::size_t>(found)] = 1;
+            retry = true;
+            cc.report.note(
+                kPassLower,
+                "phase '" +
+                    cc.top.phases[static_cast<std::size_t>(found)]
+                        .headerName +
+                    "': golden stream of observed port '" + port +
+                    "' is not one word per slot; replication "
+                    "disabled");
+            return true;
+        }
+        for (int r = 0; r < F; ++r) {
+            auto it = flat.replicaEnvs[static_cast<std::size_t>(r)]
+                          .find(port);
+            if (it == flat.replicaEnvs[static_cast<std::size_t>(r)]
+                          .end() ||
+                it->second.kind != OperandKind::Node)
+                return cc.fail(kPassLower,
+                               "observed port '" + port +
+                                   "' is missing from replica " +
+                                   std::to_string(r));
+            Observation ob;
+            ob.fifo = fifo++;
+            ob.phase = found;
+            ob.node = it->second.ref;
+            cc.observations.push_back(ob);
+            std::vector<Word> stream(
+                static_cast<std::size_t>(flat.trips));
+            for (Word v = 0; v < flat.trips; ++v)
+                stream[static_cast<std::size_t>(v)] =
+                    golden[static_cast<std::size_t>(
+                        ((v / Si) * F + r) * Si + v % Si)];
+            cc.goldenOutputs.push_back(std::move(stream));
+        }
+    }
+    return true;
+}
+
+/** Next smaller divisor of @p trips below @p factor (>= 1). */
+int
+nextSmallerDivisor(Word trips, int factor)
+{
+    for (int f = factor - 1; f > 1; --f)
+        if (trips % f == 0)
+            return f;
+    return 1;
+}
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Pass 6: lower
+// ------------------------------------------------------------------
+
+bool
+passLower(Compilation &cc)
+{
+    std::vector<int> factors(cc.top.phases.size(), 1);
+    for (std::size_t p = 0;
+         p < cc.unroll.size() && p < factors.size(); ++p)
+        factors[p] = std::max(1, cc.unroll[p].factor);
+
+    // The alive-PE pool the place pass will check against; the
+    // refinement below shrinks replication factors until the
+    // replicated bodies fit it, so a fault plan's dead PEs can
+    // legitimately lower the factor of a recompile.
+    const std::vector<PeId> dead_pes =
+        cc.config.faults.effectiveDeadPes(cc.config.rows,
+                                          cc.config.cols);
+    const int alive =
+        cc.config.numPes() - static_cast<int>(dead_pes.size());
+    int dead_nonlinear = 0;
+    for (PeId p : dead_pes)
+        if (p >= cc.config.numPes() - cc.config.nonlinearPes)
+            ++dead_nonlinear;
+    const int alive_nonlinear =
+        cc.config.nonlinearPes - dead_nonlinear;
+
+    for (;;) {
+        if (!lowerAllPhases(cc, factors))
+            return false;
+        bool retry = false;
+        if (!resolveObservations(cc, factors, retry))
+            return false;
+        if (retry)
+            continue;
+        bool ok = true;
+        for (std::size_t p = 0; p < cc.phases.size(); ++p)
+            ok = ok && finalizePhase(cc, cc.phases[p],
+                                     static_cast<int>(p));
+        if (!ok)
+            return false;
+
+        int pes_needed = std::max<int>(
+            0, static_cast<int>(cc.phases.size()) - 1);
+        int nonlinear_needed = 0;
+        int unrolled = -1;
+        for (std::size_t p = 0; p < cc.phases.size(); ++p) {
+            pes_needed +=
+                1 +
+                static_cast<int>(cc.phases[p].liveNodes.size());
+            for (NodeId id : cc.phases[p].liveNodes)
+                if (isNonlinearOp(cc.phases[p].body.node(id).op))
+                    ++nonlinear_needed;
+            if (factors[p] > 1)
+                unrolled = static_cast<int>(p);
+        }
+        if ((pes_needed <= alive &&
+             nonlinear_needed <= alive_nonlinear) ||
+            unrolled < 0)
+            break;
+
+        // Shrink the largest replication factor to the next
+        // divisor and re-lower.
+        std::size_t worst = static_cast<std::size_t>(unrolled);
+        for (std::size_t p = 0; p < factors.size(); ++p)
+            if (factors[p] > factors[worst])
+                worst = p;
+        const Word orig_trips = cc.top.phases[worst].trips;
+        factors[worst] =
+            nextSmallerDivisor(orig_trips, factors[worst]);
     }
 
     for (std::size_t p = 0; p < cc.phases.size(); ++p) {
-        if (!finalizePhase(cc, cc.phases[p], static_cast<int>(p)))
-            return false;
+        if (p < cc.unroll.size())
+            cc.unroll[p].factor = factors[p];
         std::ostringstream note;
         int carried_live = 0;
         for (const CarriedValue &cv : cc.phases[p].carried)
@@ -745,6 +1090,10 @@ passLower(Compilation &cc)
              << "': " << cc.phases[p].trips << " flat iterations, "
              << cc.phases[p].liveNodes.size() << " operators, "
              << carried_live << " loop-carried value(s)";
+        if (cc.phases[p].unrollFactor > 1)
+            note << ", replicated x" << cc.phases[p].unrollFactor
+                 << " (stripe " << cc.phases[p].stripeSpan
+                 << " slot(s)/iteration)";
         cc.report.note(kPassLower, note.str());
     }
     return true;

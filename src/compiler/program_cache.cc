@@ -9,10 +9,15 @@ ProgramCache::getOrCompile(const Workload &workload,
                            const CompilerOptions &options)
 {
     // Fold the compile options into the architectural hash: a
-    // snake-placed and a cost-placed program are distinct entries.
-    const std::uint64_t opts_bits =
+    // snake-placed and a cost-placed program are distinct entries,
+    // and so is every distinct unroll cap (factor 0 = automatic is
+    // the default and hashes to no perturbation).
+    std::uint64_t opts_bits =
         options.placer == PlacerKind::Snake ? 0x9e3779b97f4a7c15ull
                                             : 0;
+    opts_bits ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                     options.unrollFactor)) *
+                 0xbf58476d1ce4e5b9ull;
     const std::pair<std::string, std::uint64_t> key{
         workload.name(), configHash(config) ^ opts_bits};
     {

@@ -1,0 +1,32 @@
+#include "model/schedule_model.h"
+
+#include <algorithm>
+
+namespace marionette
+{
+
+double
+scheduledCycleEstimate(const ScheduleModelInput &in)
+{
+    // Throughput bound: each phase initiates trips times at its
+    // recurrence-limited interval, after filling its pipeline.
+    double compute = 0.0;
+    for (const ScheduledPhase &p : in.phases) {
+        const double ii = static_cast<double>(
+            std::max<Cycles>(1, p.initiationInterval));
+        compute += static_cast<double>(p.trips) * ii +
+                   static_cast<double>(p.fillLatency);
+    }
+
+    // Bandwidth bound: the busiest link forwards one word per
+    // cycle, so it alone needs maxLinkLoad cycles.
+    double cycles =
+        std::max(compute, static_cast<double>(in.maxLinkLoad));
+
+    for (Cycles d : in.drainCycles)
+        cycles += static_cast<double>(d);
+    cycles += static_cast<double>(in.configCycles);
+    return cycles;
+}
+
+} // namespace marionette

@@ -303,6 +303,67 @@ DataMesh::send(Cycle now, PeId src, PeId dst, Word value,
 }
 
 void
+DataMesh::multicast(Cycle now, PeId src,
+                    const std::vector<std::pair<PeId, int>> &dests,
+                    Word value)
+{
+    if (dests.size() == 1) {
+        // Degenerate multicast: the unicast fast path is
+        // bit-identical (same packet, same charges).
+        send(now, src, dests.front().first, value,
+             dests.front().second);
+        return;
+    }
+
+    // Union of directed link indices over every destination's
+    // route; small sorted vector (fanout is a handful of replicas).
+    std::vector<int> tree_links;
+    for (const auto &[dst, channel] : dests) {
+        std::vector<PeId> xy;
+        const std::vector<PeId> *path;
+        if (router_.faulty()) {
+            path = &router_.path(src, dst);
+            if (path->empty()) {
+                ++dropped_;
+                lastDropSrc_ = src;
+                lastDropDst_ = dst;
+                stats_.stat("dropped_words").inc();
+                continue;
+            }
+        } else {
+            xy = geom_.xyPath(src, dst);
+            path = &xy;
+        }
+        MeshPacket pkt;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.value = value;
+        pkt.channel = channel;
+        pkt.arrival = now + (router_.faulty()
+                                 ? router_.latency(src, dst)
+                                 : latency(src, dst));
+        flight_.schedule(pkt.arrival, pkt);
+        statPackets_.inc();
+        for (std::size_t i = 0; i + 1 < path->size(); ++i)
+            tree_links.push_back(
+                geom_.linkIndex((*path)[i], (*path)[i + 1]));
+    }
+    std::sort(tree_links.begin(), tree_links.end());
+    tree_links.erase(
+        std::unique(tree_links.begin(), tree_links.end()),
+        tree_links.end());
+    statHopTraversals_.inc(
+        static_cast<std::uint64_t>(tree_links.size()));
+    for (int link : tree_links) {
+        std::uint64_t &load =
+            linkLoads_[static_cast<std::size_t>(link)];
+        ++load;
+        if (load > statMaxLinkLoad_.value())
+            statMaxLinkLoad_.set(load);
+    }
+}
+
+void
 DataMesh::clearLinkLoads()
 {
     std::fill(linkLoads_.begin(), linkLoads_.end(), 0);

@@ -224,6 +224,24 @@ class DataMesh
               int channel = 0);
 
     /**
+     * Inject one word fanned out to several destinations as a
+     * multicast: each destination receives the word at its own
+     * routed latency (identical arrival cycles and ordering to N
+     * unicast send()s), but the link-load profile charges every
+     * directed link of the *union* of the routes exactly once —
+     * the word physically traverses each shared mesh segment a
+     * single time and forks at the branch routers.  Destinations
+     * whose endpoints dead links disconnect are dropped and counted
+     * individually, exactly as send() would.  `packets` counts the
+     * delivered destinations; `hop_traversals` counts the union
+     * links.  A single-destination multicast is bit-identical to
+     * send().
+     */
+    void multicast(Cycle now, PeId src,
+                   const std::vector<std::pair<PeId, int>> &dests,
+                   Word value);
+
+    /**
      * Deliver every packet arriving at cycle @p now (all
      * destinations) by calling @p fn(packet), in send order.  The
      * machine's hot path; O(arrivals this cycle).  Per-destination,

@@ -260,12 +260,14 @@ Pe::tryFireLoop(Cycle now, FabricIface &fabric, PeTickResult &out)
     if (in->pushFifo >= 0)
         fabric.claimFifoSlot(in->pushFifo);
 
-    // Emit the induction value.
+    // Emit the induction value.  All channel dests of this firing
+    // share one group: the mesh multicasts them as a single word.
+    const int group = out.dataGroups++;
     for (const DestSel &d : in->dests) {
         switch (d.kind) {
           case DestSel::Kind::PeChannel:
             out.dataSends.push_back(
-                DataSend{d.pe, d.channel, loopIter_});
+                DataSend{d.pe, d.channel, loopIter_, group});
             break;
           case DestSel::Kind::LocalReg:
             regs_[static_cast<std::size_t>(d.channel)] = loopIter_;
@@ -438,11 +440,14 @@ Pe::retire(Cycle now, FabricIface & /*fabric*/, PeTickResult &out)
             continue;
         }
         out.progressed = true;
+        // One retiring operation = one firing's worth of sends =
+        // one multicast group on the mesh.
+        const int group = out.dataGroups++;
         for (const DestSel &d : it->dests) {
             switch (d.kind) {
               case DestSel::Kind::PeChannel:
                 out.dataSends.push_back(
-                    DataSend{d.pe, d.channel, it->value});
+                    DataSend{d.pe, d.channel, it->value, group});
                 break;
               case DestSel::Kind::LocalReg:
                 regs_[static_cast<std::size_t>(d.channel)] =

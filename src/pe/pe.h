@@ -71,6 +71,11 @@ struct DataSend
     PeId dstPe = invalidPe;
     int channel = 0;
     Word value = 0;
+    /** Firing this word belongs to (dense per tick).  All sends of
+     *  one firing carry the same value from the same source PE; the
+     *  mesh forwards such a group as one multicast word, charging
+     *  each shared link of the route tree once. */
+    int group = 0;
 };
 
 /** A control word (instruction address) leaving the PE. */
@@ -91,6 +96,8 @@ struct FifoPush
 struct PeTickResult
 {
     std::vector<DataSend> dataSends;
+    /** Number of distinct DataSend groups (firings) this tick. */
+    int dataGroups = 0;
     std::vector<std::pair<int, Word>> outputs;
     std::vector<CtrlSend> ctrlSends;
     std::vector<FifoPush> fifoPushes;

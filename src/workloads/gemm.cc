@@ -145,6 +145,11 @@ class GemmWorkload : public Workload
         spec.inductionPorts["i_loop"] = "i";
         spec.inductionPorts["j_loop"] = "j";
         spec.inductionPorts["k_loop"] = "k";
+        // Rows of C are independent: each (i, j) accumulation
+        // reads only row i of A and all of B, writes only row i of
+        // C, and the observed running sum resets per (i, j).  The
+        // unroll pass may stripe i across replicas.
+        spec.parallelLoops = {"i_loop"};
         const Word n2 = kDim * kDim;
         spec.arrayBases["A"] = 0;
         spec.arrayBases["B"] = n2;

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,20 @@ struct WorkloadMachineSpec
     std::map<std::string, Word> scalars;
     /** Initial scratchpad contents, loaded at address 0. */
     std::vector<Word> memoryImage;
+    /** Loop headers the workload author asserts are stripe-safe:
+     *  iterations of these counted loops touch disjoint data and
+     *  may be partitioned across PE replicas.  The unroll pass
+     *  only considers annotated headers, and still re-proves
+     *  legality (no memory recurrence, no genuine cross-iteration
+     *  carried value) before replicating. */
+    std::set<std::string> parallelLoops;
+    /** Minimum store->load alias distance (in flat slots) per
+     *  fence-carried value: a load at slot t can only alias a
+     *  store at slot <= t - distance.  Lets the lowering relax
+     *  the store->load ordering token chain by that many slots
+     *  (capped by channel depth) instead of serializing every
+     *  slot pair. */
+    std::map<std::string, Word> fenceMinDistance;
     /** DFG output ports to stream into output FIFOs, in FIFO
      *  order.  Each name must resolve in exactly one phase. */
     std::vector<std::string> observePorts;

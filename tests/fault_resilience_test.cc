@@ -289,6 +289,66 @@ TEST(Sweep, RetryRecompilesAroundDiscoveredFaults)
     EXPECT_EQ(stats.recoveredByRecompile, 1);
 }
 
+/** Discovery mode for an unrolled kernel: GEMM replicates its
+ *  i_loop body 8 ways across the fabric, so a dead PE is very
+ *  likely to land under one of the replicas.  The retry must
+ *  re-place/re-route the replicated program around the discovered
+ *  fault and come back bit-exact — replication and fault recovery
+ *  compose. */
+TEST(Sweep, RetryRecoversUnrolledKernel)
+{
+    MachineConfig clean = evalFabric();
+    const Workload *gemm = findWorkload("GEMM");
+    ASSERT_NE(gemm, nullptr);
+    CompileResult oblivious = Compiler(clean).compile(*gemm);
+    ASSERT_TRUE(oblivious.ok());
+    // The auto-unrolled mapping covers 81/100 PEs; pick a used PE
+    // (not the entry generator's) as the victim so the oblivious
+    // program surely trips over it.
+    ASSERT_GT(oblivious.kernel->program.pes.size(), 50u)
+        << "GEMM is expected to replicate across most of the "
+           "fabric";
+    PeId victim = invalidPe;
+    for (const PeProgram &p : oblivious.kernel->program.pes)
+        if (p.pe != 0) {
+            victim = p.pe;
+            break;
+        }
+    ASSERT_NE(victim, invalidPe);
+
+    MachineConfig faulted = clean;
+    faulted.faults.deadPes = {victim};
+    KernelSweepJob job{gemm, faulted, 0, CompilerOptions{}};
+    job.discoverFaults = true;
+    job.maxRetries = 1;
+
+    SweepRunner runner(1);
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels({job}, cache);
+    ASSERT_EQ(results.size(), 1u);
+    const KernelSweepResult &r = results[0];
+    EXPECT_TRUE(r.jobError.empty()) << r.jobError;
+    EXPECT_TRUE(r.compiled);
+    EXPECT_EQ(r.retries, 1);
+    EXPECT_TRUE(r.recompiled);
+    EXPECT_TRUE(r.validated) << r.validationError;
+    EXPECT_TRUE(r.run.ok()) << r.run.errorDetail;
+
+    // The fault-aware recompile keeps replicating: the refined
+    // plan still commits to a multi-way factor on the 99 alive
+    // PEs rather than silently falling back to factor 1.
+    CompileResult aware = Compiler(faulted).compile(*gemm);
+    ASSERT_TRUE(aware.ok()) << aware.report.toString();
+    bool replicated = false;
+    for (const CompilerPassNote &n : aware.report.notes)
+        replicated =
+            replicated ||
+            (n.pass == "lower" &&
+             n.message.find("replicated x") != std::string::npos);
+    EXPECT_TRUE(replicated) << aware.report.toString();
+}
+
 /** A throwing job must neither deadlock the pool nor lose the rest
  *  of the sweep: its error is recorded per job, the other results
  *  come back intact, and the exception resurfaces on the caller. */
