@@ -47,6 +47,18 @@
  *                  machine, and write the per-factor cycles /
  *                  chosen-factor / bit-exactness table as JSON
  *                  (BENCH_unroll_ablation.json).
+ *   --fast-forward=on|off
+ *                  force the steady-state fast-forward engine for
+ *                  the machine validation (default: the config's
+ *                  default, on).  With "on" every selected kernel
+ *                  is additionally run both ways and the results
+ *                  compared — a non-zero exit on any divergence is
+ *                  CI's fast-forward smoke gate.
+ *   --snapshot-stats
+ *                  run the machine validation twice through a
+ *                  snapshot warm-start cache and print the
+ *                  checkpoint hit/miss counters and the prepare
+ *                  time the warm starts saved.
  *
  * Every JSON artifact opens with a "schema_version" field (see
  * kReportSchemaVersion) so downstream consumers can detect shape
@@ -87,6 +99,13 @@ struct Options
     /** Unroll-factor ablation mode: compile GEMM/LDPC at a ladder
      *  of caps and write the table to this path. */
     std::string unrollAblationPath;
+    /** Steady-state fast-forward: -1 = config default (on),
+     *  0 = forced off, 1 = forced on *plus* the both-ways
+     *  bit-exactness smoke comparison. */
+    int fastForward = -1;
+    /** Print snapshot warm-start cache statistics (runs the
+     *  validation grid twice through a SnapshotCache). */
+    bool snapshotStats = false;
     /** Fault-resilience mode: sweep seeded fault plans over the
      *  selected kernels instead of the model tour. */
     bool faults = false;
@@ -107,7 +126,9 @@ usageError(const char *why, const char *detail)
                  "[--jobs=N] [--report=PATH] "
                  "[--check-coverage=PATH] [--placer=snake|cost] "
                  "[--mapped-report=PATH] [--unroll=N] "
-                 "[--unroll-ablation=PATH] [--faults] "
+                 "[--unroll-ablation=PATH] "
+                 "[--fast-forward=on|off] [--snapshot-stats] "
+                 "[--faults] "
                  "[--fault-grid=DEADPES,DEADLINKS] "
                  "[--fault-seed=N] [--resilience-report=PATH]\n");
     return false;
@@ -197,6 +218,17 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!parsePlacerName(arg + 9, opts.placer))
                 return usageError("unknown placer (snake|cost)",
                                   arg + 9);
+        } else if (std::strncmp(arg, "--fast-forward=", 15) == 0) {
+            if (std::strcmp(arg + 15, "on") == 0)
+                opts.fastForward = 1;
+            else if (std::strcmp(arg + 15, "off") == 0)
+                opts.fastForward = 0;
+            else
+                return usageError("bad --fast-forward value "
+                                  "(want on|off)",
+                                  arg + 15);
+        } else if (std::strcmp(arg, "--snapshot-stats") == 0) {
+            opts.snapshotStats = true;
         } else if (std::strcmp(arg, "--faults") == 0) {
             opts.faults = true;
         } else if (std::strncmp(arg, "--fault-grid=", 13) == 0) {
@@ -296,6 +328,10 @@ machineValidation(const Options &opts, const SweepRunner &runner)
 {
     MachineConfig big = primaryFabric();
     MachineConfig alt = slowMeshFabric();
+    if (opts.fastForward >= 0) {
+        big.fastForward = opts.fastForward != 0;
+        alt.fastForward = opts.fastForward != 0;
+    }
 
     CompilerOptions copts;
     copts.placer = opts.placer;
@@ -375,6 +411,121 @@ machineValidation(const Options &opts, const SweepRunner &runner)
         coverage.push_back(std::move(c));
     }
     return coverage;
+}
+
+/**
+ * The fast-forward smoke gate (--fast-forward=on): every selected
+ * kernel runs on the primary fabric with the engine forced off and
+ * forced on, and the two runs must agree on cycles, fires and every
+ * output word.  The engine only ever skips work it has proven
+ * redundant, so *any* divergence is a bug; CI runs this over the
+ * long kernels (LDPC, VI).  The exhaustive byte-level check
+ * (renderAllStats, memory dumps, all three sim paths) lives in
+ * tests/fastforward_equivalence_test.cc.
+ */
+bool
+fastForwardSmoke(const Options &opts, const SweepRunner &runner)
+{
+    CompilerOptions copts;
+    copts.placer = opts.placer;
+    copts.unrollFactor = opts.unrollFactor;
+    std::vector<KernelSweepJob> jobs;
+    std::vector<std::string> labels;
+    for (const Workload *w : allWorkloads()) {
+        if (!selected(opts, w->name()))
+            continue;
+        for (bool ff : {false, true}) {
+            MachineConfig config = primaryFabric();
+            config.fastForward = ff;
+            jobs.push_back(KernelSweepJob{w, config, 0, copts});
+        }
+        labels.push_back(w->name());
+    }
+
+    ProgramCache cache;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache);
+
+    std::printf("\n== Fast-forward smoke gate (engine off vs on, "
+                "primary fabric) ==\n");
+    bool ok = true;
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        const KernelSweepResult &off = results[2 * k];
+        const KernelSweepResult &on = results[2 * k + 1];
+        if (!off.compiled) {
+            std::printf("  %-6s rejected (%s) — skipped\n",
+                        labels[k].c_str(), off.diagnostic.c_str());
+            continue;
+        }
+        bool same = off.run.cycles == on.run.cycles &&
+                    off.run.totalFires == on.run.totalFires &&
+                    off.run.outputs == on.run.outputs &&
+                    off.validated && on.validated;
+        std::printf("  %-6s %10llu cycles  %s\n", labels[k].c_str(),
+                    static_cast<unsigned long long>(on.run.cycles),
+                    same ? "identical off/on, bit-exact vs golden"
+                         : "DIVERGED");
+        if (!same) {
+            std::fprintf(stderr,
+                         "fast-forward smoke: %s diverged (off: "
+                         "%llu cycles, on: %llu cycles)\n",
+                         labels[k].c_str(),
+                         static_cast<unsigned long long>(
+                             off.run.cycles),
+                         static_cast<unsigned long long>(
+                             on.run.cycles));
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+/**
+ * Snapshot warm-start statistics (--snapshot-stats): the validation
+ * grid runs twice through a SnapshotCache, so the second pass
+ * restores every cell's post-prepare checkpoint instead of
+ * re-preparing.  Prints the checkpoint hit/miss counters and the
+ * prepare time the warm starts saved (sweep-layer machinery the
+ * sweeps and ablations share; see SnapshotCache).
+ */
+void
+snapshotStatsRun(const Options &opts, const SweepRunner &runner)
+{
+    CompilerOptions copts;
+    copts.placer = opts.placer;
+    copts.unrollFactor = opts.unrollFactor;
+    std::vector<KernelSweepJob> jobs;
+    for (int rep = 0; rep < 2; ++rep)
+        for (const Workload *w : allWorkloads()) {
+            if (!selected(opts, w->name()))
+                continue;
+            jobs.push_back(
+                KernelSweepJob{w, primaryFabric(), 0, copts});
+        }
+
+    ProgramCache cache;
+    SnapshotCache snapshots;
+    std::vector<KernelSweepResult> results =
+        runner.runKernels(jobs, cache, &snapshots);
+
+    std::size_t validated = 0;
+    for (const KernelSweepResult &r : results)
+        if (r.validated)
+            ++validated;
+    SnapshotCache::Counters c = snapshots.counters();
+    std::printf("\n== Snapshot warm-start statistics (validation "
+                "grid x2) ==\n");
+    std::printf("  checkpoints: %llu miss(es) -> stored, %llu "
+                "hit(s) -> restored\n",
+                static_cast<unsigned long long>(c.misses),
+                static_cast<unsigned long long>(c.hits));
+    std::printf("  prepare time saved by warm starts: %.1f ms\n",
+                static_cast<double>(c.savedMicros) / 1000.0);
+    std::printf("  program cache: %llu compile(s), %llu hit(s); "
+                "%zu/%zu jobs bit-exact\n",
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.hits()),
+                validated, results.size());
 }
 
 /** One (kernel, fabric) cell of the placement A/B. */
@@ -662,6 +813,19 @@ extractNumber(const std::string &obj, const std::string &key)
     return std::atoll(obj.c_str() + at + 1);
 }
 
+/** Floating-point field scan; -1.0 when the key is absent. */
+double
+extractDouble(const std::string &obj, const std::string &key)
+{
+    std::size_t at = obj.find("\"" + key + "\"");
+    if (at == std::string::npos)
+        return -1.0;
+    at = obj.find(':', at);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::atof(obj.c_str() + at + 1);
+}
+
 /** Diff (kernel, compiled, failed_pass) against the expectation
  *  file; returns false (and prints every difference) on mismatch. */
 bool
@@ -742,6 +906,31 @@ checkCoverage(const std::string &path,
                     static_cast<unsigned long long>(c.cycles),
                     static_cast<long long>(want_cycles),
                     100.0 * kCycleTolerance);
+                ok = false;
+            }
+        }
+        // The mapped-to-scheduled ratio is the schedule model's
+        // calibration (1.0 = the route pass predicts the machine
+        // exactly).  Model drift fails CI independently of raw
+        // cycles: a change that slows the machine *and* mis-models
+        // it equally would pass the cycle band yet silently
+        // invalidate every scheduled-cycle prediction downstream
+        // (sweep modelEstimate, unroll ablation).  The band is
+        // 0.10 absolute or 10% relative, whichever is larger.
+        double want_ratio =
+            extractDouble(obj, "mapped_to_scheduled_ratio");
+        if (c.compiled && want_compiled && want_ratio > 0.0 &&
+            c.scheduledCycles > 0.0) {
+            double ratio = static_cast<double>(c.cycles) /
+                           c.scheduledCycles;
+            double drift = std::fabs(ratio - want_ratio);
+            if (drift > 0.10 && drift > 0.10 * want_ratio) {
+                std::fprintf(
+                    stderr,
+                    "coverage check: %s mapped/scheduled ratio "
+                    "%.3f drifted from expected %.3f (band: 0.10 "
+                    "absolute or 10%% relative)\n",
+                    c.kernel.c_str(), ratio, want_ratio);
                 ok = false;
             }
         }
@@ -1350,6 +1539,10 @@ main(int argc, char **argv)
     if (!opts.mappedReportPath.empty())
         writeMappedReport(opts.mappedReportPath,
                           mappedCyclesAb(opts, runner));
+    if (opts.fastForward == 1 && !fastForwardSmoke(opts, runner))
+        return 1;
+    if (opts.snapshotStats)
+        snapshotStatsRun(opts, runner);
     if (!opts.checkCoveragePath.empty() &&
         !checkCoverage(opts.checkCoveragePath, coverage))
         return 1;

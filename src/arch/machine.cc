@@ -127,6 +127,30 @@ MarionetteMachine::load(const Program &program)
             MARIONETTE_FATAL("kernel '%s' exceeds control network "
                              "capacity", program.name.c_str());
     }
+    armFastForward();
+}
+
+void
+MarionetteMachine::armFastForward()
+{
+    // The engine needs (a) the simulator toggle on, (b) a machine
+    // with no faults of any kind — dead hardware and scheduled
+    // upsets both break the periodicity argument, and a fault-aware
+    // re-place is exactly the kind of run that must be observed in
+    // full — and (c) the compiler's per-phase metadata to seed the
+    // probe windows.  Hand-built programs carry no metadata and run
+    // the plain path.
+    ff_.reset();
+    if (config_.fastForward && config_.faults.empty() &&
+        !program_.phases.empty())
+        ff_ = std::make_unique<FastForwardEngine>(*this);
+}
+
+const FastForwardStats &
+MarionetteMachine::fastForwardStats() const
+{
+    static const FastForwardStats disarmed;
+    return ff_ ? ff_->stats() : disarmed;
 }
 
 void
@@ -342,6 +366,8 @@ MarionetteMachine::run(Cycle max_cycles)
     std::fill(lastTick_.begin(), lastTick_.end(), 0);
     std::fill(idleTicks_.begin(), idleTicks_.end(), 0);
     bool ran_any_cycle = false;
+    if (ff_)
+        ff_->beginRun();
 
     for (now_ = 0; now_ < max_cycles; ++now_) {
         ran_any_cycle = true;
@@ -584,6 +610,24 @@ MarionetteMachine::run(Cycle max_cycles)
             }
             break;
         }
+
+        // Steady-state fast-forward: when the engine has proven the
+        // next K windows are cycle-shifted repeats, jump the whole
+        // machine across them (state and statistics were already
+        // rewritten inside the hook).  Every skipped window made
+        // progress (the active generator fires at least once per
+        // window), so the watchdog anchor rides along; the idle
+        // streak is untouched — it is window-periodic at
+        // boundaries, so its current value is exactly what plain
+        // execution would have left behind.
+        if (ff_) {
+            Cycles skip =
+                ff_->onCycleEnd(now_, max_cycles, idle_streak);
+            if (skip != 0) {
+                now_ += skip;
+                last_progress += skip;
+            }
+        }
     }
 
     // PEs that missed ticks up to the final simulated cycle settle
@@ -637,6 +681,150 @@ MarionetteMachine::run(Cycle max_cycles)
     statCycles_.set(result.cycles);
     statTotalFires_.set(result.totalFires);
     return result;
+}
+
+void
+MarionetteMachine::ffVisitAll(FfVisitor &v, Cycle now,
+                              Cycles tick_horizon)
+{
+    // One canonical walk over every mutable field: the engine's
+    // capture and jump passes both take this exact path, so the
+    // fingerprint layout and the rewrite layout cannot drift apart.
+    ffCtl(v, lostCtrlWords_);
+    scratchpad_->ffVisit(v);
+    const int num_pes = config_.numPes();
+    for (PeId p = 0; p < num_pes; ++p) {
+        const std::size_t pi = static_cast<std::size_t>(p);
+        ffCtl(v, awake_[pi]);
+        ffCtl(v, idleTicks_[pi]);
+        // Tick recency: exact while the PE participates in the
+        // periodic pattern; one sentinel once it has slept through
+        // the whole probe span — its anchor then stays absolute so
+        // the end-of-run backfill covers the jumped cycles too.
+        const Cycle dist = now - lastTick_[pi];
+        ffCtl(v, dist <= tick_horizon ? dist : tick_horizon + 1);
+        pes_[pi]->ffVisit(v, now);
+    }
+    mesh_.ffVisit(v, now);
+    for (auto &fifo : fifos_)
+        fifo->ffVisit(v);
+    ffCtl(v, pendingCtrl_.size());
+    pendingCtrl_.forEachEvent([&](Cycle when, PendingCtrl &c) {
+        ffCtl(v, when - now);
+        ffCtl(v, static_cast<std::uint64_t>(c.dst));
+        ffCtl(v, static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(c.addr)));
+    });
+    ffCtl(v, pendingPush_.size());
+    pendingPush_.forEachEvent([&](Cycle when, PendingPush &p) {
+        ffCtl(v, when - now);
+        ffCtl(v, static_cast<std::uint64_t>(p.fifo));
+        ffWord(v, p.value);
+    });
+    for (const auto &row : meshInflight_)
+        for (int claimed : row)
+            ffCtl(v, static_cast<std::uint64_t>(claimed));
+    for (int claimed : fifoInflight_)
+        ffCtl(v, static_cast<std::uint64_t>(claimed));
+    stats_.ffVisit(v);
+    ctrlNet_.ffVisit(v);
+}
+
+void
+MarionetteMachine::ffShiftAll(Cycle now, Cycles delta,
+                              Cycles tick_horizon)
+{
+    for (auto &pe : pes_)
+        pe->ffShift(delta);
+    const int num_pes = config_.numPes();
+    for (PeId p = 0; p < num_pes; ++p) {
+        const std::size_t pi = static_cast<std::size_t>(p);
+        if (now - lastTick_[pi] <= tick_horizon)
+            lastTick_[pi] += delta;
+    }
+    pendingCtrl_.shift(delta);
+    pendingPush_.shift(delta);
+    mesh_.ffShift(delta);
+}
+
+MachineSnapshot
+MarionetteMachine::snapshot() const
+{
+    MARIONETTE_ASSERT(loaded_, "snapshot() before load()");
+    Snapshot s;
+    s.configHash = configHash(config_);
+    s.program = program_;
+    s.now = now_;
+    s.lostCtrlWords = lostCtrlWords_;
+    s.ctrlDrained = pendingCtrl_.drained();
+    s.ctrlEvents = pendingCtrl_.snapshotEvents();
+    s.pushDrained = pendingPush_.drained();
+    s.pushEvents = pendingPush_.snapshotEvents();
+    s.meshInflight = meshInflight_;
+    s.fifoInflight = fifoInflight_;
+    s.outputs = outputs_;
+    s.awake = awake_;
+    s.lastTick = lastTick_;
+    s.idleTicks = idleTicks_;
+    s.pes.reserve(pes_.size());
+    for (const auto &pe : pes_)
+        s.pes.push_back(pe->saveState());
+    s.mesh = mesh_.saveState();
+    s.scratchpadWords = scratchpad_->words();
+    s.scratchpadStats = scratchpad_->saveStats();
+    s.fifoContents.reserve(fifos_.size());
+    s.fifoStats.reserve(fifos_.size());
+    for (const auto &fifo : fifos_) {
+        s.fifoContents.push_back(fifo->contents());
+        s.fifoStats.push_back(fifo->saveStats());
+    }
+    s.machineStats = stats_.captureState();
+    s.ctrlNetStats = ctrlNet_.saveStats();
+    return s;
+}
+
+void
+MarionetteMachine::restore(const Snapshot &s)
+{
+    MARIONETTE_ASSERT(s.configHash == configHash(config_),
+                      "snapshot restored onto a differently-"
+                      "configured machine");
+    MARIONETTE_ASSERT(s.pes.size() == pes_.size() &&
+                          s.fifoContents.size() == fifos_.size() &&
+                          s.fifoStats.size() == fifos_.size(),
+                      "snapshot shape mismatch");
+    program_ = s.program;
+    loaded_ = true;
+    now_ = s.now;
+    lostCtrlWords_ = s.lostCtrlWords;
+    pendingCtrl_.restoreEvents(s.ctrlDrained, s.ctrlEvents);
+    pendingPush_.restoreEvents(s.pushDrained, s.pushEvents);
+    meshInflight_ = s.meshInflight;
+    fifoInflight_ = s.fifoInflight;
+    outputs_ = s.outputs;
+    awake_ = s.awake;
+    lastTick_ = s.lastTick;
+    idleTicks_ = s.idleTicks;
+    for (std::size_t i = 0; i < pes_.size(); ++i)
+        pes_[i]->restoreState(s.pes[i]);
+    mesh_.restoreState(s.mesh);
+    scratchpad_->restoreState(s.scratchpadWords,
+                              s.scratchpadStats);
+    for (std::size_t i = 0; i < fifos_.size(); ++i)
+        fifos_[i]->restoreState(s.fifoContents[i], s.fifoStats[i]);
+    stats_.restoreState(s.machineStats);
+    buildWakeLists();
+    if (config_.features.controlNetwork) {
+        // Re-derive the switch state, then restore the captured
+        // statistics — undoing the configuration counter the re-run
+        // just bumped.
+        if (!configureControlNetwork(program_))
+            MARIONETTE_FATAL("kernel '%s' exceeds control network "
+                             "capacity on restore",
+                             program_.name.c_str());
+    }
+    ctrlNet_.restoreStats(s.ctrlNetStats);
+    armFastForward();
 }
 
 std::string

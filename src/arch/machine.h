@@ -29,6 +29,16 @@
  * In-flight control words and FIFO pushes live in calendar queues
  * (sim/event_queue.h) bucketed by arrival cycle, as does the data
  * mesh's traffic, making delivery O(arrivals) per cycle.
+ *
+ * On top of the hot path, the steady-state fast-forward engine
+ * (sim/fastforward.h, MachineConfig::fastForward) skips whole
+ * pipeline-steady windows in O(1) once a phase's activity is proven
+ * periodic — again bit-identical to executing them.  The same
+ * state-capture machinery backs machine snapshots: snapshot()
+ * deep-copies every mutable field of a loaded machine and restore()
+ * brings an identically-configured machine back to that point, so
+ * sweeps can warm-start repeated runs from a compiled+filled
+ * checkpoint instead of re-preparing from scratch.
  */
 
 #ifndef MARIONETTE_ARCH_MACHINE_H
@@ -46,6 +56,7 @@
 #include "pe/pe.h"
 #include "sim/config.h"
 #include "sim/event_queue.h"
+#include "sim/fastforward.h"
 #include "sim/stats.h"
 
 namespace marionette
@@ -225,6 +236,66 @@ class MarionetteMachine : public FabricIface
         Word value = 0;
     };
 
+  public:
+    /**
+     * Deep copy of every mutable field of a loaded machine.  Taken
+     * with snapshot(), applied with restore() on a machine built
+     * from the *same architectural configuration* (guarded by
+     * configHash).  A restored machine is indistinguishable from
+     * the one the snapshot was taken on: run() produces the same
+     * RunResult and the same stat dump to the byte.
+     */
+    struct Snapshot
+    {
+        /** configHash() of the machine the capture was taken on. */
+        std::uint64_t configHash = 0;
+        Program program;
+        Cycle now = 0;
+        std::uint64_t lostCtrlWords = 0;
+
+        Cycle ctrlDrained = 0;
+        std::vector<std::pair<Cycle, PendingCtrl>> ctrlEvents;
+        Cycle pushDrained = 0;
+        std::vector<std::pair<Cycle, PendingPush>> pushEvents;
+
+        std::vector<std::vector<int>> meshInflight;
+        std::vector<int> fifoInflight;
+        std::vector<std::vector<Word>> outputs;
+
+        std::vector<std::uint8_t> awake;
+        std::vector<Cycle> lastTick;
+        std::vector<Cycles> idleTicks;
+
+        std::vector<Pe::State> pes;
+        DataMesh::State mesh;
+        std::vector<Word> scratchpadWords;
+        StatGroupState scratchpadStats;
+        std::vector<std::deque<Word>> fifoContents;
+        std::vector<StatGroupState> fifoStats;
+        StatGroupState machineStats;
+        StatGroupState ctrlNetStats;
+    };
+
+    /** Capture the full machine state (requires a loaded program). */
+    Snapshot snapshot() const;
+
+    /**
+     * Restore a snapshot taken on an identically-configured machine
+     * (panics on a configHash mismatch).  Re-derives all static
+     * per-program state (wake lists, control-network switch
+     * configuration) and leaves the machine exactly as loaded —
+     * injectData()/run() behave as they would have on the original.
+     */
+    void restore(const Snapshot &snapshot);
+
+    /** Fast-forward engine counters of the current program; all
+     *  zero when the engine is disarmed (config toggle off, faults
+     *  present, or no phase metadata). */
+    const FastForwardStats &fastForwardStats() const;
+
+  private:
+    friend class FastForwardEngine;
+
     /** Ticks a sleeping PE stays tick-eligible after its last
      *  activity before leaving the worklist (the quiescent grace
      *  window of the activity-driven hot path). */
@@ -237,6 +308,33 @@ class MarionetteMachine : public FabricIface
     void wake(PeId pe);
     bool peDead(PeId pe) const
     { return peDead_[static_cast<std::size_t>(pe)] != 0; }
+
+    /**
+     * Visit every mutable field of the machine in a fixed canonical
+     * order (sim/ffstate.h): the fast-forward engine's capture and
+     * jump both walk this one function, so the fingerprint layout
+     * and the rewrite layout can never drift apart.  @p now is the
+     * current cycle — absolute event times are emitted
+     * now-relative.  Output FIFOs are *not* visited (append-only;
+     * the engine extrapolates them block-wise).
+     *
+     * @p tick_horizon bounds the per-PE tick-recency Control: a PE
+     * whose last tick is at most that many cycles old is emitted
+     * with its exact distance (it participates in the periodic
+     * pattern and must recur on schedule); older anchors collapse
+     * to one sentinel (the PE sleeps through the steady state and
+     * its anchor stays absolute for backfill accounting).
+     */
+    void ffVisitAll(FfVisitor &v, Cycle now, Cycles tick_horizon);
+
+    /** Rebase every absolute-cycle anchor (in-flight completions
+     *  and arrivals, pending configurations, loop fire times,
+     *  recently-active tick anchors) across a clock jump. */
+    void ffShiftAll(Cycle now, Cycles delta, Cycles tick_horizon);
+
+    /** Arm or disarm the fast-forward engine for the loaded
+     *  program (called from load() and restore()). */
+    void armFastForward();
 
     MachineConfig config_;
     std::vector<std::unique_ptr<Pe>> pes_;
@@ -291,7 +389,14 @@ class MarionetteMachine : public FabricIface
     Stat &statCtrlWords_;
     Stat &statCycles_;
     Stat &statTotalFires_;
+
+    /** Steady-state fast-forward engine; armed per loaded program
+     *  (null when declined — see armFastForward()). */
+    std::unique_ptr<FastForwardEngine> ff_;
 };
+
+/** Convenience alias for the sweep layer's checkpoint cache. */
+using MachineSnapshot = MarionetteMachine::Snapshot;
 
 } // namespace marionette
 

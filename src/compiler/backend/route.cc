@@ -298,6 +298,9 @@ passRoute(Compilation &cc)
             }
         }
 
+        route.steadyWindow =
+            std::max<Cycles>(1, route.recurrenceII);
+
         std::ostringstream note;
         note << "phase " << p << ": " << route.edges.size()
              << " data edge(s), recurrence II ~"

@@ -15,6 +15,7 @@
 
 #include <deque>
 
+#include "sim/ffstate.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -51,6 +52,36 @@ class ControlFifo
     void clear();
 
     const StatGroup &stats() const { return stats_; }
+
+    /** Buffered words, oldest first (machine snapshots). */
+    const std::deque<Word> &contents() const { return entries_; }
+
+    /** Restore a contents() + stats capture (machine snapshots). */
+    void
+    restoreState(const std::deque<Word> &entries,
+                 const StatGroupState &stats)
+    {
+        entries_ = entries;
+        stats_.restoreState(stats);
+    }
+
+    /** Snapshot the FIFO's statistics (machine snapshots). */
+    StatGroupState saveStats() const
+    {
+        return stats_.captureState();
+    }
+
+    /** Fast-forward visit: occupancy Control, words Values, stats
+     *  Values (max_occupancy included: occupancy is Control-pinned,
+     *  so the running max is constant in steady state). */
+    void
+    ffVisit(FfVisitor &v)
+    {
+        ffCtl(v, entries_.size());
+        for (Word &w : entries_)
+            ffWord(v, w);
+        stats_.ffVisit(v);
+    }
 
   private:
     int depth_;

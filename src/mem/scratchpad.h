@@ -13,6 +13,8 @@
 
 #include <vector>
 
+#include "sim/ffstate.h"
+#include "sim/logging.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -63,6 +65,43 @@ class Scratchpad
     std::vector<Word> dump(Word base, int count) const;
 
     const StatGroup &stats() const { return stats_; }
+
+    /** Full word image (machine snapshots). */
+    const std::vector<Word> &words() const { return data_; }
+
+    /** Restore a words() + stats capture (machine snapshots). */
+    void
+    restoreState(const std::vector<Word> &words,
+                 const StatGroupState &stats)
+    {
+        MARIONETTE_ASSERT(words.size() == data_.size(),
+                          "snapshot scratchpad size mismatch");
+        data_ = words;
+        stats_.restoreState(stats);
+    }
+
+    /** Snapshot the scratchpad's statistics (machine snapshots). */
+    StatGroupState saveStats() const
+    {
+        return stats_.captureState();
+    }
+
+    /**
+     * Fast-forward visit: the entire word image folds into one
+     * Control hash — steady state requires memory frozen (store
+     * traffic is never extrapolated) — plus the access statistics
+     * as Values.  Per-cycle port occupancy is skipped: it resets at
+     * the next beginCycle() and cannot influence the future.
+     */
+    void
+    ffVisit(FfVisitor &v)
+    {
+        FfHash image;
+        for (Word w : data_)
+            image.mix(static_cast<std::uint32_t>(w));
+        ffCtl(v, image.value());
+        stats_.ffVisit(v);
+    }
 
   private:
     std::vector<Word> data_;

@@ -116,6 +116,24 @@ class ControlNetwork
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Snapshot the network's statistics (machine snapshots: the
+     *  switch state is rebuilt by re-running configure(), which
+     *  bumps the configuration counter — restoring the captured
+     *  stats afterwards undoes the double count). */
+    StatGroupState saveStats() const
+    {
+        return stats_.captureState();
+    }
+
+    void restoreStats(const StatGroupState &state)
+    {
+        stats_.restoreState(state);
+    }
+
+    /** Fast-forward visit: the run loop never reconfigures the
+     *  network mid-kernel, so everything is a constant Value. */
+    void ffVisit(FfVisitor &v) { stats_.ffVisit(v); }
+
   private:
     int inPosition(int port) const { return port * strideIn_; }
     int outPosition(int port) const { return port * strideOut_; }

@@ -370,6 +370,55 @@ DataMesh::clearLinkLoads()
     statMaxLinkLoad_.set(0);
 }
 
+DataMesh::State
+DataMesh::saveState() const
+{
+    State state;
+    state.flightDrained = flight_.drained();
+    state.flight = flight_.snapshotEvents();
+    state.linkLoads = linkLoads_;
+    state.dropped = dropped_;
+    state.lastDropSrc = lastDropSrc_;
+    state.lastDropDst = lastDropDst_;
+    state.stats = stats_.captureState();
+    return state;
+}
+
+void
+DataMesh::restoreState(const State &state)
+{
+    flight_.restoreEvents(state.flightDrained, state.flight);
+    MARIONETTE_ASSERT(state.linkLoads.size() == linkLoads_.size(),
+                      "snapshot mesh geometry mismatch");
+    linkLoads_ = state.linkLoads;
+    dropped_ = state.dropped;
+    lastDropSrc_ = state.lastDropSrc;
+    lastDropDst_ = state.lastDropDst;
+    stats_.restoreState(state.stats);
+}
+
+void
+DataMesh::ffVisit(FfVisitor &v, Cycle now)
+{
+    ffCtl(v, dropped_);
+    ffCtl(v, static_cast<std::uint32_t>(lastDropSrc_));
+    ffCtl(v, static_cast<std::uint32_t>(lastDropDst_));
+    ffCtl(v, flight_.size());
+    flight_.forEachEvent([&v, now](Cycle when, MeshPacket &pkt) {
+        ffCtl(v, when - now);
+        ffCtl(v, pkt.arrival - now);
+        FfHash route;
+        route.mix(static_cast<std::uint32_t>(pkt.src));
+        route.mix(static_cast<std::uint32_t>(pkt.dst));
+        route.mix(static_cast<std::uint32_t>(pkt.channel));
+        ffCtl(v, route.value());
+        ffWord(v, pkt.value);
+    });
+    for (std::uint64_t &load : linkLoads_)
+        ffU64(v, load);
+    stats_.ffVisit(v, {"max_link_load"});
+}
+
 std::vector<MeshPacket>
 DataMesh::deliver(Cycle now, PeId dst)
 {

@@ -13,6 +13,7 @@
 
 #include <deque>
 
+#include "sim/ffstate.h"
 #include "sim/logging.h"
 #include "sim/types.h"
 
@@ -66,6 +67,26 @@ class InputChannel
     {
         if (!words_.empty())
             words_.front() ^= xor_mask;
+    }
+
+    /** Buffered words, oldest first (machine snapshots). */
+    const std::deque<Word> &words() const { return words_; }
+
+    /** Restore a words() capture (machine snapshots). */
+    void restoreWords(const std::deque<Word> &words)
+    {
+        words_ = words;
+    }
+
+    /** Fast-forward visit: occupancy is Control (back-pressure),
+     *  each buffered word a Value (affine data streams rotate
+     *  through the queue position by position). */
+    void
+    ffVisit(FfVisitor &v)
+    {
+        ffCtl(v, words_.size());
+        for (Word &w : words_)
+            ffWord(v, w);
     }
 
   private:

@@ -15,6 +15,7 @@
 #ifndef MARIONETTE_PE_CONTROL_TRIGGER_H
 #define MARIONETTE_PE_CONTROL_TRIGGER_H
 
+#include "sim/ffstate.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -70,6 +71,46 @@ class ControlFlowTrigger
 
     /** Return to the unconfigured state. */
     void reset();
+
+    /** Deep copy of the trigger's run-time state (snapshots). */
+    struct State
+    {
+        InstrAddr current = invalidInstr;
+        InstrAddr pending = invalidInstr;
+        Cycle pendingReady = 0;
+    };
+
+    State saveState() const
+    {
+        return {current_, pending_, pendingReady_};
+    }
+
+    void
+    restoreState(const State &s)
+    {
+        current_ = s.current;
+        pending_ = s.pending;
+        pendingReady_ = s.pendingReady;
+    }
+
+    /** Fast-forward visit: addresses and the now-relative readiness
+     *  of a pending configuration are all Control. */
+    void
+    ffVisit(FfVisitor &v, Cycle now) const
+    {
+        ffCtl(v, static_cast<std::uint32_t>(current_));
+        ffCtl(v, static_cast<std::uint32_t>(pending_));
+        ffCtl(v, pending_ != invalidInstr ? pendingReady_ - now
+                                          : 0);
+    }
+
+    /** Rebase the pending configuration across a clock jump. */
+    void
+    ffShift(Cycles delta)
+    {
+        if (pending_ != invalidInstr)
+            pendingReady_ += delta;
+    }
 
   private:
     Cycles configLatency_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/ffstate.h"
 #include "sim/logging.h"
 
 namespace marionette
@@ -590,6 +591,118 @@ Pe::backfillIdle(Cycles cycles)
       case StallKind::Mem:
         break; // loop-mode waits record no per-reason counter.
     }
+}
+
+Pe::State
+Pe::saveState() const
+{
+    State s;
+    s.instrs = instrs_;
+    s.entry = entry_;
+    s.trigger = trigger_.saveState();
+    s.channels.reserve(channels_.size());
+    for (const InputChannel &ch : channels_)
+        s.channels.push_back(ch.words());
+    s.regs = regs_;
+    s.inflight = inflight_;
+    s.ctrlIn = ctrlIn_;
+    s.gateCredits = gateCredits_;
+    s.pendingGateCredits = pendingGateCredits_;
+    s.emitPending = emitPending_;
+    s.emitOnData = emitOnData_;
+    s.loopActive = loopActive_;
+    s.loopOnceDone = loopOnceDone_;
+    s.loopIter = loopIter_;
+    s.loopBound = loopBound_;
+    s.loopNextFire = loopNextFire_;
+    s.lastStall = lastStall_;
+    s.stats = stats_.captureState();
+    return s;
+}
+
+void
+Pe::restoreState(const State &s)
+{
+    instrs_ = s.instrs;
+    entry_ = s.entry;
+    trigger_.restoreState(s.trigger);
+    MARIONETTE_ASSERT(s.channels.size() == channels_.size(),
+                      "snapshot channel count mismatch");
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+        channels_[i].restoreWords(s.channels[i]);
+    regs_ = s.regs;
+    inflight_ = s.inflight;
+    ctrlIn_ = s.ctrlIn;
+    gateCredits_ = s.gateCredits;
+    pendingGateCredits_ = s.pendingGateCredits;
+    emitPending_ = s.emitPending;
+    emitOnData_ = s.emitOnData;
+    loopActive_ = s.loopActive;
+    loopOnceDone_ = s.loopOnceDone;
+    loopIter_ = s.loopIter;
+    loopBound_ = s.loopBound;
+    loopNextFire_ = s.loopNextFire;
+    lastStall_ = s.lastStall;
+    stats_.restoreState(s.stats);
+}
+
+void
+Pe::ffVisit(FfVisitor &v, Cycle now)
+{
+    trigger_.ffVisit(v, now);
+    for (InputChannel &ch : channels_)
+        ch.ffVisit(v);
+    for (Word &r : regs_)
+        ffWord(v, r);
+    ffCtl(v, inflight_.size());
+    for (InFlight &f : inflight_) {
+        // Completion time relative (rebased by ffShift), routing
+        // metadata hashed as one Control, payloads as Values.
+        ffCtl(v, f.complete - now);
+        FfHash route;
+        route.mix(f.dests.size());
+        for (const DestSel &d : f.dests) {
+            route.mix(static_cast<std::uint8_t>(d.kind));
+            route.mix(static_cast<std::uint32_t>(d.pe));
+            route.mix(static_cast<std::uint8_t>(d.channel));
+        }
+        route.mix(f.isBranch ? 1 : 2);
+        route.mix(static_cast<std::uint32_t>(f.takenAddr));
+        route.mix(static_cast<std::uint32_t>(f.notTakenAddr));
+        route.mix(f.ctrlDests.size());
+        for (PeId p : f.ctrlDests)
+            route.mix(static_cast<std::uint32_t>(p));
+        route.mix(static_cast<std::uint32_t>(f.pushFifo));
+        route.mix(f.isStore ? 1 : 2);
+        ffCtl(v, route.value());
+        ffWord(v, f.value);
+        ffWord(v, f.storeAddr);
+    }
+    ffCtl(v, ctrlIn_.has_value()
+                  ? 1ull + static_cast<std::uint32_t>(*ctrlIn_)
+                  : 0);
+    ffCtl(v, static_cast<std::uint64_t>(gateCredits_));
+    ffCtl(v, static_cast<std::uint64_t>(pendingGateCredits_));
+    ffCtl(v, (emitPending_ ? 1u : 0u) | (emitOnData_ ? 2u : 0u) |
+                 (loopActive_ ? 4u : 0u) |
+                 (loopOnceDone_ ? 8u : 0u) |
+                 (static_cast<std::uint32_t>(lastStall_) << 4));
+    // The induction value is data (generators emit it); the bound
+    // is control (it ends the loop).
+    ffWord(v, loopIter_);
+    ffCtl(v, static_cast<std::uint32_t>(loopBound_));
+    ffCtl(v, loopActive_ ? loopNextFire_ - now : 0);
+    stats_.ffVisit(v);
+}
+
+void
+Pe::ffShift(Cycles delta)
+{
+    trigger_.ffShift(delta);
+    for (InFlight &f : inflight_)
+        f.complete += delta;
+    if (loopActive_)
+        loopNextFire_ += delta;
 }
 
 } // namespace marionette

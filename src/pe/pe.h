@@ -213,7 +213,9 @@ class Pe
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
-  private:
+    /** An FU operation issued but not yet retired.  Public for the
+     *  machine snapshot (arch/machine.h), which deep-copies the
+     *  in-flight set verbatim. */
     struct InFlight
     {
         Cycle complete = 0;
@@ -231,6 +233,51 @@ class Pe
         Word storeAddr = 0;
     };
 
+    /** Deep copy of the PE's run-time state (machine snapshots). */
+    struct State
+    {
+        std::vector<Instruction> instrs;
+        InstrAddr entry = invalidInstr;
+        ControlFlowTrigger::State trigger;
+        std::vector<std::deque<Word>> channels;
+        std::vector<Word> regs;
+        std::vector<InFlight> inflight;
+        std::optional<InstrAddr> ctrlIn;
+        int gateCredits = 0;
+        int pendingGateCredits = 0;
+        bool emitPending = false;
+        bool emitOnData = false;
+        bool loopActive = false;
+        bool loopOnceDone = false;
+        Word loopIter = 0;
+        Word loopBound = 0;
+        Cycle loopNextFire = 0;
+        StallKind lastStall = StallKind::None;
+        StatGroupState stats;
+    };
+
+    State saveState() const;
+    void restoreState(const State &state);
+
+    /** Fast-forward visit over every mutable field (sim/ffstate.h);
+     *  time anchors are emitted now-relative and rebased by
+     *  ffShift() when the clock jumps. */
+    void ffVisit(FfVisitor &v, Cycle now);
+
+    /** Rebase in-flight completions, the pending configuration and
+     *  the loop fire time across a clock jump of @p delta. */
+    void ffShift(Cycles delta);
+
+    // ---- fast-forward engine introspection ----
+    /** Loaded instruction buffer (op-whitelist gate). */
+    const std::vector<Instruction> &instructions() const
+    { return instrs_; }
+    /** Loop operator runtime state (jump-length guard). */
+    bool loopActive() const { return loopActive_; }
+    Word loopIter() const { return loopIter_; }
+    Word loopBound() const { return loopBound_; }
+
+  private:
     const Instruction *current() const;
 
     bool operandReady(const OperandSel &sel) const;

@@ -104,6 +104,93 @@ class CalendarQueue
         }
     }
 
+    /** First cycle not yet drained (snapshot/fast-forward). */
+    Cycle drained() const { return drained_; }
+
+    /**
+     * Visit every pending event as @p fn(when, item) in delivery
+     * order: ascending cycle, schedule order within a cycle.  The
+     * mutable overload lets the fast-forward visitor rewrite event
+     * payloads in place (never their cycles — see shift()).
+     */
+    template <typename F>
+    void
+    forEachEvent(F &&fn)
+    {
+        for (std::size_t d = 0; d < buckets_.size(); ++d) {
+            Cycle when = drained_ + static_cast<Cycle>(d);
+            for (auto &ev : buckets_[index(when)])
+                if (ev.first == when)
+                    fn(ev.first, ev.second);
+        }
+    }
+
+    template <typename F>
+    void
+    forEachEvent(F &&fn) const
+    {
+        for (std::size_t d = 0; d < buckets_.size(); ++d) {
+            Cycle when = drained_ + static_cast<Cycle>(d);
+            for (const auto &ev : buckets_[index(when)])
+                if (ev.first == when)
+                    fn(ev.first, ev.second);
+        }
+    }
+
+    /**
+     * Rebase every pending event @p delta cycles into the future
+     * (and the drain cursor with it), preserving delivery order.
+     * The fast-forward jump: after advancing the clock by delta,
+     * in-flight traffic arrives at the same relative offsets.  The
+     * buckets are rebuilt because the ring slot of an event is a
+     * function of its absolute cycle.
+     */
+    void
+    shift(Cycles delta)
+    {
+        if (delta == 0)
+            return;
+        if (size_ == 0) {
+            drained_ += delta;
+            return;
+        }
+        std::vector<std::pair<Cycle, T>> all;
+        all.reserve(size_);
+        forEachEvent([&all](Cycle when, T &item) {
+            all.emplace_back(when, std::move(item));
+        });
+        for (auto &bucket : buckets_)
+            bucket.clear();
+        size_ = 0;
+        drained_ += delta;
+        for (auto &ev : all)
+            schedule(ev.first + delta, std::move(ev.second));
+    }
+
+    /** Deep copy of the pending events in delivery order (machine
+     *  snapshots; pair with drained()). */
+    std::vector<std::pair<Cycle, T>>
+    snapshotEvents() const
+    {
+        std::vector<std::pair<Cycle, T>> all;
+        all.reserve(size_);
+        forEachEvent([&all](Cycle when, const T &item) {
+            all.emplace_back(when, item);
+        });
+        return all;
+    }
+
+    /** Restore a snapshotEvents() capture taken at @p drained. */
+    void
+    restoreEvents(Cycle drained,
+                  const std::vector<std::pair<Cycle, T>> &events)
+    {
+        clear();
+        drained_ = drained;
+        for (const auto &ev : events)
+            schedule(ev.first, ev.second);
+    }
+
     /**
      * Remove and return every pending event satisfying @p pred, in
      * schedule-cycle order (ties broken by schedule order).  This is

@@ -1,0 +1,408 @@
+#include "sim/fastforward.h"
+
+#include <algorithm>
+
+#include "arch/machine.h"
+#include "sim/logging.h"
+
+namespace marionette
+{
+
+namespace
+{
+
+/** Capture pass: split the visited fields into the Control and
+ *  Value fingerprint vectors, leaving the machine untouched. */
+class CaptureVisitor final : public FfVisitor
+{
+  public:
+    CaptureVisitor(std::vector<std::uint64_t> &control,
+                   std::vector<std::uint64_t> &value)
+        : control_(control), value_(value)
+    {
+    }
+
+    std::uint64_t
+    field(FieldKind kind, std::uint64_t v) override
+    {
+        (kind == FieldKind::Control ? control_ : value_)
+            .push_back(v);
+        return v;
+    }
+
+  private:
+    std::vector<std::uint64_t> &control_;
+    std::vector<std::uint64_t> &value_;
+};
+
+/**
+ * Jump pass: rewrite every Value field as v + K*d, where d is the
+ * field's proven per-window delta.  Control fields pass through
+ * unchanged.  All arithmetic is modulo 2^64; the components'
+ * write-back truncation turns that into each field's own modular
+ * arithmetic (sim/ffstate.h).
+ */
+class JumpVisitor final : public FfVisitor
+{
+  public:
+    JumpVisitor(const std::vector<std::uint64_t> &last,
+                const std::vector<std::uint64_t> &prev,
+                std::uint64_t k)
+        : last_(last), prev_(prev), k_(k)
+    {
+    }
+
+    std::uint64_t
+    field(FieldKind kind, std::uint64_t v) override
+    {
+        if (kind == FieldKind::Control)
+            return v;
+        MARIONETTE_ASSERT(vi_ < last_.size(),
+                          "fast-forward jump walked more Value "
+                          "fields than the capture");
+        const std::uint64_t base = last_[vi_];
+        const std::uint64_t delta = base - prev_[vi_];
+        ++vi_;
+        return base + k_ * delta;
+    }
+
+    std::size_t visited() const { return vi_; }
+
+  private:
+    const std::vector<std::uint64_t> &last_;
+    const std::vector<std::uint64_t> &prev_;
+    std::uint64_t k_;
+    std::size_t vi_ = 0;
+};
+
+/**
+ * The operation whitelist: instructions whose *control* behaviour
+ * provably cannot depend on data values.  Branches pick addresses
+ * from a predicate; FIFO-fed loop bounds turn a data word into a
+ * trip count; memory ops mutate (or read) state the probe pins
+ * frozen; everything outside {Nop, Const, Copy, Add, Sub} is
+ * excluded conservatively rather than argued about.  Operand
+ * *sources* (channel, register, immediate) are all fine — values
+ * flow only into value sinks under these ops.
+ */
+bool
+instrWhitelisted(const Instruction &in)
+{
+    if (in.mode == SenderMode::BranchOp)
+        return false;
+    if (in.mode == SenderMode::LoopOp &&
+        (in.startFifo >= 0 || in.boundFifo >= 0))
+        return false;
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Const:
+      case Opcode::Copy:
+      case Opcode::Add:
+      case Opcode::Sub:
+        return true;
+      case Opcode::Loop:
+        // The induction stream itself: static bounds were checked
+        // above, and the generated values are affine by definition.
+        return in.mode == SenderMode::LoopOp;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+FastForwardEngine::FastForwardEngine(MarionetteMachine &machine)
+    : machine_(machine)
+{
+}
+
+void
+FastForwardEngine::beginRun()
+{
+    phase_ = -1;
+    phaseDone_.assign(machine_.program_.phases.size(), 0);
+    cooldownUntil_ = 0;
+    backoff_ = 1;
+    nextCaptureAt_ = 0;
+    captures_.clear();
+}
+
+int
+FastForwardEngine::activePhase() const
+{
+    const auto &phases = machine_.program_.phases;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const PeId g = phases[i].generator;
+        if (g < 0 || g >= machine_.config_.numPes())
+            continue;
+        if (machine_.pes_[static_cast<std::size_t>(g)]->midLoop())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+FastForwardEngine::whitelistOk(Cycle now, Cycles window) const
+{
+    // Every PE that acted during the probe span (or sits on the
+    // worklist right now) must hold only whitelisted instructions.
+    // PEs that slept through the whole span are exempt: the proven
+    // periodic control trajectory never produced a wake event for
+    // them in three windows, so it never will while the phase runs.
+    const Cycles horizon = 3 * window;
+    const int num_pes = machine_.config_.numPes();
+    for (PeId p = 0; p < num_pes; ++p) {
+        const std::size_t pi = static_cast<std::size_t>(p);
+        const bool recent =
+            machine_.awake_[pi] != 0 ||
+            now - machine_.lastTick_[pi] <= horizon;
+        if (!recent)
+            continue;
+        for (const Instruction &in :
+             machine_.pes_[pi]->instructions())
+            if (!instrWhitelisted(in))
+                return false;
+    }
+    return true;
+}
+
+void
+FastForwardEngine::takeCapture(Cycle now, Capture &out) const
+{
+    out.at = now;
+    const PhaseInfo &info =
+        machine_.program_.phases[static_cast<std::size_t>(phase_)];
+    const Cycles window = std::max<Cycles>(1, info.steadyWindow);
+    CaptureVisitor v(out.control, out.value);
+    machine_.ffVisitAll(v, now, 3 * window);
+    out.outputLens.reserve(machine_.outputs_.size());
+    for (const auto &fifo : machine_.outputs_)
+        out.outputLens.push_back(fifo.size());
+    const int num_pes = machine_.config_.numPes();
+    out.loopActive.reserve(static_cast<std::size_t>(num_pes));
+    out.loopIter.reserve(static_cast<std::size_t>(num_pes));
+    out.loopBound.reserve(static_cast<std::size_t>(num_pes));
+    for (PeId p = 0; p < num_pes; ++p) {
+        const Pe &pe = *machine_.pes_[static_cast<std::size_t>(p)];
+        out.loopActive.push_back(pe.loopActive() ? 1 : 0);
+        out.loopIter.push_back(
+            static_cast<std::int64_t>(pe.loopIter()));
+        out.loopBound.push_back(
+            static_cast<std::int64_t>(pe.loopBound()));
+    }
+}
+
+bool
+FastForwardEngine::capturesCompatible() const
+{
+    const Capture &cur = captures_.back();
+    const Capture &first = captures_.front();
+    if (cur.control != first.control)
+        return false;
+    if (cur.value.size() != first.value.size() ||
+        cur.outputLens.size() != first.outputLens.size() ||
+        cur.loopActive != first.loopActive)
+        return false;
+    if (captures_.size() < 3)
+        return true;
+    const Capture &prev = captures_[captures_.size() - 2];
+    const Capture &prev2 = captures_[captures_.size() - 3];
+    for (std::size_t i = 0; i < cur.value.size(); ++i) {
+        if (cur.value[i] - prev.value[i] !=
+            prev.value[i] - prev2.value[i])
+            return false;
+    }
+    for (std::size_t f = 0; f < cur.outputLens.size(); ++f) {
+        if (cur.outputLens[f] - prev.outputLens[f] !=
+            prev.outputLens[f] - prev2.outputLens[f])
+            return false;
+    }
+    return true;
+}
+
+void
+FastForwardEngine::decline(Cycle now, Cycles window)
+{
+    ++stats_.declines;
+    captures_.clear();
+    nextCaptureAt_ = 0;
+    cooldownUntil_ = now + backoff_ * window;
+    backoff_ *= 2;
+    if (backoff_ > 4096 && phase_ >= 0)
+        phaseDone_[static_cast<std::size_t>(phase_)] = 1;
+}
+
+Cycles
+FastForwardEngine::engage(Cycle now, Cycle max_cycles,
+                          Cycles window)
+{
+    const Capture &c3 = captures_[3];
+    const Capture &c2 = captures_[2];
+    const Capture &c1 = captures_[1];
+    const PhaseInfo &info =
+        machine_.program_.phases[static_cast<std::size_t>(phase_)];
+
+    // The gated set may have changed since the probe opened;
+    // re-check over the actual probe span before trusting it.
+    if (!whitelistOk(now, window)) {
+        decline(now, window);
+        return 0;
+    }
+
+    // Jump length: every active loop must stay two guard windows
+    // short of its exit (the exit transition executes for real),
+    // and the active phase's generator must itself be advancing —
+    // a quiescing machine is never jumped.
+    const std::size_t gi =
+        static_cast<std::size_t>(info.generator);
+    if (info.generator < 0 ||
+        gi >= c3.loopActive.size() || !c3.loopActive[gi] ||
+        c3.loopIter[gi] - c2.loopIter[gi] <= 0) {
+        decline(now, window);
+        return 0;
+    }
+    std::uint64_t k = ~std::uint64_t{0};
+    for (std::size_t p = 0; p < c3.loopActive.size(); ++p) {
+        if (!c3.loopActive[p])
+            continue;
+        const std::int64_t delta =
+            c3.loopIter[p] - c2.loopIter[p];
+        if (delta <= 0)
+            continue;
+        const std::int64_t remaining =
+            c3.loopBound[p] - c3.loopIter[p];
+        std::int64_t k_pe = remaining / delta - 2;
+        if (k_pe < 0)
+            k_pe = 0;
+        k = std::min(k, static_cast<std::uint64_t>(k_pe));
+    }
+    if (now >= max_cycles - 1) {
+        decline(now, window);
+        return 0;
+    }
+    k = std::min(k, (max_cycles - 1 - now) / window);
+    if (k < 1) {
+        // Too close to the phase's end (or the cycle budget) for a
+        // jump to pay for itself; the remaining windows are cheaper
+        // to execute than to re-probe.
+        ++stats_.declines;
+        phaseDone_[static_cast<std::size_t>(phase_)] = 1;
+        captures_.clear();
+        nextCaptureAt_ = 0;
+        return 0;
+    }
+
+    // Proven.  Rewrite every Value field as v + K*d ...
+    JumpVisitor jump(c3.value, c2.value, k);
+    machine_.ffVisitAll(jump, now, 3 * window);
+    MARIONETTE_ASSERT(jump.visited() == c3.value.size(),
+                      "fast-forward jump walked fewer Value fields "
+                      "than the capture");
+
+    // ... extrapolate the append-only output FIFOs block-wise
+    // (window n+1 appends the previous window's block plus the
+    // constant block delta) ...
+    for (std::size_t f = 0; f < machine_.outputs_.size(); ++f) {
+        auto &fifo = machine_.outputs_[f];
+        const std::size_t len1 = c1.outputLens[f];
+        const std::size_t len2 = c2.outputLens[f];
+        const std::size_t len3 = c3.outputLens[f];
+        const std::size_t block = len3 - len2;
+        if (block == 0)
+            continue;
+        std::vector<std::uint32_t> last(block), delta(block);
+        for (std::size_t j = 0; j < block; ++j) {
+            last[j] = static_cast<std::uint32_t>(fifo[len2 + j]);
+            delta[j] =
+                last[j] -
+                static_cast<std::uint32_t>(fifo[len1 + j]);
+        }
+        for (std::uint64_t step = 1; step <= k; ++step)
+            for (std::size_t j = 0; j < block; ++j)
+                fifo.push_back(static_cast<Word>(
+                    last[j] +
+                    static_cast<std::uint32_t>(step) * delta[j]));
+    }
+
+    // ... rebase every absolute time anchor, and re-derive the one
+    // statistic whose argmax may migrate.
+    const Cycles skip = static_cast<Cycles>(k) * window;
+    machine_.ffShiftAll(now, skip, 3 * window);
+    machine_.mesh_.ffRefreshMaxLinkLoad();
+
+    ++stats_.engagements;
+    stats_.windowsSkipped += k;
+    stats_.cyclesSkipped += skip;
+    // One jump per phase: what remains of the loop is the guard
+    // windows plus the drain, which must execute for real anyway.
+    phaseDone_[static_cast<std::size_t>(phase_)] = 1;
+    captures_.clear();
+    nextCaptureAt_ = 0;
+    return skip;
+}
+
+Cycles
+FastForwardEngine::onCycleEnd(Cycle now, Cycle max_cycles,
+                              Cycle idle_streak)
+{
+    (void)idle_streak;
+    const int p = activePhase();
+    if (p < 0) {
+        if (phase_ >= 0) {
+            phase_ = -1;
+            captures_.clear();
+            nextCaptureAt_ = 0;
+        }
+        return 0;
+    }
+    if (p != phase_) {
+        phase_ = p;
+        captures_.clear();
+        nextCaptureAt_ = 0;
+        backoff_ = 1;
+        const PhaseInfo &info =
+            machine_.program_.phases[static_cast<std::size_t>(p)];
+        const Cycles window = std::max<Cycles>(1, info.steadyWindow);
+        // Let the pipeline fill and settle before fingerprinting.
+        cooldownUntil_ = now + info.fillLatency + 2 * window;
+    }
+    if (phaseDone_[static_cast<std::size_t>(p)])
+        return 0;
+    const PhaseInfo &info =
+        machine_.program_.phases[static_cast<std::size_t>(p)];
+    if (!info.counted) {
+        // While-form phase: the trip count is dynamic, so there is
+        // no sound jump-length bound.  Give the phase up for good.
+        phaseDone_[static_cast<std::size_t>(p)] = 1;
+        return 0;
+    }
+    if (now < cooldownUntil_)
+        return 0;
+    const Cycles window = std::max<Cycles>(1, info.steadyWindow);
+    if (captures_.empty()) {
+        ++stats_.probes;
+        if (!whitelistOk(now, window)) {
+            decline(now, window);
+            return 0;
+        }
+        captures_.emplace_back();
+        takeCapture(now, captures_.back());
+        nextCaptureAt_ = now + window;
+        return 0;
+    }
+    if (now < nextCaptureAt_)
+        return 0;
+    captures_.emplace_back();
+    takeCapture(now, captures_.back());
+    if (!capturesCompatible()) {
+        decline(now, window);
+        return 0;
+    }
+    if (captures_.size() < 4) {
+        nextCaptureAt_ = now + window;
+        return 0;
+    }
+    return engage(now, max_cycles, window);
+}
+
+} // namespace marionette

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Steady-state fast-forward engine: O(1)-per-window replay of
+ * provably periodic machine activity.
+ *
+ * A software-pipelined phase reaches a periodic steady state once
+ * its loop generator is past the pipeline fill: every II-window
+ * repeats the same control activity (firings, sends, stalls) with
+ * only the *data* advancing by a constant stride (induction values,
+ * statistic counters, output words).  The engine detects that state
+ * and, once proven, advances the whole machine across K windows in
+ * one step — clock, loop counters, channel payloads, in-flight
+ * traffic, statistics and output FIFOs — bit-identically to
+ * executing them.
+ *
+ * Detection and proof (see docs/simulator.md for the full argument):
+ *
+ *  1. The machine's mutable state is split into **Control** fields
+ *     (occupancies, credits, flags, configured addresses,
+ *     now-relative event times) and **Value** fields (channel words,
+ *     registers, loop counters, statistics).  Four state captures
+ *     S0..S3 are taken one steady window W apart; the engine
+ *     requires every Control field equal across all four and every
+ *     Value field's window-to-window differences constant
+ *     (S1-S0 == S2-S1 == S3-S2).
+ *  2. Every PE that ticked during the probe span must hold an
+ *     all-whitelisted instruction buffer: no branches, no
+ *     FIFO-fed loop bounds, no memory or nonlinear ops — operations
+ *     whose *control* behaviour cannot depend on data values.
+ *     Then the machine's control trajectory is a function of
+ *     Control state alone; Control equality at four W-spaced points
+ *     makes it W-periodic forever, and under a fixed control
+ *     trajectory each Value evolves affinely per window, so the
+ *     observed constant deltas persist.  Extrapolation
+ *     v -> v + K*d is exact (mod 2^64 extrapolation truncated to a
+ *     field's width equals the field's own modular arithmetic).
+ *  3. The jump length K is bounded so every active loop stays two
+ *     guard windows short of its exit (the loop-exit transition is
+ *     executed for real, never extrapolated), and the clock stays
+ *     within the run's cycle budget.
+ *
+ * Anything else — while-form phases (PhaseInfo::counted == false),
+ * faulted or transient-upset configs, value-dependent control, a
+ * fingerprint mismatch — makes the engine decline and fall back to
+ * plain cycle-by-cycle execution, with exponential backoff on
+ * re-probing.  Declining is always safe: the engine only ever
+ * *skips* work it has proven redundant.
+ */
+
+#ifndef MARIONETTE_SIM_FASTFORWARD_H
+#define MARIONETTE_SIM_FASTFORWARD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ffstate.h"
+#include "sim/types.h"
+
+namespace marionette
+{
+
+class MarionetteMachine;
+
+/**
+ * Fast-forward engine counters.  Deliberately *not* a StatGroup:
+ * renderAllStats() must stay byte-identical with the engine on or
+ * off, so these travel next to the machine statistics rather than
+ * inside them (see MarionetteMachine::fastForwardStats()).
+ */
+struct FastForwardStats
+{
+    /** Probe attempts (a capture sequence was started). */
+    std::uint64_t probes = 0;
+    /** Probes abandoned: fingerprint mismatch, whitelist refusal,
+     *  or a jump window too short to be worth taking. */
+    std::uint64_t declines = 0;
+    /** Successful jumps. */
+    std::uint64_t engagements = 0;
+    /** Steady windows skipped across all jumps. */
+    std::uint64_t windowsSkipped = 0;
+    /** Cycles skipped across all jumps. */
+    std::uint64_t cyclesSkipped = 0;
+};
+
+/**
+ * The engine instance owned by a machine while a fast-forwardable
+ * program is loaded (arch/machine.cc decides arming: the config's
+ * fastForward toggle on, no faults of any kind, and route-pass
+ * phase metadata present on the program).
+ */
+class FastForwardEngine
+{
+  public:
+    explicit FastForwardEngine(MarionetteMachine &machine);
+
+    /** Reset all probe state; call at the start of every run(). */
+    void beginRun();
+
+    /**
+     * End-of-cycle hook.  @return the number of cycles the run loop
+     * should skip (0 almost always; K*W after a proven jump, with
+     * machine state already advanced to the end of the skipped
+     * span).
+     */
+    Cycles onCycleEnd(Cycle now, Cycle max_cycles,
+                      Cycle idle_streak);
+
+    const FastForwardStats &stats() const { return stats_; }
+
+  private:
+    /** One W-spaced state fingerprint. */
+    struct Capture
+    {
+        /** Cycle the capture was taken (end-of-cycle state). */
+        Cycle at = 0;
+        std::vector<std::uint64_t> control;
+        std::vector<std::uint64_t> value;
+        /** Per-output-FIFO lengths (outputs are append-only and
+         *  extrapolated block-wise, not as Value fields). */
+        std::vector<std::size_t> outputLens;
+        /** Loop-operator runtime per PE (jump-length guard). */
+        std::vector<std::uint8_t> loopActive;
+        std::vector<std::int64_t> loopIter;
+        std::vector<std::int64_t> loopBound;
+    };
+
+    /** Phase currently active: the first program phase whose
+     *  generator is mid-loop; -1 when none. */
+    int activePhase() const;
+
+    /** Every PE that ticked within the probe span (or is on the
+     *  worklist now) holds only whitelisted instructions. */
+    bool whitelistOk(Cycle now, Cycles window) const;
+
+    void takeCapture(Cycle now, Capture &out) const;
+
+    /** Incremental compatibility of the newest capture with the
+     *  probe so far (Control equality, constant Value deltas,
+     *  constant output append counts). */
+    bool capturesCompatible() const;
+
+    /** All checks passed: compute K, rewrite the machine, return
+     *  the skipped cycle count (0 when K is not worth taking). */
+    Cycles engage(Cycle now, Cycle max_cycles, Cycles window);
+
+    /** Abandon the current probe and back off exponentially. */
+    void decline(Cycle now, Cycles window);
+
+    MarionetteMachine &machine_;
+    FastForwardStats stats_;
+
+    /** Phase index being probed; -1 between phases. */
+    int phase_ = -1;
+    /** Phases already jumped or given up on. */
+    std::vector<std::uint8_t> phaseDone_;
+    /** No probing before this cycle (pipeline fill, backoff). */
+    Cycle cooldownUntil_ = 0;
+    /** Current backoff in windows (doubles per decline). */
+    Cycles backoff_ = 1;
+    /** Cycle of the next scheduled capture; 0 = none scheduled. */
+    Cycle nextCaptureAt_ = 0;
+    std::vector<Capture> captures_;
+};
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_FASTFORWARD_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Field-visitor protocol of the steady-state fast-forward engine.
+ *
+ * Every stateful component exposes an ffVisit() that walks its
+ * mutable run-time fields in a fixed order, tagging each 64-bit
+ * field with how the engine may treat it:
+ *
+ *  - **Control** fields steer behaviour (occupancies, credits, flags,
+ *    configured addresses, relative event times).  Steady state
+ *    requires them *equal* at every probe window boundary; they are
+ *    never rewritten through the visitor.  Bulky control state
+ *    (memory images, instruction metadata) may be folded into a
+ *    single field with FfHash — only equality matters.
+ *  - **Value** fields carry data (channel words, registers, link
+ *    loads, statistics).  Steady state requires their per-window
+ *    first differences *constant*; a jump of K windows rewrites each
+ *    as v + K*d through the visitor's return value.
+ *
+ * Time-anchored fields (completion cycles, loop fire times) are
+ * visited as now-relative Controls and rebased structurally by the
+ * components' ffShift() when the clock jumps — never extrapolated.
+ *
+ * All packing truncates to the field's width on write-back, so
+ * affine sequences survive modulo 2^32 exactly as the machine would
+ * have computed them.
+ */
+
+#ifndef MARIONETTE_SIM_FFSTATE_H
+#define MARIONETTE_SIM_FFSTATE_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace marionette
+{
+
+/** How the fast-forward engine may treat a visited field. */
+enum class FieldKind : std::uint8_t
+{
+    Control, ///< must be equal across windows; never rewritten.
+    Value,   ///< constant first differences; rewritten as v + K*d.
+};
+
+/** Visitor over a component's mutable run-time fields. */
+class FfVisitor
+{
+  public:
+    virtual ~FfVisitor() = default;
+
+    /**
+     * Visit one field.  The return value is the field's new
+     * content: capture passes return @p v unchanged; the jump pass
+     * returns v + K*d for Value fields.  Components store the
+     * result back for Value fields and ignore it for Control.
+     */
+    virtual std::uint64_t field(FieldKind kind, std::uint64_t v) = 0;
+};
+
+/** FNV-1a folding of bulky Control state into one field. */
+class FfHash
+{
+  public:
+    void
+    mix(std::uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (x >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ull;
+        }
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 14695981039346656037ull;
+};
+
+/** Visit a Control field (return value intentionally dropped). */
+inline void
+ffCtl(FfVisitor &v, std::uint64_t x)
+{
+    v.field(FieldKind::Control, x);
+}
+
+/** Visit a signed 32-bit word as a Value (zero-extended; the
+ *  write-back truncation makes extrapolation exact mod 2^32). */
+inline void
+ffWord(FfVisitor &v, Word &w)
+{
+    w = static_cast<Word>(static_cast<std::uint32_t>(
+        v.field(FieldKind::Value,
+                static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(w)))));
+}
+
+/** Visit a 64-bit counter as a Value. */
+inline void
+ffU64(FfVisitor &v, std::uint64_t &x)
+{
+    x = v.field(FieldKind::Value, x);
+}
+
+} // namespace marionette
+
+#endif // MARIONETTE_SIM_FFSTATE_H

@@ -1,6 +1,9 @@
 #include "sim/stats.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "sim/ffstate.h"
 
 namespace marionette
 {
@@ -34,6 +37,47 @@ StatGroup::render(std::vector<std::string> &out) const
         std::ostringstream line;
         line << prefix_ << '.' << kv.first << ' ' << kv.second.value();
         out.push_back(line.str());
+    }
+}
+
+StatGroupState
+StatGroup::captureState() const
+{
+    StatGroupState state;
+    state.stats.reserve(stats_.size());
+    for (const auto &kv : stats_)
+        state.stats.emplace_back(kv.first, kv.second.value(),
+                                 kv.second.touched());
+    return state;
+}
+
+void
+StatGroup::restoreState(const StatGroupState &state)
+{
+    for (auto &kv : stats_)
+        kv.second.restore(0, false);
+    for (const auto &[name, value, touched] : state.stats)
+        stats_[name].restore(value, touched);
+}
+
+void
+StatGroup::ffVisit(FfVisitor &v,
+                   const std::vector<std::string> &derived)
+{
+    FfHash names;
+    for (const auto &kv : stats_) {
+        for (char c : kv.first)
+            names.mix(static_cast<unsigned char>(c));
+        names.mix(kv.second.touched() ? 1 : 2);
+    }
+    ffCtl(v, names.value());
+    for (auto &kv : stats_) {
+        if (std::find(derived.begin(), derived.end(), kv.first) !=
+            derived.end())
+            continue;
+        kv.second.restore(v.field(FieldKind::Value,
+                                  kv.second.value()),
+                          kv.second.touched());
     }
 }
 

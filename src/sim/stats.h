@@ -22,10 +22,13 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace marionette
 {
+
+class FfVisitor;
 
 /** A single named scalar statistic (a 64-bit counter or gauge). */
 class Stat
@@ -51,9 +54,25 @@ class Stat
     /** True once the stat has ever been written (inc/set/max). */
     bool touched() const { return touched_; }
 
+    /** Snapshot support: overwrite value *and* touched flag exactly
+     *  (render() omits untouched stats, so restoring a dump
+     *  byte-identically needs both). */
+    void restore(std::uint64_t v, bool touched)
+    {
+        value_ = v;
+        touched_ = touched;
+    }
+
   private:
     std::uint64_t value_ = 0;
     bool touched_ = false;
+};
+
+/** Deep copy of a StatGroup's contents (machine snapshots). */
+struct StatGroupState
+{
+    /** (name, value, touched) per registered stat. */
+    std::vector<std::tuple<std::string, std::uint64_t, bool>> stats;
 };
 
 /**
@@ -87,6 +106,30 @@ class StatGroup
     /** Append "prefix.name value" lines to @p out, sorted by name.
      *  Stats that were registered but never written are omitted. */
     void render(std::vector<std::string> &out) const;
+
+    /** Deep-copy every stat (machine snapshots). */
+    StatGroupState captureState() const;
+
+    /**
+     * Restore a captured state.  In place: existing entries are
+     * overwritten (never erased — components hold stable Stat&
+     * handles), entries absent from the capture reset to the
+     * untouched zero state, and entries only in the capture are
+     * created.  Dumps after restore are byte-identical to dumps at
+     * capture time.
+     */
+    void restoreState(const StatGroupState &state);
+
+    /**
+     * Fast-forward visit (sim/ffstate.h): one Control field folding
+     * every stat's name and touched flag (a stat appearing or
+     * flipping touched mid-window is a structural change and must
+     * decline the probe), then each value as a Value field — except
+     * names listed in @p derived, which the caller recomputes after
+     * a jump (running maxima whose argmax may migrate).
+     */
+    void ffVisit(FfVisitor &v,
+                 const std::vector<std::string> &derived = {});
 
   private:
     std::string prefix_;

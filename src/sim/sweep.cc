@@ -1,9 +1,11 @@
 #include "sim/sweep.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "compiler/program_cache.h"
+#include "model/schedule_model.h"
 #include "workloads/workload.h"
 
 namespace marionette
@@ -104,9 +106,58 @@ SweepRunner::runMachines(const std::vector<MachineJob> &jobs) const
     return results;
 }
 
+std::shared_ptr<const MachineSnapshot>
+SnapshotCache::lookup(const std::string &workload,
+                      std::uint64_t config_hash,
+                      const CompilerOptions &options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(makeKey(workload, config_hash, options));
+    if (it == entries_.end()) {
+        ++counters_.misses;
+        return nullptr;
+    }
+    ++counters_.hits;
+    counters_.savedMicros += it->second.prepareMicros;
+    return it->second.snapshot;
+}
+
+void
+SnapshotCache::store(
+    const std::string &workload, std::uint64_t config_hash,
+    const CompilerOptions &options,
+    std::shared_ptr<const MachineSnapshot> snapshot,
+    std::uint64_t prepare_micros)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(makeKey(workload, config_hash, options),
+                     Entry{std::move(snapshot), prepare_micros});
+}
+
+SnapshotCache::Counters
+SnapshotCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+SnapshotCache::Key
+SnapshotCache::makeKey(const std::string &workload,
+                       std::uint64_t config_hash,
+                       const CompilerOptions &options)
+{
+    Key key;
+    key.workload = workload;
+    key.configHash = config_hash;
+    key.placer = static_cast<int>(options.placer);
+    key.unrollFactor = options.unrollFactor;
+    return key;
+}
+
 std::vector<KernelSweepResult>
 SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
-                        ProgramCache &cache) const
+                        ProgramCache &cache,
+                        SnapshotCache *snapshots) const
 {
     std::vector<KernelSweepResult> results(jobs.size());
     dispatch(static_cast<int>(jobs.size()), [&](int i) {
@@ -136,12 +187,47 @@ SweepRunner::runKernels(const std::vector<KernelSweepJob> &jobs,
                     return;
                 }
                 out.compiled = true;
-                out.modelEstimate =
-                    compiled.report.modelCycleEstimate;
+                // Scheduled-cycle feedback: the route pass's own
+                // timing is the default predictor for a kernel it
+                // actually placed; the analytic model only covers
+                // compiles that never got that far.
+                out.modelEstimate = preferredCycleEstimate(
+                    compiled.report.scheduledCycleEstimate,
+                    compiled.report.modelCycleEstimate);
 
                 const CompiledKernel &kernel = *compiled.kernel;
                 MarionetteMachine machine(job.config);
-                kernel.prepare(machine);
+                // Warm start: restore the cell's checkpoint when
+                // one exists, otherwise prepare from scratch and
+                // publish the checkpoint for the next repetition.
+                // Retried jobs recompile against a different fault
+                // view, so the (architectural) key is recomputed
+                // per iteration.
+                std::shared_ptr<const MachineSnapshot> snap;
+                if (snapshots)
+                    snap = snapshots->lookup(
+                        job.workload->name(),
+                        configHash(compile_config), job.options);
+                if (snap) {
+                    machine.restore(*snap);
+                } else if (snapshots) {
+                    const auto t0 =
+                        std::chrono::steady_clock::now();
+                    kernel.prepare(machine);
+                    const auto micros =
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    snapshots->store(
+                        job.workload->name(),
+                        configHash(compile_config), job.options,
+                        std::make_shared<const MachineSnapshot>(
+                            machine.snapshot()),
+                        static_cast<std::uint64_t>(micros));
+                } else {
+                    kernel.prepare(machine);
+                }
                 out.run =
                     machine.run(job.maxCycles > 0
                                     ? job.maxCycles

@@ -25,6 +25,9 @@
 #include <atomic>
 #include <exception>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -101,7 +104,10 @@ struct KernelSweepResult
     bool validated = false;
     /** First mismatch description when !validated. */
     std::string validationError;
-    /** Analytic Marionette model estimate (cycles). */
+    /** Model cycle estimate: the route pass's scheduled-cycle
+     *  prediction when available, the analytic Marionette model
+     *  otherwise (model/schedule_model.h,
+     *  preferredCycleEstimate). */
     double modelEstimate = 0.0;
     /** Mesh traffic / stall profile of the run (hop and link-load
      *  statistics the mapped-cycles report prints). */
@@ -143,6 +149,86 @@ struct KernelSweepStats
 /** Fold a kernel sweep's results into aggregate counts. */
 KernelSweepStats
 summarizeKernelSweep(const std::vector<KernelSweepResult> &results);
+
+/**
+ * Warm-start checkpoint cache for kernel sweeps.
+ *
+ * The expensive part of a sweep cell, after the (already cached)
+ * compile, is CompiledKernel::prepare(): loading the program and
+ * filling the scratchpad with the workload's inputs.  Repeated runs
+ * of the same (workload, config, compile-options) cell — validation
+ * reps, fast-forward A/B comparisons, retry studies — can restore a
+ * machine snapshot taken right after the first prepare() instead.
+ * Restoring is bit-identical to preparing from scratch (see
+ * MarionetteMachine::restore), so warm-started results are the same
+ * to the byte.
+ *
+ * Thread-safe; snapshots are shared immutably across jobs.  Keyed
+ * by workload name, architectural configHash and compile options —
+ * the same identity the program cache uses — so simulator-only
+ * toggles (eventDrivenSim, fastForward) share one checkpoint.
+ */
+class SnapshotCache
+{
+  public:
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        /** Microseconds of prepare() work skipped by hits. */
+        std::uint64_t savedMicros = 0;
+    };
+
+    /** Cached checkpoint for a key, or nullptr on miss. */
+    std::shared_ptr<const MachineSnapshot>
+    lookup(const std::string &workload,
+           std::uint64_t config_hash,
+           const CompilerOptions &options);
+
+    /** Store a checkpoint (first writer wins) and account the
+     *  prepare cost @p prepare_micros for future hit savings. */
+    void store(const std::string &workload,
+               std::uint64_t config_hash,
+               const CompilerOptions &options,
+               std::shared_ptr<const MachineSnapshot> snapshot,
+               std::uint64_t prepare_micros);
+
+    Counters counters() const;
+
+  private:
+    struct Key
+    {
+        std::string workload;
+        std::uint64_t configHash = 0;
+        int placer = 0;
+        int unrollFactor = 0;
+
+        bool operator<(const Key &o) const
+        {
+            if (workload != o.workload)
+                return workload < o.workload;
+            if (configHash != o.configHash)
+                return configHash < o.configHash;
+            if (placer != o.placer)
+                return placer < o.placer;
+            return unrollFactor < o.unrollFactor;
+        }
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const MachineSnapshot> snapshot;
+        std::uint64_t prepareMicros = 0;
+    };
+
+    static Key makeKey(const std::string &workload,
+                       std::uint64_t config_hash,
+                       const CompilerOptions &options);
+
+    mutable std::mutex mutex_;
+    std::map<Key, Entry> entries_;
+    Counters counters_;
+};
 
 /** Deterministic thread-pool runner for independent jobs. */
 class SweepRunner
@@ -191,10 +277,16 @@ class SweepRunner
      * per-grid compile-once guarantee sweeps rely on.  Each result
      * reports the compile outcome (or the rejecting diagnostic),
      * the machine run, and the bit-exact golden cross-validation.
+     *
+     * With a @p snapshots cache the per-job prepare() (program load
+     * + scratchpad fill) is checkpointed once per (workload, config,
+     * options) cell and repeated cells warm-start from the restored
+     * snapshot — bit-identical, just faster.  nullptr opts out.
      */
     std::vector<KernelSweepResult>
     runKernels(const std::vector<KernelSweepJob> &jobs,
-               ProgramCache &cache) const;
+               ProgramCache &cache,
+               SnapshotCache *snapshots = nullptr) const;
 
   private:
     /** Pull-model worker pool over [0, n) with index-order claims. */

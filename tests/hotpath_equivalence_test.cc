@@ -14,9 +14,11 @@
 #include <gtest/gtest.h>
 
 #include "arch/machine.h"
+#include "compiler/compiler.h"
 #include "support/mapped_kernels.h"
 #include "compiler/program_builder.h"
 #include "sim/rng.h"
+#include "workloads/workload.h"
 
 namespace marionette
 {
@@ -371,6 +373,48 @@ TEST(HotpathEquivalence, FifoFedInnerLoop)
     inner.dests = {DestSel::toOutput(0)};
     b.setEntry(1, 0);
     expectIdentical(config, b.finish());
+}
+
+/** Compiled workloads, driven from workloadNames() rather than a
+ *  hard-coded kernel list: every kernel the compiler accepts on the
+ *  paper-prototype fabric must be path-equivalent too.  (The full
+ *  Table-5 matrix on the enlarged fabric runs in
+ *  fastforward_equivalence_test.cc's three-way check.) */
+TEST(HotpathEquivalence, CompiledWorkloadsRefVsEvent)
+{
+    MachineConfig config; // paper-prototype defaults.
+    Compiler compiler(config);
+    int covered = 0;
+    for (const std::string &name : workloadNames()) {
+        CompileResult r = compiler.compile(name);
+        if (!r.ok())
+            continue; // too big for the prototype, or unsupported.
+        ++covered;
+        MachineConfig ref = config;
+        ref.eventDrivenSim = false;
+        MachineConfig fast = config;
+        fast.eventDrivenSim = true;
+
+        RunCapture caps[2];
+        const MachineConfig *variants[2] = {&ref, &fast};
+        for (int i = 0; i < 2; ++i) {
+            MarionetteMachine m(*variants[i]);
+            r.kernel->prepare(m);
+            caps[i].result = m.run(r.kernel->cycleBudget);
+            caps[i].stats = m.renderAllStats();
+            EXPECT_EQ(r.kernel->validate(m, caps[i].result), "")
+                << name;
+        }
+        EXPECT_EQ(caps[0].result.cycles, caps[1].result.cycles)
+            << name;
+        EXPECT_EQ(caps[0].result.outputs, caps[1].result.outputs)
+            << name;
+        EXPECT_EQ(caps[0].result.totalFires,
+                  caps[1].result.totalFires)
+            << name;
+        EXPECT_EQ(caps[0].stats, caps[1].stats) << name;
+    }
+    EXPECT_GE(covered, 2); // SI and CRC fit the prototype.
 }
 
 } // namespace
