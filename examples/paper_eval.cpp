@@ -59,6 +59,12 @@
  *                  snapshot warm-start cache and print the
  *                  checkpoint hit/miss counters and the prepare
  *                  time the warm starts saved.
+ *   --serve-smoke  push a small deterministic multi-tenant load
+ *                  through the serving core (serve/server.h) with
+ *                  spatial co-tenancy enabled and exit non-zero if
+ *                  any response fails, diverges from the goldens,
+ *                  or the latency tail blows out — CI's serving
+ *                  smoke gate.
  *
  * Every JSON artifact opens with a "schema_version" field (see
  * kReportSchemaVersion) so downstream consumers can detect shape
@@ -78,6 +84,7 @@
 
 #include "compiler/program_cache.h"
 #include "core/marionette.h"
+#include "serve/server.h"
 
 using namespace marionette;
 
@@ -106,6 +113,9 @@ struct Options
     /** Print snapshot warm-start cache statistics (runs the
      *  validation grid twice through a SnapshotCache). */
     bool snapshotStats = false;
+    /** Serving smoke mode: push a small deterministic load through
+     *  the multi-tenant ServeCore and gate on bit-exactness. */
+    bool serveSmoke = false;
     /** Fault-resilience mode: sweep seeded fault plans over the
      *  selected kernels instead of the model tour. */
     bool faults = false;
@@ -128,7 +138,7 @@ usageError(const char *why, const char *detail)
                  "[--mapped-report=PATH] [--unroll=N] "
                  "[--unroll-ablation=PATH] "
                  "[--fast-forward=on|off] [--snapshot-stats] "
-                 "[--faults] "
+                 "[--serve-smoke] [--faults] "
                  "[--fault-grid=DEADPES,DEADLINKS] "
                  "[--fault-seed=N] [--resilience-report=PATH]\n");
     return false;
@@ -157,8 +167,9 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.list = true;
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             long jobs = 0;
-            if (!parseCount(arg + 7, 1, 4096, jobs))
-                return usageError("bad --jobs value (want 1..4096)",
+            if (!parseCount(arg + 7, 0, 4096, jobs))
+                return usageError("bad --jobs value (want 0..4096; "
+                                  "0 = auto-detect)",
                                   arg + 7);
             opts.jobs = static_cast<int>(jobs);
         } else if (std::strncmp(arg, "--kernels=", 10) == 0) {
@@ -229,6 +240,8 @@ parseArgs(int argc, char **argv, Options &opts)
                                   arg + 15);
         } else if (std::strcmp(arg, "--snapshot-stats") == 0) {
             opts.snapshotStats = true;
+        } else if (std::strcmp(arg, "--serve-smoke") == 0) {
+            opts.serveSmoke = true;
         } else if (std::strcmp(arg, "--faults") == 0) {
             opts.faults = true;
         } else if (std::strncmp(arg, "--fault-grid=", 13) == 0) {
@@ -609,9 +622,11 @@ mappedCyclesAb(const Options &opts, const SweepRunner &runner)
  * paper_eval emits (compile coverage, mapped cycles, unroll
  * ablation, fault resilience) opens through openReport so they all
  * lead with the same "schema_version" field, and closes through
- * closeReport for the uniform confirmation line.  Bump the version
- * when an existing field changes meaning — added fields are not a
- * version bump.
+ * closeReport for the uniform confirmation line.  The serving
+ * ladder's BENCH_serving.json (bench/bench_serving.cc) follows the
+ * same leading-field convention from its own writer.  Bump the
+ * version when an existing field changes meaning — added fields are
+ * not a version bump.
  */
 constexpr int kReportSchemaVersion = 2;
 
@@ -1370,6 +1385,72 @@ runResilienceSweep(const Options &opts, const SweepRunner &runner)
     return failed ? 1 : 0;
 }
 
+/**
+ * Serving smoke gate (--serve-smoke): a small deterministic
+ * multi-tenant load through the ServeCore with spatial co-tenancy
+ * on — one primary fabric carved into four regions, snapshots and
+ * golden cross-validation enabled.  Fails (non-zero exit) if any
+ * response is unserved, any served response diverges from its solo
+ * goldens, no warm start happened, or the latency tail blows out.
+ */
+int
+runServeSmoke()
+{
+    serve::ServeOptions options;
+    options.fabric = primaryFabric();
+    options.fabrics = 1;
+    options.regionsPerFabric = 4;
+    options.queueCapacity = 16;
+    serve::ServeCore core(options);
+
+    // Three tenants, two kernels, enough repetition that the
+    // second half of the load is all snapshot warm starts.
+    const char *tenants[] = {"alpha", "beta", "gamma"};
+    const char *kernels[] = {"CRC", "SI"};
+    std::vector<std::future<serve::ServeResponse>> futures;
+    for (int i = 0; i < 24; ++i) {
+        serve::ServeRequest request;
+        request.tenant = tenants[i % 3];
+        request.workload = kernels[i % 2];
+        request.options.unrollFactor = 1;
+        futures.push_back(core.submit(request));
+    }
+    core.drain();
+
+    int served = 0, warm = 0, failed = 0;
+    std::uint64_t worst_micros = 0;
+    for (auto &future : futures) {
+        const serve::ServeResponse response = future.get();
+        if (!response.served || !response.validation.empty()) {
+            ++failed;
+            std::fprintf(stderr, "serve-smoke: %s\n",
+                         response.served
+                             ? response.validation.c_str()
+                             : response.error.c_str());
+            continue;
+        }
+        ++served;
+        warm += response.warmStart ? 1 : 0;
+        worst_micros =
+            std::max(worst_micros, response.queueMicros +
+                                       response.serviceMicros);
+    }
+    std::printf("%s", core.renderStats().c_str());
+    std::printf("serve-smoke: %d served, %d warm starts, worst "
+                "latency %.1fms\n",
+                served, warm,
+                static_cast<double>(worst_micros) / 1000.0);
+    bool pass = failed == 0 && served == 24 && warm > 0;
+    // Generous wall bound: a stuck queue or deadlocked lane shows
+    // up as minutes, not seconds.
+    if (worst_micros > 60'000'000ull) {
+        std::fprintf(stderr, "serve-smoke: latency over 60s\n");
+        pass = false;
+    }
+    std::printf("serve-smoke %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -1385,6 +1466,8 @@ main(int argc, char **argv)
                         w->sizeDesc().c_str());
         return 0;
     }
+    if (opts.serveSmoke)
+        return runServeSmoke();
     if (opts.faults) {
         SweepRunner fault_runner(opts.jobs);
         return runResilienceSweep(opts, fault_runner);

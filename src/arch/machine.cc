@@ -338,6 +338,12 @@ MarionetteMachine::run(Cycle max_cycles)
     // across runs, so losses are measured as deltas from here.
     const std::uint64_t dropped_before = mesh_.droppedWords();
     const std::uint64_t lost_ctrl_before = lostCtrlWords_;
+    // Fire counters are likewise cumulative across load()s on a
+    // long-lived machine (the serving pool reuses one machine per
+    // lane); the RunResult reports this run's firings only.
+    std::uint64_t fires_before = 0;
+    for (const auto &pe : pes_)
+        fires_before += pe->fires();
     const Cycles watchdog = config_.watchdogCycles;
     Cycle last_progress = 0;
     auto fail = [&](RunError kind, std::string why) {
@@ -672,6 +678,7 @@ MarionetteMachine::run(Cycle max_cycles)
     result.outputs = outputs_;
     for (const auto &pe : pes_)
         result.totalFires += pe->fires();
+    result.totalFires -= fires_before;
     if (result.cycles > 0) {
         result.peUtilization =
             static_cast<double>(result.totalFires) /
@@ -840,6 +847,19 @@ MarionetteMachine::renderAllStats() const
     for (const auto &fifo : fifos_)
         groups.push_back(&fifo->stats());
     return renderStats(groups);
+}
+
+void
+MarionetteMachine::resetStats()
+{
+    stats_.resetAll();
+    for (const auto &pe : pes_)
+        pe->stats().resetAll();
+    mesh_.resetStats();
+    ctrlNet_.resetStats();
+    scratchpad_->resetStats();
+    for (const auto &fifo : fifos_)
+        fifo->resetStats();
 }
 
 CongestionReport

@@ -202,6 +202,16 @@ class MarionetteMachine : public FabricIface
      */
     std::string renderAllStats() const;
 
+    /**
+     * Zero every statistic in the machine — per-PE groups, the
+     * networks, the scratchpad, the control FIFOs and the machine
+     * itself.  Persistent machines (serve/server.h) call this at
+     * request boundaries so a request's stat dump — and the stats a
+     * post-prepare snapshot captures — never leak a previous
+     * tenant's counters.  Runtime state is untouched.
+     */
+    void resetStats();
+
     /** The control network instance (area/ablation queries). */
     const ControlNetwork &controlNetwork() const { return ctrlNet_; }
 

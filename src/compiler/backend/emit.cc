@@ -40,11 +40,23 @@ passEmit(Compilation &cc)
         mem_extent = std::max<Word>(
             mem_extent,
             c.base + static_cast<Word>(c.expect.size()));
-    if (mem_extent > spad_words) {
+    // The kernel's window: [memoryBase, memoryBase + memoryWords)
+    // when capped, [memoryBase, scratchpad top) otherwise.  The
+    // static footprint must fit the window — a co-tenant kernel
+    // that spilled past its window would silently corrupt a
+    // neighbour's data.
+    const Word window_top =
+        cc.options.memoryWords > 0
+            ? cc.options.memoryBase + cc.options.memoryWords
+            : static_cast<Word>(spad_words);
+    if (mem_extent > window_top - cc.options.memoryBase ||
+        window_top > spad_words) {
         std::ostringstream why;
         why << "kernel addresses " << mem_extent
-            << " scratchpad words, the scratchpad holds "
-            << spad_words;
+            << " scratchpad words, its window at "
+            << cc.options.memoryBase << " holds "
+            << window_top - cc.options.memoryBase << " (of "
+            << spad_words << " total)";
         return cc.fail(kPassEmit, why.str());
     }
 
@@ -212,8 +224,13 @@ passEmit(Compilation &cc)
 
     out.workload = cc.workload.name();
     out.memoryImage = cc.spec.memoryImage;
+    out.memoryImageBase = cc.options.memoryBase;
     out.expectedOutputs = cc.goldenOutputs;
     out.memoryChecks = cc.spec.expectedMemory;
+    // The golden final-memory regions live inside the relocated
+    // window (lower shifted every Load/Store base the same way).
+    for (MemoryRegionCheck &check : out.memoryChecks)
+        check.base += cc.options.memoryBase;
 
     // Generous cycle budget: full serialization of every operator
     // per iteration plus latency slack; the machine quiesces long

@@ -69,7 +69,7 @@ CompiledKernel::prepare(MarionetteMachine &machine) const
 {
     machine.load(program);
     if (!memoryImage.empty())
-        machine.scratchpad().load(0, memoryImage);
+        machine.scratchpad().load(memoryImageBase, memoryImage);
     for (const BootInjection &b : boots)
         machine.injectData(b.pe, b.channel, b.value);
 }

@@ -111,8 +111,11 @@ struct CompiledKernel
     std::string workload;
     Program program;
     std::vector<BootInjection> boots;
-    /** Initial scratchpad contents (loaded at address 0). */
+    /** Initial scratchpad contents, loaded at memoryImageBase. */
     std::vector<Word> memoryImage;
+    /** Scratchpad address the image loads at and every Load/Store
+     *  base is shifted by (CompilerOptions::memoryBase). */
+    Word memoryImageBase = 0;
     /** Golden output-FIFO streams, index-aligned with the
      *  program's output FIFOs. */
     std::vector<std::vector<Word>> expectedOutputs;
@@ -173,6 +176,18 @@ struct CompilerOptions
      *  cost placer unrolls; the snake baseline stays the legacy
      *  program bit-for-bit. */
     int unrollFactor = 0;
+    /** Scratchpad window base (words): every Load/Store base, the
+     *  memory image and the golden memory checks are shifted by
+     *  this offset, relocating the kernel's whole data footprint.
+     *  Lets co-tenant kernels on one fabric own disjoint
+     *  scratchpad windows (serve/region.h). */
+    Word memoryBase = 0;
+    /** Scratchpad window size (words) available from memoryBase;
+     *  0 = everything up to the scratchpad top.  The emit pass
+     *  rejects kernels whose static footprint exceeds the window —
+     *  without the cap a co-tenant kernel could silently spill
+     *  into a neighbour's window. */
+    Word memoryWords = 0;
 };
 
 /** The pass-based compiler driver. */

@@ -464,8 +464,9 @@ class PhaseLowering
                 val[n.id] = bb.emit(n.op, a, b, c, n.name);
                 auto base = cc.spec.arrayBases.find(n.name);
                 flat.memBase[val[n.id].ref] =
-                    base == cc.spec.arrayBases.end() ? 0
-                                                     : base->second;
+                    cc.options.memoryBase +
+                    (base == cc.spec.arrayBases.end() ? 0
+                                                      : base->second);
                 break;
               }
               case Opcode::Load: {
@@ -477,8 +478,9 @@ class PhaseLowering
                 val[n.id] = bb.emit(n.op, a, b, c, n.name);
                 auto base = cc.spec.arrayBases.find(n.name);
                 flat.memBase[val[n.id].ref] =
-                    base == cc.spec.arrayBases.end() ? 0
-                                                     : base->second;
+                    cc.options.memoryBase +
+                    (base == cc.spec.arrayBases.end() ? 0
+                                                      : base->second);
                 break;
               }
               default:

@@ -18,6 +18,13 @@ ProgramCache::getOrCompile(const Workload &workload,
     opts_bits ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
                      options.unrollFactor)) *
                  0xbf58476d1ce4e5b9ull;
+    // The scratchpad window relocates every memory access (base)
+    // and gates the footprint check (size), so a kernel compiled
+    // for a different window is a different cache entry.
+    opts_bits ^= static_cast<std::uint64_t>(options.memoryBase) *
+                 0x94d049bb133111ebull;
+    opts_bits ^= static_cast<std::uint64_t>(options.memoryWords) *
+                 0xd6e8feb86659fd93ull;
     const std::pair<std::string, std::uint64_t> key{
         workload.name(), configHash(config) ^ opts_bits};
     {

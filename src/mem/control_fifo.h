@@ -53,6 +53,9 @@ class ControlFifo
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero every statistic (persistent-machine request reset). */
+    void resetStats() { stats_.resetAll(); }
+
     /** Buffered words, oldest first (machine snapshots). */
     const std::deque<Word> &contents() const { return entries_; }
 

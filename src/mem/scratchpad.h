@@ -66,6 +66,9 @@ class Scratchpad
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero every statistic (persistent-machine request reset). */
+    void resetStats() { stats_.resetAll(); }
+
     /** Full word image (machine snapshots). */
     const std::vector<Word> &words() const { return data_; }
 

@@ -116,6 +116,9 @@ class ControlNetwork
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero every statistic (persistent-machine request reset). */
+    void resetStats() { stats_.resetAll(); }
+
     /** Snapshot the network's statistics (machine snapshots: the
      *  switch state is rebuilt by re-running configure(), which
      *  bumps the configuration counter — restoring the captured

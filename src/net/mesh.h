@@ -281,6 +281,15 @@ class DataMesh
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero every mesh statistic, including the per-link loads the
+     *  max_link_load stat is derived from (persistent machines:
+     *  ServeCore resets stats at request boundaries). */
+    void resetStats()
+    {
+        clearLinkLoads();
+        stats_.resetAll(); // last: clearLinkLoads touches the max.
+    }
+
     /** Deep copy of the mesh's run-time state (snapshots). */
     struct State
     {

@@ -24,8 +24,12 @@ StatGroup::value(const std::string &name) const
 void
 StatGroup::resetAll()
 {
+    // Back to the pristine untouched state, not just zero: render()
+    // omits untouched stats, so a reset machine must dump the same
+    // bytes as a freshly constructed one (persistent serving lanes
+    // rely on this for bit-exact per-request stat dumps).
     for (auto &kv : stats_)
-        kv.second.reset();
+        kv.second.restore(0, false);
 }
 
 void

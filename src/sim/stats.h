@@ -97,7 +97,8 @@ class StatGroup
     /** Read-only lookup; returns 0 for unknown names. */
     std::uint64_t value(const std::string &name) const;
 
-    /** Reset every stat in the group. */
+    /** Reset every stat in the group to the pristine untouched
+     *  state (dumps match a freshly constructed component). */
     void resetAll();
 
     /** Dotted path prefix. */

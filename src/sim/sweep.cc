@@ -151,6 +151,8 @@ SnapshotCache::makeKey(const std::string &workload,
     key.configHash = config_hash;
     key.placer = static_cast<int>(options.placer);
     key.unrollFactor = options.unrollFactor;
+    key.memoryBase = options.memoryBase;
+    key.memoryWords = options.memoryWords;
     return key;
 }
 

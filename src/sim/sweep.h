@@ -202,6 +202,8 @@ class SnapshotCache
         std::uint64_t configHash = 0;
         int placer = 0;
         int unrollFactor = 0;
+        Word memoryBase = 0;
+        Word memoryWords = 0;
 
         bool operator<(const Key &o) const
         {
@@ -211,7 +213,11 @@ class SnapshotCache
                 return configHash < o.configHash;
             if (placer != o.placer)
                 return placer < o.placer;
-            return unrollFactor < o.unrollFactor;
+            if (unrollFactor != o.unrollFactor)
+                return unrollFactor < o.unrollFactor;
+            if (memoryBase != o.memoryBase)
+                return memoryBase < o.memoryBase;
+            return memoryWords < o.memoryWords;
         }
     };
 
